@@ -1,0 +1,60 @@
+// Ablation: hardware-context scaling at paper scale.
+//
+// How do the original runtime and SupMR scale with core count? Since the
+// ingest bottleneck is a fixed-bandwidth channel, adding contexts quickly
+// stops helping the baseline (Amdahl on the sequential ingest), while SupMR
+// hides the compute entirely — the paper's motivation that "the theoretical
+// speedup of the program is limited" by the sequential phases.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "perfmodel/experiments.hpp"
+
+using namespace supmr;
+using namespace supmr::perfmodel;
+
+namespace {
+
+void sweep(const char* name, const wload::VirtualDataset& dataset,
+           const AppModel& app, core::MergeMode mode) {
+  std::printf("\n%s:\n  %9s %14s %14s %10s\n", name, "contexts",
+              "original", "SupMR(1GB)", "speedup");
+  for (int contexts : {4, 8, 16, 32, 64, 128}) {
+    SimJobSpec spec;
+    spec.machine = paper_machine();
+    spec.machine.contexts = contexts;
+    spec.num_mappers = static_cast<std::size_t>(contexts);
+    spec.dataset = dataset;
+    spec.app = app;
+
+    spec.chunk_bytes = 0;
+    spec.merge_mode = core::MergeMode::kPairwise;
+    const double original = simulate_job(spec).phases.total_s;
+
+    spec.chunk_bytes = 1 * kGB;
+    spec.merge_mode = mode;
+    const double supmr = simulate_job(spec).phases.total_s;
+
+    std::printf("  %9d %13.2fs %13.2fs %9.2fx\n", contexts, original, supmr,
+                original / supmr);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner(
+      "Ablation -- hardware context scaling (paper-scale model)",
+      "SupMR paper, Section I (sequential phases limit theoretical speedup)");
+  sweep("word count (155 GB)", wload::paper_wordcount_dataset(),
+        wordcount_model(wload::paper_wordcount_dataset()),
+        core::MergeMode::kPWay);
+  sweep("sort (60 GB)", wload::paper_sort_dataset(),
+        sort_model(wload::paper_sort_dataset()), core::MergeMode::kPWay);
+  std::printf(
+      "\nexpected shape: original-runtime totals flatten once compute no\n"
+      "longer dominates (the fixed 384 MB/s ingest is Amdahl's serial\n"
+      "fraction); SupMR's advantage persists because ingest is overlapped\n"
+      "and the merge runs a single full-width round.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Ablation: ingest-device bandwidth sweep at paper scale.
+//
+// The paper's intro argues systems "using disks instead of SSDs may not be
+// able to serve data fast enough" [2]. This sweep quantifies where the
+// ingest chunk pipeline stops mattering: as device bandwidth grows from one
+// HDD to NVMe-class, the ingest phase shrinks relative to map, the
+// pipeline's overlap window closes, and the word-count speedup decays
+// toward 1x (while sort keeps its merge win regardless of the device).
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "perfmodel/experiments.hpp"
+
+using namespace supmr;
+using namespace supmr::perfmodel;
+
+namespace {
+
+void sweep(const char* name, const wload::VirtualDataset& dataset,
+           const AppModel& app) {
+  std::printf("\n%s:\n  %12s %12s %12s %10s\n", name, "device",
+              "original", "SupMR(1GB)", "speedup");
+  struct Dev {
+    const char* label;
+    double bw;
+  };
+  const Dev devices[] = {
+      {"1 HDD", 128e6},       {"RAID-0 (paper)", 384e6},
+      {"SATA SSD", 550e6},    {"NVMe", 3.0e9},
+      {"NVMe RAID", 12.0e9},
+  };
+  for (const auto& dev : devices) {
+    SimJobSpec spec;
+    spec.machine = paper_machine();
+    spec.machine.disk_bw_bps = dev.bw;
+    spec.dataset = dataset;
+    spec.app = app;
+
+    spec.chunk_bytes = 0;
+    spec.merge_mode = core::MergeMode::kPairwise;
+    const double original = simulate_job(spec).phases.total_s;
+
+    spec.chunk_bytes = 1 * kGB;
+    spec.merge_mode = core::MergeMode::kPWay;
+    const double supmr = simulate_job(spec).phases.total_s;
+
+    std::printf("  %12s %11.2fs %11.2fs %9.2fx\n", dev.label, original,
+                supmr, original / supmr);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner(
+      "Ablation -- ingest device bandwidth sweep (paper-scale model)",
+      "SupMR paper, Section I (disk vs SSD ingest bottleneck)");
+  sweep("word count (155 GB)", wload::paper_wordcount_dataset(),
+        wordcount_model(wload::paper_wordcount_dataset()));
+  sweep("sort (60 GB)", wload::paper_sort_dataset(),
+        sort_model(wload::paper_sort_dataset()));
+  std::printf(
+      "\nexpected shape: the pipeline hides min(ingest, map) under\n"
+      "max(ingest, map), so word count's speedup PEAKS at the device speed\n"
+      "where ingest and map are balanced (~NVMe for these constants) and\n"
+      "decays on both sides — Conclusion 4 generalized. Sort's gain is\n"
+      "dominated by the p-way merge and survives any device.\n");
+  return 0;
+}

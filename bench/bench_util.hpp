@@ -1,0 +1,35 @@
+// Shared helpers for the table/figure reproduction binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/phase_timer.hpp"
+#include "perfmodel/sim_job.hpp"
+
+namespace supmr::bench {
+
+inline void print_banner(const char* experiment, const char* paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("==============================================================\n");
+}
+
+inline void print_row(const std::string& label, const PhaseBreakdown& p) {
+  std::printf("%s\n", p.to_table_row(label).c_str());
+}
+
+inline void print_trace(const char* title, const TimeSeries& trace) {
+  std::printf("\n--- %s ---\n%s", title,
+              trace.to_ascii_chart(100, 18).c_str());
+}
+
+// Writes the trace CSV next to the binary for external plotting.
+inline void dump_csv(const std::string& name, const TimeSeries& trace) {
+  const std::string path = name + ".csv";
+  trace.write_csv(path);
+  std::printf("trace csv written to %s\n", path.c_str());
+}
+
+}  // namespace supmr::bench

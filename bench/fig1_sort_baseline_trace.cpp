@@ -1,0 +1,29 @@
+// Fig. 1: CPU utilization of the ORIGINAL scale-up MapReduce sort (60 GB):
+// a long low-utilization ingest, a short compute spike, and the decaying
+// "step curve" of the iterative pairwise merge.
+#include "bench/bench_util.hpp"
+#include "perfmodel/experiments.hpp"
+
+using namespace supmr;
+using namespace supmr::perfmodel;
+
+int main() {
+  bench::print_banner(
+      "Fig. 1 -- sort on the original runtime: ingest+merge bottlenecks",
+      "SupMR paper, Fig. 1 (compute <25% of execution; merge step curve)");
+
+  auto r = fig1_sort_baseline();
+  std::printf("%s\n", PhaseBreakdown::table_header().c_str());
+  bench::print_row("none", r.phases);
+
+  const double compute = r.phases.map_s + r.phases.reduce_s;
+  std::printf("\ncompute (map+reduce) fraction of total: %.1f%% (paper: <25%%)\n",
+              compute / r.phases.total_s * 100.0);
+  std::printf("merge rounds (halving workers, the step curve): %llu\n",
+              (unsigned long long)r.merge_rounds);
+
+  bench::print_trace("CPU utilization, original runtime sort (Fig. 1)",
+                     r.trace);
+  bench::dump_csv("fig1_sort_baseline", r.trace);
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Fig. 3: the OpenMP-style sort computes faster than scale-up MapReduce but
+// loses on total time because its ingest+parse is sequential.
+//
+// Runs twice: (a) paper scale via the calibrated simulation, and (b) a real
+// wall-clock run at reduced scale through baseline::run_omp_style_sort vs
+// the real SupMR runtime, to show the same geometry with actual threads.
+#include "apps/tera_sort.hpp"
+#include "baseline/omp_sort.hpp"
+#include "bench/bench_util.hpp"
+#include "core/job.hpp"
+#include "ingest/record_format.hpp"
+#include "ingest/source.hpp"
+#include "perfmodel/experiments.hpp"
+#include "storage/mem_device.hpp"
+#include "storage/rate_limiter.hpp"
+#include "storage/throttled_device.hpp"
+#include "wload/teragen.hpp"
+
+using namespace supmr;
+using namespace supmr::perfmodel;
+
+namespace {
+
+void paper_scale() {
+  auto fig = fig3_openmp_vs_mapreduce();
+  std::printf("paper-scale model (60 GB):\n");
+  std::printf("  %-22s %10s %10s\n", "", "compute", "total");
+  std::printf("  %-22s %9.2fs %9.2fs\n", "OpenMP-style sort",
+              fig.openmp_compute_s, fig.openmp.total_s);
+  std::printf("  %-22s %9.2fs %9.2fs\n", "MapReduce (original)",
+              fig.mapreduce_compute_s, fig.mapreduce.phases.total_s);
+  std::printf("  -> OpenMP compute is %.0fs FASTER, total is %.0fs SLOWER\n",
+              fig.mapreduce_compute_s - fig.openmp_compute_s,
+              fig.openmp.total_s - fig.mapreduce.phases.total_s);
+  std::printf("     (paper: 214s faster compute, 192s slower total)\n\n");
+}
+
+void real_scale() {
+  // 40 MB of TeraSort records behind a 40 MB/s throttle: the same shape in
+  // real time. MapReduce parses in parallel map waves; OpenMP-style parses
+  // on one thread.
+  wload::TeraGenConfig cfg;
+  cfg.num_records = 400000;
+  auto base = std::make_shared<storage::MemDevice>(
+      wload::teragen_to_string(cfg), "input");
+  auto lim_a = std::make_shared<storage::RateLimiter>(40.0e6);
+  auto lim_b = std::make_shared<storage::RateLimiter>(40.0e6);
+
+  storage::ThrottledDevice omp_dev(base, lim_a);
+  auto omp = baseline::run_omp_style_sort(
+      omp_dev, baseline::OmpSortOptions{.num_threads = 4});
+
+  auto mr_dev = std::make_shared<storage::ThrottledDevice>(base, lim_b);
+  apps::TeraSortApp app;
+  ingest::SingleDeviceSource src(mr_dev,
+                                 std::make_shared<ingest::CrlfFormat>(),
+                                 4 * kMB);
+  core::JobConfig jc;
+  jc.num_map_threads = 4;
+  jc.num_reduce_threads = 4;
+  core::MapReduceJob job(app, src, jc);
+  auto mr = job.run_ingestMR();
+
+  if (!omp.ok() || !mr.ok()) {
+    std::printf("real-scale run failed: %s %s\n",
+                omp.status().to_string().c_str(),
+                mr.status().to_string().c_str());
+    return;
+  }
+  std::printf("real wall-clock run (40 MB @ 40 MB/s, 4 threads):\n");
+  std::printf("  %-22s total %6.2fs  (read %5.2fs parse %5.2fs sort %5.2fs)\n",
+              "OpenMP-style sort", omp->phases.total_s, omp->phases.read_s,
+              omp->phases.map_s, omp->phases.merge_s);
+  std::printf("  %-22s total %6.2fs  (read+map %5.2fs merge %5.2fs)\n",
+              "SupMR run_ingestMR", mr->phases.total_s, mr->phases.readmap_s,
+              mr->phases.merge_s);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner(
+      "Fig. 3 -- OpenMP sort vs scale-up MapReduce sort",
+      "SupMR paper, Fig. 3 + Section II comparison");
+  paper_scale();
+  real_scale();
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Fig. 6: sort on SupMR (1 GB chunks + p-way merge) avoids Fig. 1's merge
+// step curve: one merge round at sustained high utilization.
+#include "bench/bench_util.hpp"
+#include "perfmodel/experiments.hpp"
+
+using namespace supmr;
+using namespace supmr::perfmodel;
+
+int main() {
+  bench::print_banner(
+      "Fig. 6 -- sort on SupMR: p-way merge removes the step curve (60 GB)",
+      "SupMR paper, Fig. 6 (vs Fig. 1); 3.13x merge speedup, one round");
+
+  auto baseline = fig1_sort_baseline();
+  auto supmr = fig6_sort_pway();
+
+  std::printf("%s\n", PhaseBreakdown::table_header().c_str());
+  bench::print_row("original", baseline.phases);
+  bench::print_row("SupMR", supmr.phases);
+  std::printf("\nmerge: %llu pairwise rounds -> %llu p-way round; speedup %.2fx"
+              " (paper: 3.13x)\n",
+              (unsigned long long)baseline.merge_rounds,
+              (unsigned long long)supmr.merge_rounds,
+              baseline.phases.merge_s / supmr.phases.merge_s);
+
+  bench::print_trace("CPU utilization, SupMR sort (Fig. 6)", supmr.trace);
+  bench::dump_csv("fig6_sort_supmr", supmr.trace);
+  return 0;
+}

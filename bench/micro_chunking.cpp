@@ -1,0 +1,107 @@
+// Micro-benchmarks: chunk boundary scanning, split adjustment, planning, and
+// workload generation throughput.
+#include <benchmark/benchmark.h>
+
+#include "ingest/record_format.hpp"
+#include "ingest/source.hpp"
+#include "storage/mem_device.hpp"
+#include "wload/teragen.hpp"
+#include "wload/text_corpus.hpp"
+
+namespace supmr::ingest {
+namespace {
+
+void BM_LineScan(benchmark::State& state) {
+  wload::TextCorpusConfig cfg;
+  cfg.total_bytes = 1 << 20;
+  const std::string text = wload::generate_text(cfg);
+  LineFormat f;
+  for (auto _ : state) {
+    std::size_t pos = 0, lines = 0;
+    while (true) {
+      auto end = f.find_record_end(
+          std::span<const char>(text.data(), text.size()), pos);
+      if (!end) break;
+      pos = *end;
+      ++lines;
+    }
+    benchmark::DoNotOptimize(lines);
+  }
+  state.SetBytesProcessed(state.iterations() * text.size());
+}
+BENCHMARK(BM_LineScan);
+
+void BM_CrlfScan(benchmark::State& state) {
+  wload::TeraGenConfig cfg;
+  cfg.num_records = 10000;
+  const std::string data = wload::teragen_to_string(cfg);
+  CrlfFormat f;
+  for (auto _ : state) {
+    std::size_t pos = 0, records = 0;
+    while (true) {
+      auto end = f.find_record_end(
+          std::span<const char>(data.data(), data.size()), pos);
+      if (!end) break;
+      pos = *end;
+      ++records;
+    }
+    benchmark::DoNotOptimize(records);
+  }
+  state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_CrlfScan);
+
+void BM_AdjustSplit(benchmark::State& state) {
+  wload::TextCorpusConfig cfg;
+  cfg.total_bytes = 4 << 20;
+  auto dev = std::make_shared<storage::MemDevice>(wload::generate_text(cfg));
+  LineFormat f;
+  std::uint64_t desired = 1;
+  for (auto _ : state) {
+    auto split = f.adjust_split(*dev, desired);
+    benchmark::DoNotOptimize(split);
+    desired = (desired + 37117) % dev->size();
+  }
+}
+BENCHMARK(BM_AdjustSplit);
+
+void BM_PlanChunks(benchmark::State& state) {
+  wload::TextCorpusConfig cfg;
+  cfg.total_bytes = 4 << 20;
+  auto dev = std::make_shared<storage::MemDevice>(wload::generate_text(cfg));
+  SingleDeviceSource src(dev, std::make_shared<LineFormat>(),
+                         state.range(0));
+  for (auto _ : state) {
+    auto plan = src.plan();
+    benchmark::DoNotOptimize(plan);
+  }
+  state.SetLabel("chunk=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_PlanChunks)->Arg(64 << 10)->Arg(1 << 20);
+
+void BM_TeraGen(benchmark::State& state) {
+  wload::TeraGenConfig cfg;
+  cfg.num_records = state.range(0);
+  for (auto _ : state) {
+    auto data = wload::teragen_to_string(cfg);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetBytesProcessed(state.iterations() * cfg.num_records * 100);
+}
+BENCHMARK(BM_TeraGen)->Arg(10000);
+
+void BM_TextGen(benchmark::State& state) {
+  wload::TextCorpusConfig cfg;
+  cfg.total_bytes = state.range(0);
+  for (auto _ : state) {
+    auto data = wload::generate_text(cfg);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TextGen)->Arg(1 << 20);
+
+}  // namespace
+}  // namespace supmr::ingest
+
+BENCHMARK_MAIN();

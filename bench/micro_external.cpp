@@ -1,0 +1,81 @@
+// Micro-benchmarks: external-memory structures (spilling sorter and
+// spilling hash aggregation) across memory budgets.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "containers/spilling_hash.hpp"
+#include "merge/external_sorter.hpp"
+#include "wload/teragen.hpp"
+
+namespace supmr {
+namespace {
+
+void BM_ExternalSort(benchmark::State& state) {
+  wload::TeraGenConfig cfg;
+  cfg.num_records = 20000;  // 2 MB
+  const std::string input = wload::teragen_to_string(cfg);
+  ThreadPool pool(2);
+  for (auto _ : state) {
+    merge::ExternalSorterOptions opt;
+    opt.memory_budget_bytes = state.range(0);
+    opt.spill_dir = "/tmp";
+    merge::ExternalSorter sorter(pool, opt);
+    auto st = sorter.add(std::span<const char>(input.data(), input.size()));
+    if (!st.ok()) {
+      state.SkipWithError("add failed");
+      return;
+    }
+    std::uint64_t bytes = 0;
+    auto result = sorter.finish([&](std::span<const char> slab) {
+      bytes += slab.size();
+      return Status::Ok();
+    });
+    if (!result.ok() || bytes != input.size()) {
+      state.SkipWithError("finish failed");
+      return;
+    }
+  }
+  state.SetBytesProcessed(state.iterations() * input.size());
+  state.SetLabel("budget=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_ExternalSort)
+    ->Arg(64 << 10)    // ~32 spills
+    ->Arg(512 << 10)   // ~4 spills
+    ->Arg(4 << 20)     // in-memory
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SpillingHashEmit(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  ZipfSampler zipf(1.0, 20000);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 20000; ++i) keys.push_back("w" + std::to_string(i));
+  std::vector<const std::string*> stream;
+  for (int i = 0; i < (1 << 15); ++i) stream.push_back(&keys[zipf(rng)]);
+  for (auto _ : state) {
+    containers::SpillingHashContainer c;
+    containers::SpillingHashContainer::Options opt;
+    opt.memory_budget_bytes = state.range(0);
+    opt.spill_dir = "/tmp";
+    c.init(1, opt);
+    for (const auto* k : stream) c.emit(0, *k, 1);
+    auto st = c.maybe_spill();
+    std::uint64_t n = 0;
+    auto st2 = c.merge_reduce(
+        [&](std::string_view, std::uint64_t) { ++n; });
+    if (!st.ok() || !st2.ok() || n == 0) {
+      state.SkipWithError("spill path failed");
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * stream.size());
+  state.SetLabel("budget=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_SpillingHashEmit)
+    ->Arg(128 << 10)
+    ->Arg(16 << 20)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace supmr
+
+BENCHMARK_MAIN();

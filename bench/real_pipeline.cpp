@@ -1,0 +1,80 @@
+// Real wall-clock validation of the ingest chunk pipeline (the paper's core
+// mechanism) on actual threads and a throttled device: chunked run_ingestMR
+// must beat the original read-then-compute runtime, and the win must come
+// from overlapping ingest with map.
+#include <cstdio>
+
+#include "apps/word_count.hpp"
+#include "bench/bench_util.hpp"
+#include "core/job.hpp"
+#include "ingest/record_format.hpp"
+#include "ingest/source.hpp"
+#include "storage/mem_device.hpp"
+#include "storage/rate_limiter.hpp"
+#include "storage/throttled_device.hpp"
+#include "wload/text_corpus.hpp"
+
+using namespace supmr;
+
+namespace {
+
+struct RunResult {
+  double total = 0, readmap = 0;
+  std::uint64_t words = 0;
+};
+
+RunResult run(bool chunked, const std::string& text, double bw) {
+  auto base = std::make_shared<storage::MemDevice>(text, "corpus");
+  auto limiter = std::make_shared<storage::RateLimiter>(bw);
+  auto dev = std::make_shared<storage::ThrottledDevice>(base, limiter);
+  apps::WordCountApp app;
+  ingest::SingleDeviceSource src(dev, std::make_shared<ingest::LineFormat>(),
+                                 chunked ? 1 * kMB : 0);
+  core::JobConfig jc;
+  jc.num_map_threads = 4;
+  jc.num_reduce_threads = 2;
+  core::MapReduceJob job(app, src, jc);
+  auto r = chunked ? job.run_ingestMR() : job.run();
+  RunResult out;
+  if (!r.ok()) {
+    std::printf("run failed: %s\n", r.status().to_string().c_str());
+    return out;
+  }
+  out.total = r->phases.total_s;
+  out.readmap = r->phases.has_combined_readmap
+                    ? r->phases.readmap_s
+                    : r->phases.read_s + r->phases.map_s;
+  out.words = app.words_mapped();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner(
+      "Real-mode pipeline validation (16 MB corpus @ 32 MB/s throttle)",
+      "SupMR paper, Section III (double-buffered ingest chunk pipeline)");
+
+  wload::TextCorpusConfig cfg;
+  cfg.total_bytes = 16 * kMB;
+  const std::string text = wload::generate_text(cfg);
+
+  const RunResult original = run(false, text, 32.0e6);
+  const RunResult supmr = run(true, text, 32.0e6);
+
+  std::printf("  %-18s total %6.2fs  read+map %6.2fs\n", "original run()",
+              original.total, original.readmap);
+  std::printf("  %-18s total %6.2fs  read+map %6.2fs\n",
+              "SupMR run_ingestMR", supmr.total, supmr.readmap);
+  if (original.total > 0 && supmr.total > 0) {
+    std::printf("\n  time-to-result speedup: %.2fx\n",
+                original.total / supmr.total);
+    std::printf("  words mapped identical: %s (%llu)\n",
+                original.words == supmr.words ? "yes" : "NO",
+                (unsigned long long)original.words);
+  }
+  std::printf("\nexpected shape: the chunked run hides map compute inside\n"
+              "the ~0.5s of throttled ingest, so its total approaches the\n"
+              "raw transfer time while the original pays read THEN map.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Table II (word count block): job phase breakdown at chunk sizes
+// none / 1 GB / 50 GB on the 155 GB corpus, at paper scale via the
+// calibrated simulation.
+#include "bench/bench_util.hpp"
+#include "perfmodel/experiments.hpp"
+
+using namespace supmr;
+using namespace supmr::perfmodel;
+
+int main() {
+  bench::print_banner(
+      "Table II -- Word Count: mitigate ingest bottleneck (155 GB)",
+      "SupMR paper, Table II upper block; speedup claims in Section VI.B");
+
+  std::printf("paper reference rows:\n");
+  std::printf("  none  471.75s  read 403.90s  map 67.41s  reduce 0.03s  merge 0.01s\n");
+  std::printf("  1GB   407.58s  [read+map 406.14s]        reduce 1.08s  merge 0.01s\n");
+  std::printf("  50GB  429.76s  [read+map 423.51s]        reduce 0.08s  merge 0.01s\n\n");
+
+  std::printf("measured (simulated at paper scale):\n%s\n",
+              PhaseBreakdown::table_header().c_str());
+  auto rows = table2_wordcount();
+  for (const auto& row : rows) bench::print_row(row.label, row.result.phases);
+
+  const double none = rows[0].result.phases.total_s;
+  std::printf("\nspeedups over the original runtime:\n");
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    std::printf("  %-5s %.2fx  (paper: %s)\n", rows[i].label.c_str(),
+                none / rows[i].result.phases.total_s,
+                rows[i].label == "1GB" ? "1.16x" : "1.10x");
+  }
+  std::printf("\nmean CPU utilization: none %.1f%%  1GB %.1f%%  50GB %.1f%%\n",
+              rows[0].result.mean_utilization,
+              rows[1].result.mean_utilization,
+              rows[2].result.mean_utilization);
+  std::printf("map rounds: none %llu  1GB %llu  50GB %llu\n",
+              (unsigned long long)rows[0].result.map_rounds,
+              (unsigned long long)rows[1].result.map_rounds,
+              (unsigned long long)rows[2].result.map_rounds);
+  return 0;
+}

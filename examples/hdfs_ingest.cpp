@@ -1,0 +1,106 @@
+// The paper's Fig. 7 case study at interactive scale: a scale-up word count
+// ingesting from an HDFS-like remote store behind ONE shared link.
+//
+// The store spreads blocks across data nodes (fast in aggregate), but every
+// byte crosses the single 16 MB/s link — so ingest dominates, and the chunk
+// pipeline raises utilization without shrinking the job much (paper
+// Conclusion 4).
+//
+// Usage: ./examples/hdfs_ingest [total-size] [link-rate-MBps]
+#include <cstdio>
+
+#include "apps/word_count.hpp"
+#include "common/units.hpp"
+#include "core/job.hpp"
+#include "ingest/record_format.hpp"
+#include "ingest/source.hpp"
+#include "storage/hdfs_sim.hpp"
+#include "wload/text_corpus.hpp"
+
+using namespace supmr;
+
+namespace {
+
+double run_job(const storage::HdfsSimStore& store,
+               const std::vector<std::string>& paths, std::uint64_t chunk,
+               bool pipelined) {
+  std::vector<std::shared_ptr<const storage::Device>> files;
+  for (const auto& p : paths) {
+    auto dev = store.open(p);
+    if (!dev.ok()) {
+      std::fprintf(stderr, "open %s: %s\n", p.c_str(),
+                   dev.status().to_string().c_str());
+      return -1;
+    }
+    files.push_back(std::shared_ptr<const storage::Device>(std::move(*dev)));
+  }
+  (void)chunk;
+  apps::WordCountApp app;
+  // Intra-file chunking: combine remote files into ingest chunks, the
+  // Hadoop-style many-small-files layout of Section III.A.1.
+  ingest::MultiFileSource src(files, pipelined ? 2 : 0);
+  core::JobConfig jc;
+  jc.num_map_threads = 4;
+  jc.num_reduce_threads = 2;
+  core::MapReduceJob job(app, src, jc);
+  auto r = pipelined ? job.run_ingestMR() : job.run();
+  if (!r.ok()) {
+    std::fprintf(stderr, "job failed: %s\n", r.status().to_string().c_str());
+    return -1;
+  }
+  std::printf("  %-28s total %6.2fs", pipelined ? "SupMR (pipelined ingest)"
+                                                : "original (copy-then-run)",
+              r->phases.total_s);
+  if (pipelined) {
+    std::printf("  [read+map %.2fs over %llu chunks]\n", r->phases.readmap_s,
+                (unsigned long long)r->chunks);
+  } else {
+    std::printf("  [read %.2fs then map %.2fs]\n", r->phases.read_s,
+                r->phases.map_s);
+  }
+  return r->phases.total_s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t total = 12 * kMB;
+  if (argc > 1) {
+    if (auto parsed = parse_size(argv[1])) total = *parsed;
+  }
+  double link_mbps = 16.0;
+  if (argc > 2) link_mbps = std::strtod(argv[2], nullptr);
+
+  storage::HdfsConfig hc;
+  hc.num_nodes = 16;
+  hc.block_bytes = 512 * kKiB;
+  hc.link_bps = link_mbps * 1e6;
+  hc.per_node_bps = 200.0e6;
+  storage::HdfsSimStore store(hc);
+
+  // Load the corpus into the cluster as 12 part files.
+  constexpr std::size_t kParts = 12;
+  std::vector<std::string> paths;
+  wload::TextCorpusConfig tc;
+  tc.total_bytes = total / kParts;
+  for (std::size_t i = 0; i < kParts; ++i) {
+    tc.seed = 1000 + i;
+    char name[64];
+    std::snprintf(name, sizeof(name), "/corpus/part-%05zu", i);
+    store.put(name, wload::generate_text(tc));
+    paths.push_back(name);
+  }
+  std::printf("HDFS-sim: %zu files, %s total, %zu data nodes behind one "
+              "%.0f MB/s link\n\n",
+              kParts, format_bytes(total).c_str(), hc.num_nodes, link_mbps);
+
+  const double original = run_job(store, paths, 0, false);
+  const double supmr = run_job(store, paths, 2, true);
+  if (original > 0 && supmr > 0) {
+    std::printf("\nspeedup: %.2fx (%.2fs saved on a %.2fs job)\n",
+                original / supmr, original - supmr, original);
+    std::printf("Conclusion 4: with a link-bound ingest the map phase is a\n"
+                "small fraction of the job, so overlap saves only seconds.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Word count with bounded memory: external aggregation through the
+// spilling hash container.
+//
+// Identical map semantics to WordCountApp, but the intermediate (word,
+// count) set is held under a memory budget: after each map round the
+// runtime's prepare_round hook gives the app a coordinator-context moment
+// to spill oversized stripes as sorted combined runs. The reduce phase is a
+// streaming k-way combining merge, and merge is a no-op (the stream is
+// already key-sorted) — so this app's output is byte-identical to
+// WordCountApp's at any budget.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "containers/spilling_hash.hpp"
+#include "core/application.hpp"
+
+namespace supmr::apps {
+
+class ExternalWordCountApp final : public core::Application {
+ public:
+  using Result = std::pair<std::string, std::uint64_t>;
+
+  explicit ExternalWordCountApp(
+      containers::SpillingHashContainer::Options options)
+      : options_(options) {}
+
+  void init(std::size_t num_map_threads) override;
+  Status prepare_round(const ingest::IngestChunk& chunk) override;
+  std::size_t round_tasks() const override { return splits_.size(); }
+  void map_task(std::size_t task, std::size_t thread_id) override;
+  Status reduce(ThreadPool& pool, std::size_t num_partitions) override;
+  Status merge(ThreadPool& pool, core::MergeMode mode,
+               merge::MergeStats* stats) override;
+  std::uint64_t result_count() const override { return results_.size(); }
+
+  // (word, count) sorted by word — same contract as WordCountApp.
+  const std::vector<Result>& results() const { return results_; }
+  std::size_t runs_spilled() const { return runs_spilled_; }
+
+ private:
+  containers::SpillingHashContainer::Options options_;
+  std::size_t num_mappers_ = 0;
+  containers::SpillingHashContainer container_;
+  std::vector<std::span<const char>> splits_;
+  std::vector<Result> results_;
+  std::size_t runs_spilled_ = 0;
+};
+
+}  // namespace supmr::apps

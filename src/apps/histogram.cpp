@@ -1,0 +1,122 @@
+#include "apps/histogram.hpp"
+
+#include <cassert>
+#include <charconv>
+#include <cstring>
+
+namespace supmr::apps {
+
+namespace {
+
+// Splits at line boundaries, like grep.
+std::vector<std::span<const char>> split_lines(std::span<const char> text,
+                                               std::size_t max_splits) {
+  std::vector<std::span<const char>> splits;
+  if (text.empty() || max_splits == 0) return splits;
+  const std::size_t target = (text.size() + max_splits - 1) / max_splits;
+  std::size_t begin = 0;
+  while (begin < text.size()) {
+    std::size_t end = std::min(begin + target, text.size());
+    while (end < text.size() && text[end - 1] != '\n') ++end;
+    splits.push_back(text.subspan(begin, end - begin));
+    begin = end;
+  }
+  return splits;
+}
+
+}  // namespace
+
+std::size_t HistogramApp::bin_of(std::int64_t value) const {
+  // Exact integer binning: floating-point (value/range)*bins rounds values
+  // on bin edges into the wrong bin (e.g. 29/100*100 -> 28.999...).
+  if (value <= options_.lo) return 0;
+  if (value >= options_.hi) return options_.bins - 1;
+  const unsigned __int128 offset =
+      static_cast<unsigned __int128>(value - options_.lo);
+  const unsigned __int128 range =
+      static_cast<unsigned __int128>(options_.hi - options_.lo);
+  return static_cast<std::size_t>(offset * options_.bins / range);
+}
+
+void HistogramApp::init(std::size_t num_map_threads) {
+  assert(options_.hi > options_.lo && options_.bins > 0);
+  num_mappers_ = num_map_threads;
+  container_.init(num_map_threads, options_.bins);
+  parsed_per_thread_.assign(num_map_threads, 0);
+  dropped_per_thread_.assign(num_map_threads, 0);
+  counts_.clear();
+}
+
+Status HistogramApp::prepare_round(const ingest::IngestChunk& chunk) {
+  splits_ = split_lines(chunk.bytes(), num_mappers_);
+  return Status::Ok();
+}
+
+void HistogramApp::map_task(std::size_t task, std::size_t thread_id) {
+  assert(task < splits_.size());
+  std::span<const char> split = splits_[task];
+  std::uint64_t parsed = 0, dropped = 0;
+  std::size_t begin = 0;
+  while (begin < split.size()) {
+    const void* nl =
+        std::memchr(split.data() + begin, '\n', split.size() - begin);
+    const std::size_t end =
+        nl ? static_cast<std::size_t>(static_cast<const char*>(nl) -
+                                      split.data())
+           : split.size();
+    std::int64_t value = 0;
+    auto [ptr, ec] =
+        std::from_chars(split.data() + begin, split.data() + end, value);
+    if (ec == std::errc{} && ptr == split.data() + end) {
+      if (value >= options_.lo && value < options_.hi) {
+        container_.emit(thread_id, bin_of(value), std::uint64_t{1});
+        ++parsed;
+      } else {
+        ++dropped;
+      }
+    } else if (end > begin) {
+      ++dropped;  // malformed line
+    }
+    begin = end + 1;
+  }
+  parsed_per_thread_[thread_id] += parsed;
+  dropped_per_thread_[thread_id] += dropped;
+}
+
+Status HistogramApp::reduce(ThreadPool& pool, std::size_t num_partitions) {
+  counts_.assign(options_.bins, 0);
+  const std::size_t per =
+      (options_.bins + num_partitions - 1) / num_partitions;
+  std::vector<std::function<void(std::size_t)>> tasks;
+  for (std::size_t p = 0; p < num_partitions; ++p) {
+    const std::size_t first = p * per;
+    if (first >= options_.bins) break;
+    const std::size_t last = std::min(first + per, options_.bins);
+    tasks.push_back([this, first, last](std::size_t) {
+      container_.reduce_range(first, last, counts_.data() + first);
+    });
+  }
+  pool.run_wave(tasks);
+  return Status::Ok();
+}
+
+Status HistogramApp::merge(ThreadPool&, core::MergeMode,
+                           merge::MergeStats* stats) {
+  // Bins are already in key order: nothing to merge.
+  if (stats != nullptr) *stats = merge::MergeStats{};
+  return Status::Ok();
+}
+
+std::uint64_t HistogramApp::values_parsed() const {
+  std::uint64_t n = 0;
+  for (auto v : parsed_per_thread_) n += v;
+  return n;
+}
+
+std::uint64_t HistogramApp::values_out_of_range() const {
+  std::uint64_t n = 0;
+  for (auto v : dropped_per_thread_) n += v;
+  return n;
+}
+
+}  // namespace supmr::apps

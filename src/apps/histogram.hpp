@@ -1,0 +1,58 @@
+// Histogram — dense-key application on the FixedKvArray container.
+//
+// Input: newline-separated ASCII integers. Map parses each value and folds
+// it into its bin on the thread's dense stripe (a direct array index — no
+// hashing, the Phoenix++ array-container workload). Reduce folds stripes by
+// bin range in parallel; there is nothing to merge (bins are already
+// ordered), so merge is a no-op — the opposite extreme from sort on the
+// phase-complexity spectrum of Conclusion 1.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "containers/combiners.hpp"
+#include "containers/fixed_kv_array.hpp"
+#include "core/application.hpp"
+
+namespace supmr::apps {
+
+struct HistogramOptions {
+  std::int64_t lo = 0;
+  std::int64_t hi = 256;   // exclusive
+  std::size_t bins = 256;
+};
+
+class HistogramApp final : public core::Application {
+ public:
+  explicit HistogramApp(HistogramOptions options = {})
+      : options_(options) {}
+
+  void init(std::size_t num_map_threads) override;
+  Status prepare_round(const ingest::IngestChunk& chunk) override;
+  std::size_t round_tasks() const override { return splits_.size(); }
+  void map_task(std::size_t task, std::size_t thread_id) override;
+  Status reduce(ThreadPool& pool, std::size_t num_partitions) override;
+  Status merge(ThreadPool& pool, core::MergeMode mode,
+               merge::MergeStats* stats) override;
+  std::uint64_t result_count() const override { return counts_.size(); }
+
+  // Per-bin counts, valid after reduce.
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+  std::uint64_t values_parsed() const;
+  std::uint64_t values_out_of_range() const;
+
+  std::size_t bin_of(std::int64_t value) const;
+
+ private:
+  HistogramOptions options_;
+  std::size_t num_mappers_ = 0;
+  containers::FixedKvArray<containers::SumCombiner<std::uint64_t>> container_;
+  std::vector<std::span<const char>> splits_;
+  std::vector<std::uint64_t> parsed_per_thread_;
+  std::vector<std::uint64_t> dropped_per_thread_;
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace supmr::apps

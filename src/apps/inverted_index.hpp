@@ -1,0 +1,56 @@
+// Inverted index — word -> sorted list of files containing it.
+//
+// The many-small-files application: it requires intra-file chunking
+// (MultiFileSource), because file identity must survive chunk coalescing —
+// the chunk's FileSpans say which file each byte came from. Map emits
+// (word, file_id) with an append combiner; reduce merges and de-duplicates
+// the posting lists; merge sorts the dictionary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "containers/combiners.hpp"
+#include "containers/hash_container.hpp"
+#include "core/application.hpp"
+
+namespace supmr::apps {
+
+class InvertedIndexApp final : public core::Application {
+ public:
+  struct Posting {
+    std::string word;
+    std::vector<std::uint32_t> files;  // sorted, unique
+  };
+
+  void init(std::size_t num_map_threads) override;
+  Status prepare_round(const ingest::IngestChunk& chunk) override;
+  std::size_t round_tasks() const override { return tasks_.size(); }
+  void map_task(std::size_t task, std::size_t thread_id) override;
+  Status reduce(ThreadPool& pool, std::size_t num_partitions) override;
+  Status merge(ThreadPool& pool, core::MergeMode mode,
+               merge::MergeStats* stats) override;
+  std::uint64_t result_count() const override { return index_.size(); }
+
+  // The index, sorted by word.
+  const std::vector<Posting>& index() const { return index_; }
+
+ private:
+  struct FileTask {
+    std::span<const char> text;
+    std::uint32_t file_id = 0;
+  };
+
+  std::size_t num_mappers_ = 0;
+  containers::HashContainer<containers::AppendCombiner<std::uint32_t>>
+      container_;
+  // Each round task covers one or more whole files (file identity must not
+  // be split across mappers mid-file for position-free postings; the span
+  // granularity is the file).
+  std::vector<std::vector<FileTask>> tasks_;
+  std::vector<Posting> index_;
+  std::vector<std::vector<Posting>> partitions_;
+};
+
+}  // namespace supmr::apps

@@ -1,0 +1,120 @@
+#include "apps/linear_regression.hpp"
+
+#include <cassert>
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+
+#include "common/rng.hpp"
+
+namespace supmr::apps {
+
+namespace {
+
+std::vector<std::span<const char>> split_lines(std::span<const char> text,
+                                               std::size_t max_splits) {
+  std::vector<std::span<const char>> splits;
+  if (text.empty() || max_splits == 0) return splits;
+  const std::size_t target = (text.size() + max_splits - 1) / max_splits;
+  std::size_t begin = 0;
+  while (begin < text.size()) {
+    std::size_t end = std::min(begin + target, text.size());
+    while (end < text.size() && text[end - 1] != '\n') ++end;
+    splits.push_back(text.subspan(begin, end - begin));
+    begin = end;
+  }
+  return splits;
+}
+
+}  // namespace
+
+void LinearRegressionApp::init(std::size_t num_map_threads) {
+  num_mappers_ = num_map_threads;
+  if (per_thread_.empty()) per_thread_.assign(num_map_threads, Stats{});
+  totals_ = Stats{};
+}
+
+Status LinearRegressionApp::prepare_round(const ingest::IngestChunk& chunk) {
+  splits_ = split_lines(chunk.bytes(), num_mappers_);
+  return Status::Ok();
+}
+
+void LinearRegressionApp::map_task(std::size_t task, std::size_t thread_id) {
+  assert(task < splits_.size() && thread_id < per_thread_.size());
+  std::span<const char> split = splits_[task];
+  Stats local;
+  std::size_t begin = 0;
+  while (begin < split.size()) {
+    const void* nl =
+        std::memchr(split.data() + begin, '\n', split.size() - begin);
+    const std::size_t end =
+        nl ? static_cast<std::size_t>(static_cast<const char*>(nl) -
+                                      split.data())
+           : split.size();
+    double x = 0.0, y = 0.0;
+    auto [px, ecx] = std::from_chars(split.data() + begin,
+                                     split.data() + end, x);
+    if (ecx == std::errc{}) {
+      while (px < split.data() + end && *px == ' ') ++px;
+      auto [py, ecy] = std::from_chars(px, split.data() + end, y);
+      if (ecy == std::errc{} && py == split.data() + end) {
+        ++local.n;
+        local.sx += x;
+        local.sy += y;
+        local.sxx += x * x;
+        local.sxy += x * y;
+      }
+    }
+    begin = end + 1;
+  }
+  Stats& acc = per_thread_[thread_id];
+  acc.n += local.n;
+  acc.sx += local.sx;
+  acc.sy += local.sy;
+  acc.sxx += local.sxx;
+  acc.sxy += local.sxy;
+}
+
+Status LinearRegressionApp::reduce(ThreadPool&, std::size_t) {
+  totals_ = Stats{};
+  for (const Stats& s : per_thread_) {
+    totals_.n += s.n;
+    totals_.sx += s.sx;
+    totals_.sy += s.sy;
+    totals_.sxx += s.sxx;
+    totals_.sxy += s.sxy;
+  }
+  if (totals_.n >= 2) {
+    const double n = double(totals_.n);
+    const double denom = n * totals_.sxx - totals_.sx * totals_.sx;
+    if (denom != 0.0) {
+      slope_ = (n * totals_.sxy - totals_.sx * totals_.sy) / denom;
+      intercept_ = (totals_.sy - slope_ * totals_.sx) / n;
+    }
+  }
+  return Status::Ok();
+}
+
+Status LinearRegressionApp::merge(ThreadPool&, core::MergeMode,
+                                  merge::MergeStats* stats) {
+  if (stats != nullptr) *stats = merge::MergeStats{};
+  return Status::Ok();
+}
+
+std::string generate_xy(std::uint64_t num_points, double slope,
+                        double intercept, double noise, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::string out;
+  out.reserve(num_points * 24);
+  char buf[64];
+  for (std::uint64_t i = 0; i < num_points; ++i) {
+    const double x = rng.uniform_double() * 1000.0;
+    const double eps = (rng.uniform_double() - 0.5) * 2.0 * noise;
+    const double y = slope * x + intercept + eps;
+    const int n = std::snprintf(buf, sizeof(buf), "%.5f %.5f\n", x, y);
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  return out;
+}
+
+}  // namespace supmr::apps

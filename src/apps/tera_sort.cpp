@@ -1,0 +1,131 @@
+#include "apps/tera_sort.hpp"
+
+#include <atomic>
+#include <cassert>
+#include <cstring>
+
+#include "merge/pairwise.hpp"
+#include "merge/pway.hpp"
+#include "merge/sample_sort.hpp"
+
+namespace supmr::apps {
+
+void TeraSortApp::init(std::size_t num_map_threads) {
+  num_mappers_ = num_map_threads;
+  container_.init(options_.record_bytes);
+  checksum_ = 0;
+  malformed_ = 0;
+  sorted_.clear();
+}
+
+Status TeraSortApp::prepare_round(const ingest::IngestChunk& chunk) {
+  const std::uint64_t rb = options_.record_bytes;
+  if (chunk.data.size() % rb != 0) {
+    return Status::InvalidArgument(
+        "chunk size " + std::to_string(chunk.data.size()) +
+        " is not a whole number of " + std::to_string(rb) + "-byte records");
+  }
+  const std::uint64_t records = chunk.data.size() / rb;
+  // One atomic extend for the whole round (may reallocate — no mappers are
+  // running yet), then each mapper fills a disjoint slot range.
+  const std::uint64_t base = container_.claim(records);
+  tasks_.clear();
+  if (records == 0) return Status::Ok();
+  const std::uint64_t per =
+      (records + num_mappers_ - 1) / num_mappers_;
+  for (std::uint64_t first = 0; first < records; first += per) {
+    const std::uint64_t n = std::min(per, records - first);
+    tasks_.push_back(RoundTask{chunk.data.data() + first * rb, base + first,
+                               n});
+  }
+  return Status::Ok();
+}
+
+void TeraSortApp::map_task(std::size_t task, std::size_t thread_id) {
+  (void)thread_id;  // unlocked storage: the slot range is the isolation
+  assert(task < tasks_.size());
+  const RoundTask& t = tasks_[task];
+  const std::uint64_t rb = options_.record_bytes;
+  std::uint64_t bad = 0;
+  for (std::uint64_t r = 0; r < t.num_records; ++r) {
+    const char* rec = t.src + r * rb;
+    if (options_.validate_terminators &&
+        (rec[rb - 2] != '\r' || rec[rb - 1] != '\n')) {
+      ++bad;
+    }
+    container_.write_record(t.first_slot + r,
+                            std::span<const char>(rec, rb));
+  }
+  if (bad > 0) malformed_.fetch_add(bad, std::memory_order_relaxed);
+}
+
+Status TeraSortApp::reduce(ThreadPool& pool, std::size_t num_partitions) {
+  // Sort's reduce touches every key once (identity coalescing with unique
+  // keys): we fold the first 8 key bytes of every record into an
+  // order-invariant checksum, partitioned across the pool.
+  const std::uint64_t n = container_.size();
+  std::vector<std::uint64_t> partial(num_partitions, 0);
+  std::vector<std::function<void(std::size_t)>> tasks;
+  const std::uint64_t per = (n + num_partitions - 1) / num_partitions;
+  for (std::size_t p = 0; p < num_partitions; ++p) {
+    const std::uint64_t first = p * per;
+    if (first >= n) break;
+    const std::uint64_t last = std::min(first + per, n);
+    tasks.push_back([this, &partial, p, first, last](std::size_t) {
+      std::uint64_t sum = 0;
+      for (std::uint64_t r = first; r < last; ++r) {
+        std::uint64_t k = 0;
+        std::memcpy(&k, container_.record(r).data(),
+                    std::min<std::size_t>(8, options_.key_bytes));
+        sum += k;
+      }
+      partial[p] = sum;
+    });
+  }
+  pool.run_wave(tasks);
+  checksum_ = 0;
+  for (auto s : partial) checksum_ += s;
+  return Status::Ok();
+}
+
+Status TeraSortApp::merge(ThreadPool& pool, core::MergeMode mode,
+                          merge::MergeStats* stats) {
+  const std::uint64_t n = container_.size();
+  const std::uint64_t rb = options_.record_bytes;
+  const std::uint32_t kb = options_.key_bytes;
+  const char* data = container_.data();
+
+  auto cmp = [data, rb, kb](std::uint64_t a, std::uint64_t b) {
+    return std::memcmp(data + a * rb, data + b * rb, kb) < 0;
+  };
+
+  // Sort an index array (8-byte moves instead of 100-byte record moves).
+  std::vector<std::uint64_t> index(n);
+  for (std::uint64_t i = 0; i < n; ++i) index[i] = i;
+
+  merge::MergeStats local;
+  const std::size_t num_runs = std::max<std::size_t>(2, pool.size() * 2);
+  if (mode == core::MergeMode::kPWay) {
+    local = merge::parallel_sample_sort(
+        pool, std::span<std::uint64_t>(index.data(), index.size()), cmp,
+        num_runs);
+  } else {
+    local = merge::pairwise_merge_sort(
+        pool, std::span<std::uint64_t>(index.data(), index.size()), cmp,
+        num_runs);
+  }
+
+  // Materialize the permuted records in parallel.
+  sorted_.resize(n * rb);
+  parallel_for(pool, n, [&](std::size_t first, std::size_t last,
+                            std::size_t) {
+    for (std::size_t i = first; i < last; ++i) {
+      std::memcpy(sorted_.data() + i * rb, data + index[i] * rb, rb);
+    }
+  });
+
+  if (stats != nullptr) *stats = std::move(local);
+  return Status::Ok();
+}
+
+}  // namespace supmr::apps

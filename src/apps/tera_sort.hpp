@@ -1,0 +1,72 @@
+// TeraSort — the paper's merge-bound benchmark application.
+//
+// Records are fixed-width (100 bytes in the paper), "\r\n"-terminated, with
+// a fixed-width binary-comparable key prefix. Map "parses" the chunk —
+// copying records into the unlocked array container at claimed slots (the
+// paper's §V.B: every thread writes its own key range with no
+// synchronization; sort's map is cheap, which is why its ingest overlap gains
+// are modest). Reduce checksums partitions (touching every key, as the
+// paper's reduce does). Merge is where the runtimes differ:
+//   * kPairwise — iterative pairwise merging, log2(R) rounds (Fig. 1), or
+//   * kPWay     — run formation + single parallel p-way merge (Fig. 6).
+// Both sort an index array by key then materialize the permuted records.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "containers/array_container.hpp"
+#include "core/application.hpp"
+
+namespace supmr::apps {
+
+struct TeraSortOptions {
+  std::uint32_t key_bytes = 10;
+  std::uint32_t record_bytes = 100;  // includes the trailing "\r\n"
+  bool validate_terminators = true;
+};
+
+class TeraSortApp final : public core::Application {
+ public:
+  explicit TeraSortApp(TeraSortOptions options = {}) : options_(options) {}
+
+  void init(std::size_t num_map_threads) override;
+  Status prepare_round(const ingest::IngestChunk& chunk) override;
+  std::size_t round_tasks() const override { return tasks_.size(); }
+  void map_task(std::size_t task, std::size_t thread_id) override;
+  Status reduce(ThreadPool& pool, std::size_t num_partitions) override;
+  Status merge(ThreadPool& pool, core::MergeMode mode,
+               merge::MergeStats* stats) override;
+  std::uint64_t result_count() const override { return container_.size(); }
+
+  // Sorted output (result_count() * record_bytes bytes), valid after merge.
+  const std::vector<char>& sorted_data() const { return sorted_; }
+
+  // Sum over all keys' first 8 bytes — computed by reduce; order-invariant,
+  // so it must match between chunked and unchunked runs.
+  std::uint64_t key_checksum() const { return checksum_; }
+
+  std::uint64_t malformed_records() const {
+    return malformed_.load(std::memory_order_relaxed);
+  }
+
+  const TeraSortOptions& options() const { return options_; }
+
+ private:
+  struct RoundTask {
+    const char* src = nullptr;       // first record's bytes in the chunk
+    std::uint64_t first_slot = 0;    // destination slot in the container
+    std::uint64_t num_records = 0;
+  };
+
+  TeraSortOptions options_;
+  std::size_t num_mappers_ = 0;
+  containers::ArrayContainer container_;
+  std::vector<RoundTask> tasks_;
+  std::uint64_t checksum_ = 0;
+  std::atomic<std::uint64_t> malformed_{0};
+  std::vector<char> sorted_;
+};
+
+}  // namespace supmr::apps

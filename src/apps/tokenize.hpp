@@ -1,0 +1,44 @@
+// Word tokenizer shared by the text applications (word count, grep,
+// inverted index).
+//
+// A word is a maximal run of ASCII letters/digits, lowercased. Lowercasing
+// happens into a small stack buffer so the hot loop performs no heap
+// allocation; pathological words longer than kMaxWord are truncated (they
+// still count, under their truncated spelling).
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <span>
+#include <string_view>
+
+namespace supmr::apps {
+
+inline constexpr std::size_t kMaxWord = 255;
+
+inline bool is_word_char(char c) {
+  const unsigned char u = static_cast<unsigned char>(c);
+  return std::isalnum(u) != 0;
+}
+
+// fn(std::string_view word) — the view points at a stack buffer, valid only
+// during the call.
+template <typename Fn>
+void tokenize_words(std::span<const char> text, Fn&& fn) {
+  char buf[kMaxWord + 1];
+  std::size_t len = 0;
+  for (char c : text) {
+    if (is_word_char(c)) {
+      if (len < kMaxWord) {
+        buf[len++] = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+      }
+    } else if (len > 0) {
+      fn(std::string_view(buf, len));
+      len = 0;
+    }
+  }
+  if (len > 0) fn(std::string_view(buf, len));
+}
+
+}  // namespace supmr::apps

@@ -1,0 +1,38 @@
+// OpenMP-style sort baseline (paper Fig. 3).
+//
+// The comparison app the paper builds with OpenMP: a thread-parallel sort
+// with *no* MapReduce runtime around it. Its structure is exactly what makes
+// it lose on time-to-result despite a faster compute phase:
+//   1. read the whole input into memory      (sequential, 1 thread)
+//   2. parse records into the working array  (sequential, 1 thread)
+//   3. __gnu_parallel::sort-equivalent       (fully parallel sample sort)
+// Phases are timed separately so the Fig. 3 geometry — compute faster,
+// total slower — is directly observable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/phase_timer.hpp"
+#include "common/status.hpp"
+#include "storage/device.hpp"
+
+namespace supmr::baseline {
+
+struct OmpSortOptions {
+  std::uint32_t key_bytes = 10;
+  std::uint32_t record_bytes = 100;
+  std::size_t num_threads = 0;  // 0 = hardware concurrency
+};
+
+struct OmpSortResult {
+  PhaseBreakdown phases;  // read_s = ingest, map_s = parse, merge_s = sort
+  std::uint64_t records = 0;
+  std::vector<char> sorted;  // records in key order
+};
+
+// Sorts the fixed-width records on `device`.
+StatusOr<OmpSortResult> run_omp_style_sort(const storage::Device& device,
+                                           const OmpSortOptions& options);
+
+}  // namespace supmr::baseline

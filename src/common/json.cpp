@@ -1,0 +1,56 @@
+#include "common/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace supmr {
+
+void JsonWriter::value(double v) {
+  comma();
+  char buf[40];
+  if (std::isfinite(v)) {
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+  } else {
+    // JSON has no inf/nan; emit null like most serializers.
+    std::snprintf(buf, sizeof(buf), "null");
+  }
+  out_ += buf;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  comma();
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out_ += buf;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  comma();
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out_ += buf;
+}
+
+void JsonWriter::append_string(std::string_view s) {
+  out_ += '"';
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\r': out_ += "\\r"; break;
+      case '\t': out_ += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_ += static_cast<char>(c);
+        }
+    }
+  }
+  out_ += '"';
+}
+
+}  // namespace supmr

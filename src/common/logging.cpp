@@ -1,0 +1,48 @@
+#include "common/logging.hpp"
+
+#include <chrono>
+#include <cstring>
+
+namespace supmr {
+
+std::atomic<int> Logger::level_{static_cast<int>(LogLevel::kWarn)};
+
+namespace {
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    default: return "?????";
+  }
+}
+
+double elapsed_seconds() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  return std::chrono::duration<double>(clock::now() - start).count();
+}
+
+}  // namespace
+
+void Logger::logf(LogLevel level, const char* fmt, ...) {
+  if (!enabled(level)) return;
+  char buf[2048];
+  int off = std::snprintf(buf, sizeof(buf), "[%9.3f] %s ", elapsed_seconds(),
+                          level_tag(level));
+  if (off < 0) return;
+  va_list args;
+  va_start(args, fmt);
+  int n = std::vsnprintf(buf + off, sizeof(buf) - static_cast<size_t>(off) - 2,
+                         fmt, args);
+  va_end(args);
+  if (n < 0) return;
+  size_t len = static_cast<size_t>(off) +
+               std::min(static_cast<size_t>(n), sizeof(buf) - static_cast<size_t>(off) - 2);
+  buf[len++] = '\n';
+  std::fwrite(buf, 1, len, stderr);
+}
+
+}  // namespace supmr

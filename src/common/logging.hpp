@@ -1,0 +1,48 @@
+// Minimal leveled logger.
+//
+// The runtime logs phase transitions and pipeline events at kInfo; inner-loop
+// code must use kDebug (compiled in, filtered at runtime) so production runs
+// pay one branch per suppressed message. Thread-safe: each message is
+// formatted into a local buffer and written with a single fwrite.
+#pragma once
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <string_view>
+
+namespace supmr {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  // Global minimum level; messages below it are dropped.
+  static void set_level(LogLevel level) {
+    level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  static LogLevel level() {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
+  static bool enabled(LogLevel level) {
+    return static_cast<int>(level) >= level_.load(std::memory_order_relaxed);
+  }
+
+  // printf-style logging with a level tag and elapsed-time prefix.
+  static void logf(LogLevel level, const char* fmt, ...)
+      __attribute__((format(printf, 2, 3)));
+
+ private:
+  static std::atomic<int> level_;
+};
+
+#define SUPMR_LOG_DEBUG(...) \
+  ::supmr::Logger::logf(::supmr::LogLevel::kDebug, __VA_ARGS__)
+#define SUPMR_LOG_INFO(...) \
+  ::supmr::Logger::logf(::supmr::LogLevel::kInfo, __VA_ARGS__)
+#define SUPMR_LOG_WARN(...) \
+  ::supmr::Logger::logf(::supmr::LogLevel::kWarn, __VA_ARGS__)
+#define SUPMR_LOG_ERROR(...) \
+  ::supmr::Logger::logf(::supmr::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace supmr

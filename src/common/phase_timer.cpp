@@ -1,0 +1,98 @@
+#include "common/phase_timer.hpp"
+
+#include <cassert>
+#include <cstdio>
+
+namespace supmr {
+
+std::string_view phase_name(Phase p) {
+  switch (p) {
+    case Phase::kRead: return "read";
+    case Phase::kMap: return "map";
+    case Phase::kReduce: return "reduce";
+    case Phase::kMerge: return "merge";
+    case Phase::kSetup: return "setup";
+    case Phase::kCleanup: return "cleanup";
+  }
+  return "?";
+}
+
+double& PhaseBreakdown::phase_ref(Phase p) {
+  switch (p) {
+    case Phase::kRead: return read_s;
+    case Phase::kMap: return map_s;
+    case Phase::kReduce: return reduce_s;
+    case Phase::kMerge: return merge_s;
+    case Phase::kSetup: return setup_s;
+    case Phase::kCleanup: return cleanup_s;
+  }
+  return total_s;
+}
+
+std::string PhaseBreakdown::table_header() {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%-10s %10s %10s %10s %10s %10s", "config",
+                "total", "read", "map", "reduce", "merge");
+  return buf;
+}
+
+std::string PhaseBreakdown::to_table_row(const std::string& label) const {
+  char buf[200];
+  if (has_combined_readmap) {
+    char rm[40];
+    std::snprintf(rm, sizeof(rm), "[r+m %.2fs]", readmap_s);
+    std::snprintf(buf, sizeof(buf), "%-10s %9.2fs %21s %9.2fs %9.2fs",
+                  label.c_str(), total_s, rm, reduce_s, merge_s);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%-10s %9.2fs %9.2fs %9.2fs %9.2fs %9.2fs",
+                  label.c_str(), total_s, read_s, map_s, reduce_s, merge_s);
+  }
+  return buf;
+}
+
+PhaseClock::PhaseClock() = default;
+
+void PhaseClock::start(Phase p) {
+  const int i = static_cast<int>(p);
+  assert(!running_[i] && "phase already running");
+  running_[i] = true;
+  started_[i] = clock::now();
+}
+
+void PhaseClock::stop(Phase p) {
+  const int i = static_cast<int>(p);
+  assert(running_[i] && "phase not running");
+  running_[i] = false;
+  acc_[i] += std::chrono::duration<double>(clock::now() - started_[i]).count();
+}
+
+void PhaseClock::start_total() {
+  assert(!total_running_);
+  total_running_ = true;
+  total_start_ = clock::now();
+}
+
+void PhaseClock::stop_total() {
+  assert(total_running_);
+  total_running_ = false;
+  total_ += std::chrono::duration<double>(clock::now() - total_start_).count();
+}
+
+double PhaseClock::now_since_start() const {
+  assert(total_running_);
+  return std::chrono::duration<double>(clock::now() - total_start_).count();
+}
+
+PhaseBreakdown PhaseClock::snapshot() const {
+  PhaseBreakdown b;
+  b.read_s = elapsed(Phase::kRead);
+  b.map_s = elapsed(Phase::kMap);
+  b.reduce_s = elapsed(Phase::kReduce);
+  b.merge_s = elapsed(Phase::kMerge);
+  b.setup_s = elapsed(Phase::kSetup);
+  b.cleanup_s = elapsed(Phase::kCleanup);
+  b.total_s = total_;
+  return b;
+}
+
+}  // namespace supmr

@@ -1,0 +1,93 @@
+// Job-phase accounting: the Table II data model.
+//
+// The paper breaks a job into read / map / reduce / merge phases plus a
+// total (which also covers setup/cleanup, so the columns need not sum to the
+// total — we keep that property). SupMR-mode runs overlap read and map, so
+// they report a combined read+map time; `has_combined_readmap` records which
+// reporting mode a breakdown is in.
+//
+// PhaseClock measures real (wall-clock) runs with microsecond granularity,
+// mirroring the Phoenix++ internal timing functions the paper used. The
+// simulated executor fills a PhaseBreakdown directly from virtual time.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace supmr {
+
+enum class Phase : int {
+  kRead = 0,
+  kMap = 1,
+  kReduce = 2,
+  kMerge = 3,
+  kSetup = 4,
+  kCleanup = 5,
+};
+inline constexpr int kNumPhases = 6;
+
+std::string_view phase_name(Phase p);
+
+struct PhaseBreakdown {
+  double read_s = 0.0;
+  double map_s = 0.0;
+  // In SupMR (chunked) mode read and map overlap; their combined wall time is
+  // reported here and read_s/map_s hold the non-overlapped components.
+  double readmap_s = 0.0;
+  bool has_combined_readmap = false;
+  double reduce_s = 0.0;
+  double merge_s = 0.0;
+  double setup_s = 0.0;
+  double cleanup_s = 0.0;
+  double total_s = 0.0;
+
+  std::uint64_t input_bytes = 0;
+  std::uint64_t num_chunks = 0;   // 0 in original-runtime mode
+  std::uint64_t map_rounds = 0;
+  std::uint64_t merge_rounds = 0;
+
+  double& phase_ref(Phase p);
+
+  // One Table-II-style row, e.g.
+  // "  1GB     | 272.58s | [read+map 196.86s] | 9.04s | 61.14s".
+  std::string to_table_row(const std::string& label) const;
+
+  // Header matching to_table_row's columns.
+  static std::string table_header();
+};
+
+// Accumulating stopwatch over named phases (wall clock).
+class PhaseClock {
+ public:
+  PhaseClock();
+
+  void start(Phase p);
+  // Stops the phase started by the matching start(); adds the elapsed time.
+  void stop(Phase p);
+
+  // Marks the whole-job interval.
+  void start_total();
+  void stop_total();
+
+  double elapsed(Phase p) const { return acc_[static_cast<int>(p)]; }
+  double total() const { return total_; }
+
+  // Seconds since start_total(), while running.
+  double now_since_start() const;
+
+  // Snapshot into a PhaseBreakdown (read/map reported separately).
+  PhaseBreakdown snapshot() const;
+
+ private:
+  using clock = std::chrono::steady_clock;
+  double acc_[kNumPhases] = {};
+  clock::time_point started_[kNumPhases] = {};
+  bool running_[kNumPhases] = {};
+  clock::time_point total_start_{};
+  double total_ = 0.0;
+  bool total_running_ = false;
+};
+
+}  // namespace supmr

@@ -1,0 +1,97 @@
+// Deterministic random number generation for workload synthesis.
+//
+// Workload generators must be reproducible across runs and machines, so we
+// ship our own xoshiro256** implementation instead of relying on
+// implementation-defined std::default_random_engine behaviour. The Zipf
+// sampler backs the text-corpus generator (natural-language word frequencies
+// follow a Zipf distribution, which is what makes word count's hash container
+// effective in the paper).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace supmr {
+
+// SplitMix64: used to seed xoshiro from a single 64-bit seed.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256** — fast, high-quality, 2^256-1 period.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x5eed5eed5eed5eedULL) {
+    std::uint64_t sm = seed;
+    for (auto& s : s_) s = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). Debiased via rejection (Lemire-style threshold
+  // skipped for simplicity; modulo bias is negligible for bound << 2^64 but
+  // we reject the tail to stay exact).
+  std::uint64_t uniform(std::uint64_t bound) {
+    assert(bound > 0);
+    const std::uint64_t limit = max() - max() % bound;
+    std::uint64_t v;
+    do {
+      v = (*this)();
+    } while (v >= limit);
+    return v % bound;
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  std::uint64_t uniform_range(std::uint64_t lo, std::uint64_t hi) {
+    assert(lo <= hi);
+    return lo + uniform(hi - lo + 1);
+  }
+
+  // Uniform double in [0, 1).
+  double uniform_double() {
+    return double((*this)() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+// Zipf(s, n) sampler over ranks {0, ..., n-1} using a precomputed inverse
+// CDF table with binary search. O(n) setup, O(log n) per sample.
+class ZipfSampler {
+ public:
+  // s: skew exponent (s=1.0 approximates natural text). n: support size.
+  ZipfSampler(double skew, std::size_t n);
+
+  // Returns a rank in [0, n); rank 0 is the most frequent.
+  std::size_t operator()(Xoshiro256& rng) const;
+
+  std::size_t support() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace supmr

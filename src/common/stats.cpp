@@ -1,0 +1,74 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace supmr {
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  assert(hi > lo && bins > 0);
+}
+
+void Histogram::add(double x, std::uint64_t weight) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  std::size_t idx;
+  if (t < 0.0) {
+    idx = 0;
+  } else if (t >= 1.0) {
+    idx = counts_.size() - 1;
+  } else {
+    idx = static_cast<std::size_t>(t * double(counts_.size()));
+    idx = std::min(idx, counts_.size() - 1);
+  }
+  counts_[idx] += weight;
+  total_ += weight;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * double(i) / double(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * double(i + 1) / double(counts_.size());
+}
+
+double Histogram::percentile(double p) const {
+  if (total_ == 0) return lo_;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * double(total_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + double(counts_[i]);
+    if (next >= target) {
+      const double frac =
+          counts_[i] ? (target - cum) / double(counts_[i]) : 0.0;
+      return bin_lo(i) + frac * (bin_hi(i) - bin_lo(i));
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::to_ascii(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char line[256];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::size_t bar =
+        static_cast<std::size_t>(double(counts_[i]) / double(peak) * double(width));
+    std::snprintf(line, sizeof(line), "[%10.3f, %10.3f) %8llu |", bin_lo(i),
+                  bin_hi(i), static_cast<unsigned long long>(counts_[i]));
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace supmr

@@ -1,0 +1,30 @@
+#include "common/status.hpp"
+
+namespace supmr {
+
+std::string_view status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kIoError: return "IO_ERROR";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "OK";
+  std::string out(status_code_name(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace supmr

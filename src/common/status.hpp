@@ -1,0 +1,135 @@
+// Lightweight Status / StatusOr error-handling types.
+//
+// SupMR substrates (storage devices, chunk readers, workload generators)
+// report recoverable failures through Status rather than exceptions so the
+// hot ingest path stays allocation- and throw-free on success.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace supmr {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kIoError,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+};
+
+std::string_view status_code_name(StatusCode code);
+
+// A success/error result with an optional message. Cheap to copy on success
+// (no allocation: message is empty).
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status OutOfRange(std::string m) {
+    return Status(StatusCode::kOutOfRange, std::move(m));
+  }
+  static Status IoError(std::string m) {
+    return Status(StatusCode::kIoError, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status Unimplemented(std::string m) {
+    return Status(StatusCode::kUnimplemented, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "IO_ERROR: short read at offset 42".
+  std::string to_string() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Either a value of T or an error Status. Use `ok()` before dereferencing.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(T value) : rep_(std::move(value)) {}          // NOLINT(runtime/explicit)
+  StatusOr(Status status) : rep_(std::move(status)) {    // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(rep_).ok() &&
+           "StatusOr constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status ok_status;
+    if (ok()) return ok_status;
+    return std::get<Status>(rep_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+// Propagates a non-OK status to the caller.
+#define SUPMR_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::supmr::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+// Evaluates a StatusOr expression; on error returns its status, otherwise
+// assigns the value to `lhs`. `lhs` may be a declaration.
+#define SUPMR_ASSIGN_OR_RETURN(lhs, expr)                   \
+  SUPMR_ASSIGN_OR_RETURN_IMPL_(                             \
+      SUPMR_STATUS_CONCAT_(_status_or, __LINE__), lhs, expr)
+#define SUPMR_STATUS_CONCAT_INNER_(a, b) a##b
+#define SUPMR_STATUS_CONCAT_(a, b) SUPMR_STATUS_CONCAT_INNER_(a, b)
+#define SUPMR_ASSIGN_OR_RETURN_IMPL_(var, lhs, expr) \
+  auto var = (expr);                                 \
+  if (!var.ok()) return var.status();                \
+  lhs = std::move(var).value()
+
+}  // namespace supmr

@@ -1,0 +1,138 @@
+#include "common/timeseries.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace supmr {
+
+namespace {
+// Glyphs per channel, bottom of the stack first.
+constexpr char kGlyphs[] = {'#', '+', '.', '%', '*', 'o'};
+}  // namespace
+
+TimeSeries::TimeSeries(std::vector<std::string> channel_names)
+    : names_(std::move(channel_names)) {
+  assert(!names_.empty());
+}
+
+void TimeSeries::append(double t, const std::vector<double>& values) {
+  assert(values.size() == names_.size());
+  assert(times_.empty() || t >= times_.back());
+  times_.push_back(t);
+  values_.insert(values_.end(), values.begin(), values.end());
+}
+
+double TimeSeries::row_sum(std::size_t i) const {
+  double s = 0.0;
+  for (std::size_t c = 0; c < names_.size(); ++c) s += value(i, c);
+  return s;
+}
+
+std::string TimeSeries::to_csv() const {
+  std::string out = "t";
+  for (const auto& n : names_) {
+    out += ',';
+    out += n;
+  }
+  out += '\n';
+  char buf[64];
+  for (std::size_t i = 0; i < samples(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%.6g", times_[i]);
+    out += buf;
+    for (std::size_t c = 0; c < names_.size(); ++c) {
+      std::snprintf(buf, sizeof(buf), ",%.6g", value(i, c));
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void TimeSeries::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  f << to_csv();
+}
+
+std::string TimeSeries::to_ascii_chart(std::size_t width, std::size_t height,
+                                       double y_max) const {
+  if (samples() == 0) return "(empty trace)\n";
+  const double t0 = times_.front();
+  const double t1 = std::max(times_.back(), t0 + 1e-9);
+
+  // For each column, average each channel over the samples that fall in it.
+  std::vector<double> col_vals(width * channels(), 0.0);
+  std::vector<std::size_t> col_n(width, 0);
+  for (std::size_t i = 0; i < samples(); ++i) {
+    double x = (times_[i] - t0) / (t1 - t0);
+    auto col = std::min(static_cast<std::size_t>(x * double(width)), width - 1);
+    for (std::size_t c = 0; c < channels(); ++c)
+      col_vals[col * channels() + c] += value(i, c);
+    ++col_n[col];
+  }
+  // Forward-fill empty columns from the previous column for a continuous look.
+  for (std::size_t col = 0; col < width; ++col) {
+    if (col_n[col] > 0) {
+      for (std::size_t c = 0; c < channels(); ++c)
+        col_vals[col * channels() + c] /= double(col_n[col]);
+    } else if (col > 0) {
+      for (std::size_t c = 0; c < channels(); ++c)
+        col_vals[col * channels() + c] = col_vals[(col - 1) * channels() + c];
+    }
+  }
+
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  for (std::size_t col = 0; col < width; ++col) {
+    double cum = 0.0;
+    for (std::size_t c = 0; c < channels(); ++c) {
+      const double v = col_vals[col * channels() + c];
+      const std::size_t from = static_cast<std::size_t>(
+          std::round(cum / y_max * double(height)));
+      cum += v;
+      const std::size_t to = std::min(
+          static_cast<std::size_t>(std::round(cum / y_max * double(height))),
+          height);
+      const char g = kGlyphs[c % sizeof(kGlyphs)];
+      for (std::size_t r = from; r < to; ++r)
+        grid[height - 1 - r][col] = g;  // row 0 is the top of the chart
+    }
+  }
+
+  std::string out;
+  char label[64];
+  for (std::size_t r = 0; r < height; ++r) {
+    const double y = y_max * double(height - r) / double(height);
+    std::snprintf(label, sizeof(label), "%5.0f |", y);
+    out += label;
+    out += grid[r];
+    out += '\n';
+  }
+  out += "      +";
+  out.append(width, '-');
+  out += '\n';
+  std::snprintf(label, sizeof(label), "%.1fs", t0);
+  std::string axis = "      ";
+  axis += label;
+  std::snprintf(label, sizeof(label), "%.1fs", t1);
+  const std::size_t axis_target = 7 + width;
+  if (axis.size() + std::strlen(label) < axis_target) {
+    axis.append(axis_target - axis.size() - std::strlen(label), ' ');
+  }
+  axis += label;
+  out += axis;
+  out += '\n';
+  out += "      legend:";
+  for (std::size_t c = 0; c < channels(); ++c) {
+    out += ' ';
+    out += kGlyphs[c % sizeof(kGlyphs)];
+    out += '=' ;
+    out += names_[c];
+  }
+  out += '\n';
+  return out;
+}
+
+}  // namespace supmr

@@ -1,0 +1,51 @@
+// Multi-channel time series with CSV export and ASCII chart rendering.
+//
+// This is the data model behind every figure in the paper: a CPU-utilization
+// trace is a time series with channels {user, sys, iowait} sampled on a fixed
+// interval (the paper used collectl). Benches dump traces as CSV for plotting
+// and render a stacked ASCII chart to stdout so the figure shape is visible
+// in the terminal.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace supmr {
+
+class TimeSeries {
+ public:
+  explicit TimeSeries(std::vector<std::string> channel_names);
+
+  // Appends one sample row. `values` must have one entry per channel.
+  void append(double t, const std::vector<double>& values);
+
+  std::size_t channels() const { return names_.size(); }
+  std::size_t samples() const { return times_.size(); }
+  const std::string& channel_name(std::size_t c) const { return names_[c]; }
+  double time(std::size_t i) const { return times_[i]; }
+  double value(std::size_t i, std::size_t c) const {
+    return values_[i * names_.size() + c];
+  }
+
+  // Sum of all channels at sample i (e.g. total CPU utilization).
+  double row_sum(std::size_t i) const;
+
+  // "t,user,sys,iowait\n0.0,12.5,3.1,80.0\n..."
+  std::string to_csv() const;
+  void write_csv(const std::string& path) const;
+
+  // Renders a stacked area chart: rows = utilization 100%..0%, cols = time.
+  // Each channel fills with its own glyph, bottom-up, in channel order.
+  // `height` excludes axes. Suitable for terminal display of the paper's
+  // utilization figures.
+  std::string to_ascii_chart(std::size_t width = 100, std::size_t height = 20,
+                             double y_max = 100.0) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<double> times_;
+  std::vector<double> values_;  // row-major samples x channels
+};
+
+}  // namespace supmr

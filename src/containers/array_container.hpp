@@ -1,0 +1,85 @@
+// Array container: Phoenix's "unlocked storage" for unique-key workloads.
+//
+// Sort transforms the input into an equal-sized intermediate set with unique
+// keys, so hashing is pure overhead (paper §V.B). Instead, all threads write
+// fixed-width records into one contiguous array without synchronization:
+// before each map round the coordinator claims a slot range for the round's
+// records (one atomic extend, resizing while no mappers run), then each
+// mapper writes its own disjoint sub-range.
+//
+// Records are copied in, so the container owns the data and chunk buffers
+// can be recycled — which is what lets the persistent container span the
+// whole ingest stream while only two chunks stay resident.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace supmr::containers {
+
+class ArrayContainer {
+ public:
+  // Idempotent across map rounds (persistence, paper §III.C).
+  void init(std::uint64_t record_bytes, std::uint64_t expected_records = 0) {
+    if (initialized_) {
+      assert(record_bytes_ == record_bytes);
+      return;
+    }
+    record_bytes_ = record_bytes;
+    data_.reserve(expected_records * record_bytes);
+    used_records_ = 0;
+    initialized_ = true;
+  }
+
+  bool initialized() const { return initialized_; }
+  std::uint64_t record_bytes() const { return record_bytes_; }
+  std::uint64_t size() const { return used_records_; }
+
+  void reset() {
+    data_.clear();
+    used_records_ = 0;
+    initialized_ = false;
+  }
+
+  // Claims `n` record slots and returns the first slot index. Must be called
+  // between map waves (it may reallocate); mappers then fill their disjoint
+  // sub-ranges concurrently via write_record().
+  std::uint64_t claim(std::uint64_t n) {
+    assert(initialized_);
+    const std::uint64_t base = used_records_;
+    used_records_ += n;
+    data_.resize(used_records_ * record_bytes_);
+    return base;
+  }
+
+  // Unsynchronized write into a claimed slot (each mapper owns its slots).
+  void write_record(std::uint64_t slot, std::span<const char> record) {
+    assert(slot < used_records_ && record.size() == record_bytes_);
+    std::memcpy(data_.data() + slot * record_bytes_, record.data(),
+                record_bytes_);
+  }
+
+  std::span<const char> record(std::uint64_t slot) const {
+    assert(slot < used_records_);
+    return std::span<const char>(data_.data() + slot * record_bytes_,
+                                 record_bytes_);
+  }
+  char* mutable_record(std::uint64_t slot) {
+    assert(slot < used_records_);
+    return data_.data() + slot * record_bytes_;
+  }
+
+  const char* data() const { return data_.data(); }
+  char* data() { return data_.data(); }
+
+ private:
+  std::vector<char> data_;
+  std::uint64_t record_bytes_ = 0;
+  std::uint64_t used_records_ = 0;
+  bool initialized_ = false;
+};
+
+}  // namespace supmr::containers

@@ -1,0 +1,63 @@
+// Combiners: how a container folds repeated emissions of the same key.
+//
+// Phoenix++ fuses the combine step into container insertion so the
+// intermediate set stays small (word count's 155 GB input folds to a
+// few-million-entry table). A combiner provides:
+//   identity()            — initial accumulator,
+//   combine(acc, v)       — fold one mapped value in,
+//   merge(acc, other)     — fold another accumulator in (cross-thread
+//                           reduction in the reduce phase).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace supmr::containers {
+
+template <typename V>
+struct SumCombiner {
+  using value_type = V;
+  static V identity() { return V{}; }
+  static void combine(V& acc, const V& v) { acc += v; }
+  static void merge(V& acc, const V& other) { acc += other; }
+};
+
+template <typename V>
+struct MinCombiner {
+  using value_type = V;
+  static V identity() { return std::numeric_limits<V>::max(); }
+  static void combine(V& acc, const V& v) { acc = std::min(acc, v); }
+  static void merge(V& acc, const V& other) { acc = std::min(acc, other); }
+};
+
+template <typename V>
+struct MaxCombiner {
+  using value_type = V;
+  static V identity() { return std::numeric_limits<V>::lowest(); }
+  static void combine(V& acc, const V& v) { acc = std::max(acc, v); }
+  static void merge(V& acc, const V& other) { acc = std::max(acc, other); }
+};
+
+// Keeps every value (no folding): inverted index, grouping workloads.
+template <typename V>
+struct AppendCombiner {
+  using value_type = std::vector<V>;
+  static std::vector<V> identity() { return {}; }
+  static void combine(std::vector<V>& acc, const V& v) { acc.push_back(v); }
+  static void merge(std::vector<V>& acc, const std::vector<V>& other) {
+    acc.insert(acc.end(), other.begin(), other.end());
+  }
+  static void merge(std::vector<V>& acc, std::vector<V>&& other) {
+    if (acc.empty()) {
+      acc = std::move(other);
+    } else {
+      acc.insert(acc.end(), std::make_move_iterator(other.begin()),
+                 std::make_move_iterator(other.end()));
+    }
+  }
+};
+
+}  // namespace supmr::containers

@@ -1,0 +1,75 @@
+// Fixed-key-space container: Phoenix++'s "array container".
+//
+// For applications whose keys form a small dense integer range known up
+// front (histogram bins, byte values, categories), hashing is wasted work:
+// each map thread owns a dense V[num_keys] stripe and emission is a direct
+// index. Reduce folds stripes per key range — both sides lock-free, like
+// the other containers. Persistent across rounds (init idempotent).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace supmr::containers {
+
+template <typename Combiner>
+class FixedKvArray {
+ public:
+  using value_type = typename Combiner::value_type;
+
+  void init(std::size_t num_map_threads, std::size_t num_keys) {
+    if (initialized_) {
+      assert(stripes_.size() == num_map_threads && num_keys_ == num_keys);
+      return;
+    }
+    num_keys_ = num_keys;
+    stripes_.assign(num_map_threads,
+                    std::vector<value_type>(num_keys, Combiner::identity()));
+    initialized_ = true;
+  }
+
+  bool initialized() const { return initialized_; }
+  std::size_t num_keys() const { return num_keys_; }
+  std::size_t num_stripes() const { return stripes_.size(); }
+
+  void reset() {
+    stripes_.clear();
+    num_keys_ = 0;
+    initialized_ = false;
+  }
+
+  // Map-side: fold `v` into `key` on this thread's stripe. No locks.
+  void emit(std::size_t thread_id, std::size_t key, const auto& v) {
+    assert(thread_id < stripes_.size() && key < num_keys_);
+    Combiner::combine(stripes_[thread_id][key], v);
+  }
+
+  // Reduce-side: fold all stripes for keys [first, last) into `out`
+  // (out[i] corresponds to key first+i). Disjoint ranges may run
+  // concurrently.
+  void reduce_range(std::size_t first, std::size_t last,
+                    value_type* out) const {
+    assert(first <= last && last <= num_keys_);
+    for (std::size_t k = first; k < last; ++k)
+      out[k - first] = Combiner::identity();
+    for (const auto& stripe : stripes_) {
+      for (std::size_t k = first; k < last; ++k)
+        Combiner::merge(out[k - first], stripe[k]);
+    }
+  }
+
+  // Convenience: full reduction.
+  std::vector<value_type> reduce_all() const {
+    std::vector<value_type> out(num_keys_, Combiner::identity());
+    if (num_keys_ > 0) reduce_range(0, num_keys_, out.data());
+    return out;
+  }
+
+ private:
+  std::vector<std::vector<value_type>> stripes_;
+  std::size_t num_keys_ = 0;
+  bool initialized_ = false;
+};
+
+}  // namespace supmr::containers

@@ -1,0 +1,32 @@
+// String hashing for the intermediate containers.
+//
+// FNV-1a with a 64-bit avalanche finalizer: fast for the short keys word
+// count produces, and the finalizer ensures the low bits used for bucket and
+// partition selection are well mixed (bucket index and reduce partition are
+// both derived from this hash, so they must not correlate).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace supmr::containers {
+
+inline std::uint64_t mix64(std::uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+inline std::uint64_t hash_bytes(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return mix64(h);
+}
+
+}  // namespace supmr::containers

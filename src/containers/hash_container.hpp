@@ -1,0 +1,105 @@
+// Hash container: Phoenix++'s default intermediate store.
+//
+// One ArenaHashMap per map thread — emission takes no locks (the map thread
+// writes only its own stripe). The reduce phase walks a hash partition
+// across all stripes and merges accumulators, so reducers also proceed
+// without locks (each owns a disjoint partition).
+//
+// The container is *persistent* across map rounds (paper §III.C): init()
+// allocates the stripes once; subsequent rounds' mapper waves keep emitting
+// into the same stripes. reset() exists for tests that demonstrate what goes
+// wrong when a runtime re-initializes per round.
+//
+// Best for workloads that fold a large input into a small intermediate set
+// (word count). For sort — unique keys, intermediate set == input set — use
+// ArrayContainer; the paper explains why a hash container is pathological
+// there (§V.B).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "containers/arena_hash_map.hpp"
+
+namespace supmr::containers {
+
+template <typename Combiner>
+class HashContainer {
+ public:
+  using value_type = typename Combiner::value_type;
+
+  // Allocates one stripe per map thread. Idempotent: later calls (new map
+  // rounds in the chunk pipeline) are no-ops — this is the persistence the
+  // SupMR runtime requires.
+  void init(std::size_t num_map_threads, std::size_t capacity_hint = 1024) {
+    if (initialized_) {
+      assert(stripes_.size() == num_map_threads &&
+             "thread count changed across rounds");
+      return;
+    }
+    stripes_.clear();
+    stripes_.reserve(num_map_threads);
+    for (std::size_t i = 0; i < num_map_threads; ++i)
+      stripes_.emplace_back(capacity_hint);
+    initialized_ = true;
+  }
+
+  bool initialized() const { return initialized_; }
+
+  // Drops all state (the non-persistent behaviour of the original runtime;
+  // tests use it to show pair loss across rounds).
+  void reset() {
+    stripes_.clear();
+    initialized_ = false;
+  }
+
+  // Map-side emission; `thread_id` must be the calling map thread's index.
+  void emit(std::size_t thread_id, std::string_view key,
+            const auto& mapped_value) {
+    assert(thread_id < stripes_.size());
+    value_type& acc =
+        stripes_[thread_id].find_or_insert(key, Combiner::identity());
+    Combiner::combine(acc, mapped_value);
+  }
+
+  std::size_t num_stripes() const { return stripes_.size(); }
+
+  // Total entries across stripes (same key in two stripes counts twice —
+  // the reduce phase is what de-duplicates).
+  std::size_t raw_entries() const {
+    std::size_t n = 0;
+    for (const auto& s : stripes_) n += s.size();
+    return n;
+  }
+
+  // Reduce-side: merges partition `part` of `num_parts` across all stripes
+  // into owned (key, accumulator) pairs. Each partition is disjoint, so
+  // concurrent calls with distinct `part` are safe.
+  std::vector<std::pair<std::string, value_type>> reduce_partition(
+      std::size_t part, std::size_t num_parts) const {
+    ArenaHashMap<value_type> merged(256);
+    for (const auto& stripe : stripes_) {
+      stripe.for_each_in_partition(
+          part, num_parts, [&](std::string_view key, const value_type& v) {
+            value_type& acc = merged.find_or_insert(key, Combiner::identity());
+            Combiner::merge(acc, v);
+          });
+    }
+    std::vector<std::pair<std::string, value_type>> out;
+    out.reserve(merged.size());
+    merged.for_each([&](std::string_view key, const value_type& v) {
+      out.emplace_back(std::string(key), v);
+    });
+    return out;
+  }
+
+ private:
+  std::vector<ArenaHashMap<value_type>> stripes_;
+  bool initialized_ = false;
+};
+
+}  // namespace supmr::containers

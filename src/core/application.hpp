@@ -1,0 +1,65 @@
+// The SupMR application interface.
+//
+// Mirrors the paper's Phoenix++-derived structure (Table I): the runtime
+// owns scheduling, ingest and memory movement; the application owns the
+// map/reduce logic and its intermediate container. set_data() from the paper
+// — "pass the chunk length and ingest chunk pointer back to the application"
+// — is prepare_round(chunk) here: the runtime dictates which part of memory
+// the callbacks operate on.
+//
+// Lifecycle, in run_ingestMR() order:
+//   init(mappers)                      once   (persistent container init)
+//   for each ingest chunk:
+//     prepare_round(chunk)             multiple  (split; claim container space)
+//     map_task(t, thread) x tasks      multiple  (parallel wave, t < mappers)
+//   reduce(pool, partitions)           once
+//   merge(pool, mode, stats)           once
+//
+// map_task contract: task indices within one round run concurrently;
+// thread_id == task index and is < the init() mapper count, so a task may
+// use thread_id to address a per-thread container stripe without locking.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.hpp"
+#include "core/job_config.hpp"
+#include "ingest/chunk.hpp"
+#include "merge/stats.hpp"
+#include "threading/thread_pool.hpp"
+
+namespace supmr::core {
+
+class Application {
+ public:
+  virtual ~Application() = default;
+
+  // Called once before the first round. Containers must be initialized here
+  // and persist across rounds (paper §III.C).
+  virtual void init(std::size_t num_map_threads) = 0;
+
+  // The runtime hands the application the current ingest chunk (set_data()).
+  // The application partitions it into at most `num_map_threads` splits and
+  // claims any container space the round needs. The chunk reference is only
+  // valid until the round's map tasks finish.
+  virtual Status prepare_round(const ingest::IngestChunk& chunk) = 0;
+
+  // Number of map tasks for the prepared round (<= init()'s mapper count).
+  virtual std::size_t round_tasks() const = 0;
+
+  // Maps split `task` on `thread_id`. Must be safe to run concurrently with
+  // other tasks of the same round (distinct task indices).
+  virtual void map_task(std::size_t task, std::size_t thread_id) = 0;
+
+  // Coalesces intermediate pairs after all rounds (parallel over partitions).
+  virtual Status reduce(ThreadPool& pool, std::size_t num_partitions) = 0;
+
+  // Produces the final sorted output with the configured merge algorithm.
+  virtual Status merge(ThreadPool& pool, MergeMode mode,
+                       merge::MergeStats* stats) = 0;
+
+  // Number of output records/pairs — used for result validation.
+  virtual std::uint64_t result_count() const = 0;
+};
+
+}  // namespace supmr::core

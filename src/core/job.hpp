@@ -1,0 +1,80 @@
+// The SupMR runtime: scale-up MapReduce with an ingest chunk pipeline.
+//
+// Two entry points, matching the paper:
+//   * run()          — the ORIGINAL runtime: ingest the entire input (read
+//                      phase), one map wave over input splits (map phase),
+//                      reduce, merge. Fig. 1's structure.
+//   * run_ingestMR() — SupMR (paper Table I): the ingest chunk pipeline
+//                      overlaps reading chunk c_{i+1} with mapping c_i across
+//                      n+1 rounds; read+map become one combined phase.
+// Both share reduce/merge; the merge algorithm is selected by
+// JobConfig::merge_mode.
+#pragma once
+
+#include <memory>
+
+#include "common/phase_timer.hpp"
+#include "common/status.hpp"
+#include "core/application.hpp"
+#include "core/job_config.hpp"
+#include "ingest/adaptive.hpp"
+#include "ingest/pipeline.hpp"
+#include "ingest/source.hpp"
+
+namespace supmr::core {
+
+struct JobResult {
+  PhaseBreakdown phases;
+  ingest::PipelineStats pipeline;   // populated by run_ingestMR()
+  merge::MergeStats merge_stats;
+  std::uint64_t result_count = 0;
+  std::uint64_t map_rounds = 0;
+  std::uint64_t chunks = 0;
+
+  // Speedup of another run's total time over this run's.
+  double speedup_vs(const JobResult& other) const {
+    return other.phases.total_s / phases.total_s;
+  }
+};
+
+class MapReduceJob {
+ public:
+  // `app` and `source` must outlive the job.
+  MapReduceJob(Application& app, const ingest::IngestSource& source,
+               JobConfig config);
+  ~MapReduceJob();
+
+  MapReduceJob(const MapReduceJob&) = delete;
+  MapReduceJob& operator=(const MapReduceJob&) = delete;
+
+  // Original runtime: one-shot ingest, then compute.
+  StatusOr<JobResult> run();
+
+  // SupMR: ingest chunk pipeline (the chunking strategy and chunk size live
+  // in the source, per the paper's API change).
+  StatusOr<JobResult> run_ingestMR();
+
+  // SupMR with the adaptive chunk-size feedback loop (the paper's future
+  // work, §VIII): the controller observes per-chunk ingest/map rates and
+  // sizes each next chunk. Reads `device` directly (incremental planning
+  // has no fixed chunk plan), splitting at `format` record boundaries; the
+  // job's IngestSource is not used by this entry point.
+  StatusOr<JobResult> run_ingestMR_adaptive(
+      const storage::Device& device, const ingest::RecordFormat& format,
+      ingest::ChunkSizeController& controller);
+
+  const JobConfig& config() const { return config_; }
+
+ private:
+  Status map_round(const ingest::IngestChunk& chunk);
+  Status finish(JobResult& result, PhaseClock& clock);
+
+  Application& app_;
+  const ingest::IngestSource& source_;
+  JobConfig config_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::uint64_t rounds_ = 0;
+  merge::MergeStats merge_stats_;
+};
+
+}  // namespace supmr::core

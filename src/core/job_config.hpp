@@ -1,0 +1,41 @@
+// Job configuration: the knobs the paper's evaluation sweeps.
+#pragma once
+
+#include <cstddef>
+#include <thread>
+
+namespace supmr::core {
+
+// Final-merge algorithm (paper §IV).
+enum class MergeMode {
+  kPairwise,  // original runtime: iterative pairwise merging, halving threads
+  kPWay,      // SupMR: single-round parallel p-way merge
+};
+
+struct JobConfig {
+  // Mapper threads per wave; also the maximum input splits per round.
+  std::size_t num_map_threads = default_threads();
+  // Reducer threads (each owns disjoint hash partitions).
+  std::size_t num_reduce_threads = default_threads();
+  // Reduce partitions; more partitions -> better balance. 0 = 4x reducers.
+  std::size_t num_reduce_partitions = 0;
+
+  MergeMode merge_mode = MergeMode::kPWay;
+
+  // Spawn-and-join raw threads for every map wave instead of reusing pooled
+  // workers — the paper's per-round thread lifecycle, measurable as overhead
+  // with small chunks (§VI.C.1).
+  bool unpooled_map_waves = false;
+
+  std::size_t reduce_partitions() const {
+    return num_reduce_partitions ? num_reduce_partitions
+                                 : num_reduce_threads * 4;
+  }
+
+  static std::size_t default_threads() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 4 : hw;
+  }
+};
+
+}  // namespace supmr::core

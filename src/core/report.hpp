@@ -1,0 +1,20 @@
+// Structured export of job results (JSON) for downstream tooling.
+#pragma once
+
+#include <string>
+
+#include "common/timeseries.hpp"
+#include "core/job.hpp"
+
+namespace supmr::core {
+
+// Full job result: phases, pipeline per-chunk stats, merge round geometry.
+std::string job_result_to_json(const JobResult& result);
+
+// Phase breakdown only (one Table II cell row).
+std::string phases_to_json(const PhaseBreakdown& phases);
+
+// Utilization trace as {"t":[...], "<channel>":[...], ...}.
+std::string timeseries_to_json(const TimeSeries& trace);
+
+}  // namespace supmr::core

@@ -1,0 +1,181 @@
+#include "ingest/adaptive.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "common/logging.hpp"
+#include "threading/double_buffer.hpp"
+
+namespace supmr::ingest {
+
+namespace {
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+double ewma(double current, double sample, double alpha) {
+  return current == 0.0 ? sample : (1.0 - alpha) * current + alpha * sample;
+}
+}  // namespace
+
+RateMatchingController::RateMatchingController(Options options)
+    : options_(options) {
+  options_.min_bytes = std::max<std::uint64_t>(1, options_.min_bytes);
+  options_.max_bytes = std::max(options_.max_bytes, options_.min_bytes);
+}
+
+void RateMatchingController::observe(const ChunkFeedback& feedback) {
+  if (feedback.bytes == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  // Duration-weighted smoothing: a measurement much shorter than the round
+  // floor is dominated by burst credit and scheduling noise (e.g. a small
+  // read served entirely from a throttled device's idle credit looks
+  // infinitely fast), so it contributes proportionally less.
+  const auto weighted_alpha = [&](double duration) {
+    return options_.alpha * std::min(1.0, duration / options_.round_floor_s);
+  };
+  if (feedback.ingest_s > 0.0) {
+    ingest_bw_ = ewma(ingest_bw_, double(feedback.bytes) / feedback.ingest_s,
+                      weighted_alpha(feedback.ingest_s));
+  }
+  if (feedback.process_s > 0.0) {
+    process_bw_ = ewma(process_bw_,
+                       double(feedback.bytes) / feedback.process_s,
+                       weighted_alpha(feedback.process_s));
+  }
+}
+
+std::uint64_t RateMatchingController::next_chunk_bytes() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ingest_bw_ <= 0.0) return options_.initial_bytes;
+  // A pipeline round lasts chunk / min(ingest_bw, process_bw) — whichever
+  // side is slower paces it (the other overlaps underneath). Smaller chunks
+  // start overlap earlier and shrink the unoverlapped lead-in/tail, but each
+  // round pays a fixed thread-wave cost (§VI.C.1), so the round must last at
+  // least round_floor_s:
+  //
+  //     chunk* = round_floor_s * min(ingest_bw, process_bw)
+  //
+  // i.e. the smallest chunk whose round still amortizes its overhead.
+  double pacing_bw = ingest_bw_;
+  if (process_bw_ > 0.0) pacing_bw = std::min(pacing_bw, process_bw_);
+  const double bytes = pacing_bw * options_.round_floor_s;
+  const std::uint64_t clamped = static_cast<std::uint64_t>(std::llround(
+      std::clamp(bytes, double(options_.min_bytes),
+                 double(options_.max_bytes))));
+  return clamped;
+}
+
+double RateMatchingController::ingest_bw_estimate() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ingest_bw_;
+}
+
+double RateMatchingController::process_bw_estimate() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return process_bw_;
+}
+
+StatusOr<PipelineStats> AdaptivePipeline::run(
+    const std::function<Status(IngestChunk&)>& process) {
+  PipelineStats stats;
+  const std::uint64_t size = device_.size();
+  if (size == 0) return stats;
+
+  DoubleBuffer<IngestChunk> buffer;
+  std::atomic<bool> cancel{false};
+  Status producer_status;
+  std::mutex timings_mu;  // guards stats.chunks growth across threads
+  const auto run_start = std::chrono::steady_clock::now();
+
+  std::thread producer([&] {
+    std::uint64_t offset = 0;
+    std::uint64_t index = 0;
+    std::uint64_t want = std::max<std::uint64_t>(
+        1, controller_.initial_chunk_bytes());
+    while (offset < size && !cancel.load(std::memory_order_acquire)) {
+      auto end = format_.adjust_split(device_, offset + want);
+      if (!end.ok()) {
+        producer_status = end.status();
+        break;
+      }
+      if (*end <= offset) {
+        producer_status =
+            Status::Internal("adaptive plan did not advance");
+        break;
+      }
+      IngestChunk chunk;
+      chunk.index = index;
+      chunk.offset = offset;
+      chunk.data.resize(*end - offset);
+      const auto t0 = std::chrono::steady_clock::now();
+      auto n = device_.read_at(
+          offset, std::span<char>(chunk.data.data(), chunk.data.size()));
+      const double ingest_s = seconds_since(t0);
+      if (!n.ok() || *n != chunk.data.size()) {
+        producer_status = n.ok() ? Status::IoError("short adaptive read")
+                                 : n.status();
+        break;
+      }
+      {
+        std::lock_guard<std::mutex> lock(timings_mu);
+        stats.chunks.resize(
+            std::max<std::size_t>(stats.chunks.size(), index + 1));
+        stats.chunks[index].index = index;
+        stats.chunks[index].bytes = chunk.data.size();
+        stats.chunks[index].ingest_s = ingest_s;
+      }
+      controller_.observe(ChunkFeedback{index, chunk.data.size(), ingest_s,
+                                        0.0});
+      SUPMR_LOG_DEBUG("adaptive: chunk %llu = %zu bytes (ingest %.4fs)",
+                      static_cast<unsigned long long>(index),
+                      chunk.data.size(), ingest_s);
+      if (!buffer.produce(std::move(chunk))) break;
+      offset = *end;
+      ++index;
+      want = std::max<std::uint64_t>(1, controller_.next_chunk_bytes());
+    }
+    buffer.close();
+  });
+
+  Status consumer_status;
+  IngestChunk chunk;
+  while (true) {
+    const auto t_wait = std::chrono::steady_clock::now();
+    if (!buffer.consume(chunk)) break;
+    const double waited = seconds_since(t_wait);
+    const auto t_proc = std::chrono::steady_clock::now();
+    Status st = process(chunk);
+    const double processed = seconds_since(t_proc);
+    {
+      std::lock_guard<std::mutex> lock(timings_mu);
+      stats.chunks[chunk.index].wait_s = waited;
+      stats.chunks[chunk.index].process_s = processed;
+    }
+    stats.consumer_wait_s += waited;
+    stats.process_busy_s += processed;
+    stats.total_bytes += chunk.data.size();
+    controller_.observe(ChunkFeedback{chunk.index, chunk.data.size(), 0.0,
+                                      processed});
+    if (!st.ok()) {
+      consumer_status = std::move(st);
+      cancel.store(true, std::memory_order_release);
+      buffer.close();
+      break;
+    }
+  }
+
+  producer.join();
+  stats.total_s = seconds_since(run_start);
+  for (const auto& c : stats.chunks) stats.ingest_busy_s += c.ingest_s;
+
+  if (!consumer_status.ok()) return consumer_status;
+  if (!producer_status.ok()) return producer_status;
+  return stats;
+}
+
+}  // namespace supmr::ingest

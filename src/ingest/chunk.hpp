@@ -1,0 +1,44 @@
+// Ingest chunk data structures (paper §III.A).
+//
+// A ChunkExtent describes where a chunk's bytes live (planning output); an
+// IngestChunk owns the bytes once read. Intra-file chunks additionally carry
+// per-file spans so applications that are file-oriented (e.g. inverted
+// index) can recover file identities inside a coalesced chunk.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace supmr::ingest {
+
+// A contiguous region of one source file placed inside a chunk.
+struct FileSpan {
+  std::size_t file_index = 0;      // index into the source's file list
+  std::uint64_t file_offset = 0;   // where the region starts in the file
+                                   // (non-zero when hybrid chunking splits
+                                   // a large file across chunks)
+  std::uint64_t offset_in_chunk = 0;
+  std::uint64_t length = 0;
+};
+
+struct ChunkExtent {
+  std::uint64_t index = 0;   // position in the ingest stream
+  std::uint64_t offset = 0;  // device offset (inter-file chunking)
+  std::uint64_t length = 0;  // total bytes
+  std::vector<FileSpan> files;  // non-empty only for intra-file chunks
+};
+
+struct IngestChunk {
+  std::uint64_t index = 0;
+  std::uint64_t offset = 0;
+  std::vector<char> data;
+  std::vector<FileSpan> files;
+
+  std::span<const char> bytes() const {
+    return std::span<const char>(data.data(), data.size());
+  }
+  bool empty() const { return data.empty(); }
+};
+
+}  // namespace supmr::ingest

@@ -1,0 +1,89 @@
+#include "ingest/hybrid_source.hpp"
+
+#include <cassert>
+
+namespace supmr::ingest {
+
+HybridFileSource::HybridFileSource(
+    std::vector<std::shared_ptr<const storage::Device>> files,
+    std::shared_ptr<const RecordFormat> format,
+    std::uint64_t target_chunk_bytes)
+    : files_(std::move(files)),
+      format_(std::move(format)),
+      target_(target_chunk_bytes) {
+  assert(format_);
+  total_bytes_ = 0;
+  for (const auto& f : files_) total_bytes_ += f->size();
+}
+
+StatusOr<std::vector<ChunkExtent>> HybridFileSource::plan() const {
+  std::vector<ChunkExtent> extents;
+  const std::uint64_t target = target_ == 0 ? total_bytes_ : target_;
+
+  ChunkExtent current;
+  std::uint64_t fill = 0;
+  auto flush = [&] {
+    if (current.files.empty()) return;
+    current.index = extents.size();
+    current.offset = 0;
+    current.length = fill;
+    extents.push_back(std::move(current));
+    current = ChunkExtent{};
+    fill = 0;
+  };
+
+  for (std::size_t f = 0; f < files_.size(); ++f) {
+    const std::uint64_t fsize = files_[f]->size();
+    std::uint64_t off = 0;
+    while (off < fsize) {
+      if (fill >= target) flush();
+      const std::uint64_t budget = target - fill;
+      std::uint64_t piece_end;
+      if (fsize - off <= budget) {
+        // The rest of the file fits: coalesce it (intra-file behaviour).
+        piece_end = fsize;
+      } else {
+        // The file overflows the chunk: split at a record boundary
+        // (inter-file behaviour). adjust_split may overshoot the budget by
+        // up to one record so records are never torn.
+        SUPMR_ASSIGN_OR_RETURN(piece_end,
+                               format_->adjust_split(*files_[f], off + budget));
+        if (piece_end <= off) piece_end = fsize;  // no boundary: take rest
+      }
+      current.files.push_back(
+          FileSpan{f, off, fill, piece_end - off});
+      fill += piece_end - off;
+      off = piece_end;
+    }
+  }
+  flush();
+  return extents;
+}
+
+Status HybridFileSource::read_chunk(const ChunkExtent& extent,
+                                    IngestChunk& out) const {
+  out.index = extent.index;
+  out.offset = extent.offset;
+  out.files = extent.files;
+  out.data.resize(extent.length);
+  for (const auto& span : extent.files) {
+    const auto& file = files_[span.file_index];
+    SUPMR_ASSIGN_OR_RETURN(
+        std::size_t n,
+        file->read_at(span.file_offset,
+                      std::span<char>(out.data.data() + span.offset_in_chunk,
+                                      span.length)));
+    if (n != span.length) {
+      return Status::IoError("short hybrid read in chunk " +
+                             std::to_string(extent.index));
+    }
+  }
+  return Status::Ok();
+}
+
+storage::DeviceModel HybridFileSource::model() const {
+  if (files_.empty()) return storage::DeviceModel{};
+  return files_.front()->model();
+}
+
+}  // namespace supmr::ingest

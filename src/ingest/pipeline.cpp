@@ -1,0 +1,94 @@
+#include "ingest/pipeline.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.hpp"
+#include "threading/double_buffer.hpp"
+
+namespace supmr::ingest {
+
+namespace {
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+}  // namespace
+
+StatusOr<PipelineStats> IngestPipeline::run(
+    const std::function<Status(IngestChunk&)>& process) {
+  SUPMR_ASSIGN_OR_RETURN(std::vector<ChunkExtent> plan, source_.plan());
+  return run_planned(plan, process);
+}
+
+StatusOr<PipelineStats> IngestPipeline::run_planned(
+    const std::vector<ChunkExtent>& plan,
+    const std::function<Status(IngestChunk&)>& process) {
+  PipelineStats stats;
+  stats.chunks.resize(plan.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    stats.chunks[i].index = plan[i].index;
+    stats.chunks[i].bytes = plan[i].length;
+  }
+  if (plan.empty()) return stats;
+
+  DoubleBuffer<IngestChunk> buffer;
+  std::atomic<bool> cancel{false};
+  Status producer_status;  // written by producer before close(), read after join
+  const auto run_start = std::chrono::steady_clock::now();
+
+  std::thread producer([&] {
+    for (const ChunkExtent& extent : plan) {
+      if (cancel.load(std::memory_order_acquire)) break;
+      IngestChunk chunk;
+      const auto t0 = std::chrono::steady_clock::now();
+      Status st = source_.read_chunk(extent, chunk);
+      stats.chunks[extent.index].ingest_s = seconds_since(t0);
+      if (!st.ok()) {
+        producer_status = std::move(st);
+        break;
+      }
+      SUPMR_LOG_DEBUG("ingest: chunk %llu ready (%zu bytes)",
+                      static_cast<unsigned long long>(chunk.index),
+                      chunk.data.size());
+      if (!buffer.produce(std::move(chunk))) break;  // consumer cancelled
+    }
+    buffer.close();
+  });
+
+  Status consumer_status;
+  IngestChunk chunk;
+  while (true) {
+    const auto t_wait = std::chrono::steady_clock::now();
+    if (!buffer.consume(chunk)) break;  // closed and drained
+    const double waited = seconds_since(t_wait);
+    stats.chunks[chunk.index].wait_s = waited;
+    stats.consumer_wait_s += waited;
+
+    const auto t_proc = std::chrono::steady_clock::now();
+    Status st = process(chunk);
+    const double processed = seconds_since(t_proc);
+    stats.chunks[chunk.index].process_s = processed;
+    stats.process_busy_s += processed;
+    stats.total_bytes += chunk.data.size();
+
+    if (!st.ok()) {
+      consumer_status = std::move(st);
+      cancel.store(true, std::memory_order_release);
+      buffer.close();  // releases a producer blocked in produce()
+      break;
+    }
+  }
+
+  producer.join();
+  stats.total_s = seconds_since(run_start);
+  for (const auto& c : stats.chunks) stats.ingest_busy_s += c.ingest_s;
+
+  if (!consumer_status.ok()) return consumer_status;
+  if (!producer_status.ok()) return producer_status;
+  return stats;
+}
+
+}  // namespace supmr::ingest

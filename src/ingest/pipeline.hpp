@@ -1,0 +1,64 @@
+// The ingest chunk pipeline (paper §III.B, Fig. 4).
+//
+// One producer (ingest) thread reads chunk c_{i+1} from the source while the
+// consumer — the caller's thread, which runs the map waves — processes c_i.
+// A DoubleBuffer bounds residency to two chunks, which is the paper's
+// double-buffering scheme: the pipeline never gets more than one chunk ahead.
+//
+// The run is the paper's n+1 rounds: the first chunk is ingested with no
+// compute overlapped (the consumer just waits), the middle rounds overlap
+// ingest with compute, and the last round computes with no ingest running.
+//
+// Error handling: an ingest error closes the buffer and surfaces after the
+// already-buffered chunks drain; a processing error cancels the producer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.hpp"
+#include "ingest/chunk.hpp"
+#include "ingest/source.hpp"
+
+namespace supmr::ingest {
+
+struct ChunkTiming {
+  std::uint64_t index = 0;
+  std::uint64_t bytes = 0;
+  double ingest_s = 0.0;   // producer: time reading this chunk
+  double wait_s = 0.0;     // consumer: time blocked waiting for this chunk
+  double process_s = 0.0;  // consumer: time inside the process callback
+};
+
+struct PipelineStats {
+  double total_s = 0.0;          // wall time of the whole pipeline
+  double ingest_busy_s = 0.0;    // producer time spent reading
+  double process_busy_s = 0.0;   // consumer time spent processing
+  double consumer_wait_s = 0.0;  // consumer time starved for chunks;
+                                 // the non-overlapped ingest time
+  std::uint64_t total_bytes = 0;
+  std::vector<ChunkTiming> chunks;
+};
+
+class IngestPipeline {
+ public:
+  explicit IngestPipeline(const IngestSource& source) : source_(source) {}
+
+  // Runs the full pipeline. `process` is invoked on the caller's thread for
+  // each chunk, in stream order. Returns pipeline stats on success, or the
+  // first error from planning, ingest, or processing.
+  StatusOr<PipelineStats> run(
+      const std::function<Status(IngestChunk&)>& process);
+
+  // Runs with a precomputed plan (lets the runtime plan once and report
+  // chunk counts before execution).
+  StatusOr<PipelineStats> run_planned(
+      const std::vector<ChunkExtent>& plan,
+      const std::function<Status(IngestChunk&)>& process);
+
+ private:
+  const IngestSource& source_;
+};
+
+}  // namespace supmr::ingest

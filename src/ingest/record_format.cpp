@@ -1,0 +1,96 @@
+#include "ingest/record_format.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+namespace supmr::ingest {
+
+StatusOr<std::uint64_t> RecordFormat::adjust_split(
+    const storage::Device& device, std::uint64_t desired) const {
+  const std::uint64_t size = device.size();
+  if (desired >= size) return size;
+
+  // A split landing exactly on a record boundary is not "in the middle of a
+  // key or value" and stays put.
+  const std::string_view term = terminator();
+  if (!term.empty() && desired >= term.size()) {
+    char probe[8];
+    SUPMR_ASSIGN_OR_RETURN(
+        std::size_t got,
+        device.read_at(desired - term.size(),
+                       std::span<char>(probe, term.size())));
+    if (got == term.size() &&
+        std::string_view(probe, term.size()) == term) {
+      return desired;
+    }
+  }
+
+  std::vector<char> window(kScanWindow);
+  // Start the scan slightly before `desired` so a multi-byte terminator that
+  // `desired` lands inside (e.g. between '\r' and '\n') is still found.
+  const std::uint64_t lookback =
+      term.empty() ? 0 : std::min<std::uint64_t>(term.size() - 1, desired);
+  std::uint64_t base = desired - lookback;
+  // Scanning restarts at `base`; a terminator straddling two windows is
+  // handled by re-reading from one byte before the window edge.
+  std::size_t overlap = 0;
+  while (base < size) {
+    SUPMR_ASSIGN_OR_RETURN(
+        std::size_t n,
+        device.read_at(base, std::span<char>(window.data(), window.size())));
+    if (n == 0) break;
+    auto end = find_record_end(std::span<const char>(window.data(), n), 0);
+    if (end.has_value()) return base + *end;
+    // Not found: keep the last byte for terminators spanning the boundary
+    // (e.g. '\r' at the window edge with '\n' in the next window).
+    overlap = 1;
+    if (n <= overlap) break;
+    base += n - overlap;
+  }
+  return size;  // record runs to EOF
+}
+
+std::optional<std::size_t> LineFormat::find_record_end(
+    std::span<const char> window, std::size_t from) const {
+  if (from >= window.size()) return std::nullopt;
+  const void* p =
+      std::memchr(window.data() + from, '\n', window.size() - from);
+  if (p == nullptr) return std::nullopt;
+  return static_cast<std::size_t>(static_cast<const char*>(p) -
+                                  window.data()) + 1;
+}
+
+std::optional<std::size_t> CrlfFormat::find_record_end(
+    std::span<const char> window, std::size_t from) const {
+  std::size_t pos = from;
+  while (pos + 1 < window.size()) {
+    const void* p =
+        std::memchr(window.data() + pos, '\r', window.size() - pos - 1);
+    if (p == nullptr) return std::nullopt;
+    pos = static_cast<std::size_t>(static_cast<const char*>(p) -
+                                   window.data());
+    if (window[pos + 1] == '\n') return pos + 2;
+    ++pos;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> FixedFormat::find_record_end(
+    std::span<const char> window, std::size_t from) const {
+  const std::uint64_t end =
+      (from / record_bytes_ + 1) * record_bytes_;
+  if (end > window.size()) return std::nullopt;
+  return static_cast<std::size_t>(end);
+}
+
+StatusOr<std::uint64_t> FixedFormat::adjust_split(
+    const storage::Device& device, std::uint64_t desired) const {
+  const std::uint64_t size = device.size();
+  if (desired >= size) return size;
+  const std::uint64_t aligned =
+      (desired + record_bytes_ - 1) / record_bytes_ * record_bytes_;
+  return std::min(aligned, size);
+}
+
+}  // namespace supmr::ingest

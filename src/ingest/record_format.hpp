@@ -1,0 +1,87 @@
+// Record formats and chunk-boundary adjustment.
+//
+// Inter-file chunking must not split a record across chunks (paper §III.A.1):
+// the runtime seeks to the user-defined chunk size and advances the split
+// point to the end of the record in progress. Formats know how to find a
+// record terminator:
+//   * LineFormat — '\n'-terminated records (word count text corpora),
+//   * CrlfFormat — "\r\n"-terminated records (TeraSort input, per the paper),
+//   * FixedFormat — fixed-width binary records (boundary is arithmetic).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+
+#include "common/status.hpp"
+#include "storage/device.hpp"
+
+namespace supmr::ingest {
+
+class RecordFormat {
+ public:
+  virtual ~RecordFormat() = default;
+
+  // Finds the end (exclusive: one past the terminator) of the record that is
+  // in progress at `from` within `window`. Returns nullopt if the terminator
+  // is beyond the window.
+  virtual std::optional<std::size_t> find_record_end(
+      std::span<const char> window, std::size_t from) const = 0;
+
+  // The terminator byte sequence for delimiter-based formats (used to detect
+  // that a desired split already sits on a record boundary). Fixed-width
+  // formats return empty and override adjust_split instead.
+  virtual std::string_view terminator() const = 0;
+
+  // Adjusts a desired split offset forward to the nearest record boundary at
+  // or after it, reading `device` as needed (paper §III.A.1: "checks to see
+  // if it is in the middle of a key or value, and then continually increases
+  // the split point until reaching the end of the value"). A desired offset
+  // already on a boundary is returned unchanged; `desired` >= device size
+  // clamps to the device size. A record with no terminator before EOF ends
+  // the chunk at EOF.
+  virtual StatusOr<std::uint64_t> adjust_split(const storage::Device& device,
+                                               std::uint64_t desired) const;
+
+ protected:
+  // Window size for forward scanning; generous relative to any record.
+  static constexpr std::size_t kScanWindow = 64 * 1024;
+};
+
+// Records terminated by a single '\n'.
+class LineFormat final : public RecordFormat {
+ public:
+  std::optional<std::size_t> find_record_end(std::span<const char> window,
+                                             std::size_t from) const override;
+  std::string_view terminator() const override { return "\n"; }
+};
+
+// Records terminated by "\r\n" (the paper's TeraSort input format).
+class CrlfFormat final : public RecordFormat {
+ public:
+  std::optional<std::size_t> find_record_end(std::span<const char> window,
+                                             std::size_t from) const override;
+  std::string_view terminator() const override { return "\r\n"; }
+};
+
+// Fixed-width records of `record_bytes`; boundary adjustment is arithmetic
+// (round up to a whole record), no device reads needed.
+class FixedFormat final : public RecordFormat {
+ public:
+  explicit FixedFormat(std::uint64_t record_bytes)
+      : record_bytes_(record_bytes) {}
+
+  std::optional<std::size_t> find_record_end(std::span<const char> window,
+                                             std::size_t from) const override;
+  std::string_view terminator() const override { return {}; }
+  StatusOr<std::uint64_t> adjust_split(const storage::Device& device,
+                                       std::uint64_t desired) const override;
+
+  std::uint64_t record_bytes() const { return record_bytes_; }
+
+ private:
+  std::uint64_t record_bytes_;
+};
+
+}  // namespace supmr::ingest

@@ -1,0 +1,315 @@
+#include "merge/external_sorter.hpp"
+
+#include <cassert>
+#include <chrono>
+#include <cstring>
+
+#include "merge/sample_sort.hpp"
+
+namespace supmr::merge {
+
+namespace {
+
+// A sequential cursor over one sorted run: either a spill file (read in
+// slabs) or the in-memory residue.
+class RunCursor {
+ public:
+  Status open_file(const std::string& path, std::uint32_t record_bytes,
+                   std::uint64_t slab_bytes) {
+    rb_ = record_bytes;
+    file_ = std::fopen(path.c_str(), "rb");
+    if (file_ == nullptr) {
+      return Status::IoError("cannot reopen spill file " + path);
+    }
+    // Slab holds whole records.
+    const std::uint64_t records =
+        std::max<std::uint64_t>(1, slab_bytes / record_bytes);
+    slab_.resize(records * record_bytes);
+    return refill();
+  }
+
+  void open_memory(std::vector<char> data, std::uint32_t record_bytes) {
+    rb_ = record_bytes;
+    slab_ = std::move(data);
+    slab_len_ = slab_.size();
+    pos_ = 0;
+  }
+
+  ~RunCursor() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  bool exhausted() const { return pos_ >= slab_len_ && eof_; }
+  const char* head() const { return slab_.data() + pos_; }
+
+  Status advance() {
+    pos_ += rb_;
+    if (pos_ >= slab_len_ && !eof_) return refill();
+    return Status::Ok();
+  }
+
+ private:
+  Status refill() {
+    if (file_ == nullptr) {
+      eof_ = true;
+      return Status::Ok();
+    }
+    const std::size_t n = std::fread(slab_.data(), 1, slab_.size(), file_);
+    if (n % rb_ != 0) {
+      return Status::IoError("spill file truncated mid-record");
+    }
+    slab_len_ = n;
+    pos_ = 0;
+    if (n < slab_.size()) eof_ = true;
+    return Status::Ok();
+  }
+
+  std::FILE* file_ = nullptr;
+  std::vector<char> slab_;
+  std::size_t slab_len_ = 0;
+  std::size_t pos_ = 0;
+  std::uint32_t rb_ = 0;
+  bool eof_ = false;
+};
+
+// Loser tree over run cursors (streaming variant of merge::LoserTree).
+class CursorLoserTree {
+ public:
+  CursorLoserTree(std::vector<RunCursor>& runs, std::uint32_t key_bytes)
+      : runs_(runs), kb_(key_bytes) {
+    k_ = 1;
+    while (k_ < runs_.size()) k_ <<= 1;
+    tree_.assign(k_, kInvalid);
+    build();
+  }
+
+  bool empty() const {
+    return winner_ == kInvalid || runs_[winner_].exhausted();
+  }
+  std::size_t winner() const { return winner_; }
+
+  Status pop_advance() {
+    SUPMR_RETURN_IF_ERROR(runs_[winner_].advance());
+    replay(winner_);
+    return Status::Ok();
+  }
+
+ private:
+  static constexpr std::size_t kInvalid = ~std::size_t{0};
+
+  bool alive(std::size_t r) const {
+    return r < runs_.size() && !runs_[r].exhausted();
+  }
+  bool beats(std::size_t a, std::size_t b) const {
+    if (!alive(a)) return false;
+    if (!alive(b)) return true;
+    return std::memcmp(runs_[a].head(), runs_[b].head(), kb_) <= 0;
+  }
+
+  void build() {
+    std::vector<std::size_t> up(k_);
+    for (std::size_t i = 0; i < k_; ++i) up[i] = i;
+    std::size_t level = k_;
+    while (level > 1) {
+      for (std::size_t i = 0; i < level; i += 2) {
+        const std::size_t a = up[i], b = up[i + 1];
+        const bool a_wins = beats(a, b);
+        tree_[(level + i) / 2] = a_wins ? b : a;
+        up[i / 2] = a_wins ? a : b;
+      }
+      level /= 2;
+    }
+    winner_ = up[0];
+    if (!alive(winner_)) winner_ = kInvalid;
+  }
+
+  void replay(std::size_t run) {
+    if (k_ == 1) {  // single run: no internal nodes to replay
+      winner_ = alive(0) ? 0 : kInvalid;
+      return;
+    }
+    std::size_t node = (k_ + run) / 2;
+    std::size_t candidate = run;
+    while (true) {
+      const std::size_t other = tree_[node];
+      if (other != kInvalid && beats(other, candidate)) {
+        tree_[node] = candidate;
+        candidate = other;
+      }
+      if (node == 1) break;
+      node /= 2;
+    }
+    winner_ = alive(candidate) ? candidate : kInvalid;
+    if (winner_ == kInvalid) {
+      // The candidate died; rebuild to find any remaining run (rare: only
+      // at run exhaustion boundaries).
+      build();
+    }
+  }
+
+  std::vector<RunCursor>& runs_;
+  std::uint32_t kb_;
+  std::size_t k_ = 0;
+  std::vector<std::size_t> tree_;
+  std::size_t winner_ = kInvalid;
+};
+
+}  // namespace
+
+ExternalSorter::ExternalSorter(ThreadPool& pool,
+                               ExternalSorterOptions options)
+    : pool_(pool), options_(options) {
+  assert(options_.record_bytes > 0 &&
+         options_.key_bytes <= options_.record_bytes);
+  // Budget must hold at least a handful of records.
+  options_.memory_budget_bytes = std::max<std::uint64_t>(
+      options_.memory_budget_bytes, 16ULL * options_.record_bytes);
+  buffer_.reserve(options_.memory_budget_bytes);
+}
+
+ExternalSorter::~ExternalSorter() {
+  for (const auto& path : spill_paths_) std::remove(path.c_str());
+}
+
+Status ExternalSorter::add(std::span<const char> records) {
+  if (finished_) return Status::FailedPrecondition("finish() already called");
+  if (records.size() % options_.record_bytes != 0) {
+    return Status::InvalidArgument("add() requires whole records");
+  }
+  std::size_t offset = 0;
+  while (offset < records.size()) {
+    const std::uint64_t room = options_.memory_budget_bytes - buffer_.size();
+    const std::uint64_t take_records =
+        std::min<std::uint64_t>(room / options_.record_bytes,
+                                (records.size() - offset) /
+                                    options_.record_bytes);
+    const std::uint64_t take = take_records * options_.record_bytes;
+    buffer_.insert(buffer_.end(), records.begin() + offset,
+                   records.begin() + offset + take);
+    buffered_records_ += take_records;
+    records_added_ += take_records;
+    offset += take;
+    if (buffer_.size() + options_.record_bytes >
+        options_.memory_budget_bytes) {
+      SUPMR_RETURN_IF_ERROR(spill_buffer());
+    }
+  }
+  return Status::Ok();
+}
+
+void ExternalSorter::sort_buffer(std::vector<std::uint64_t>& index) {
+  index.resize(buffered_records_);
+  for (std::uint64_t i = 0; i < buffered_records_; ++i) index[i] = i;
+  const char* data = buffer_.data();
+  const std::uint32_t rb = options_.record_bytes;
+  const std::uint32_t kb = options_.key_bytes;
+  auto cmp = [data, rb, kb](std::uint64_t a, std::uint64_t b) {
+    return std::memcmp(data + a * rb, data + b * rb, kb) < 0;
+  };
+  parallel_sample_sort(pool_,
+                       std::span<std::uint64_t>(index.data(), index.size()),
+                       cmp);
+}
+
+Status ExternalSorter::spill_buffer() {
+  if (buffered_records_ == 0) return Status::Ok();
+  std::vector<std::uint64_t> index;
+  sort_buffer(index);
+
+  char name[64];
+  std::snprintf(name, sizeof(name), "/supmr_spill_%p_%zu.run",
+                static_cast<void*>(this), spill_paths_.size());
+  const std::string path = options_.spill_dir + name;
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot create spill " + path);
+
+  // Write permuted records through a staging slab.
+  const std::uint32_t rb = options_.record_bytes;
+  std::vector<char> slab(std::max<std::uint64_t>(rb, 1 << 20) / rb * rb);
+  std::size_t fill = 0;
+  for (std::uint64_t i = 0; i < buffered_records_; ++i) {
+    std::memcpy(slab.data() + fill, buffer_.data() + index[i] * rb, rb);
+    fill += rb;
+    if (fill == slab.size() || i + 1 == buffered_records_) {
+      if (std::fwrite(slab.data(), 1, fill, f) != fill) {
+        std::fclose(f);
+        return Status::IoError("short write to spill " + path);
+      }
+      fill = 0;
+    }
+  }
+  if (std::fclose(f) != 0) return Status::IoError("spill close failed");
+  spill_paths_.push_back(path);
+  buffer_.clear();
+  buffered_records_ = 0;
+  return Status::Ok();
+}
+
+StatusOr<MergeStats> ExternalSorter::finish(const Sink& sink) {
+  if (finished_) return Status::FailedPrecondition("finish() already called");
+  finished_ = true;
+  MergeStats stats;
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint32_t rb = options_.record_bytes;
+
+  // In-memory residue becomes one pre-sorted run.
+  std::vector<char> residue;
+  if (buffered_records_ > 0) {
+    std::vector<std::uint64_t> index;
+    sort_buffer(index);
+    residue.resize(buffered_records_ * rb);
+    for (std::uint64_t i = 0; i < buffered_records_; ++i) {
+      std::memcpy(residue.data() + i * rb, buffer_.data() + index[i] * rb,
+                  rb);
+    }
+    buffer_.clear();
+    buffered_records_ = 0;
+  }
+
+  std::vector<RunCursor> runs(spill_paths_.size() + (residue.empty() ? 0 : 1));
+  for (std::size_t r = 0; r < spill_paths_.size(); ++r) {
+    SUPMR_RETURN_IF_ERROR(
+        runs[r].open_file(spill_paths_[r], rb, options_.merge_read_bytes));
+  }
+  if (!residue.empty()) {
+    runs.back().open_memory(std::move(residue), rb);
+  }
+  if (runs.empty()) return stats;
+
+  CursorLoserTree tree(runs, options_.key_bytes);
+  std::vector<char> out(std::max<std::uint64_t>(rb, 1 << 20) / rb * rb);
+  std::size_t fill = 0;
+  std::uint64_t emitted = 0;
+  while (!tree.empty()) {
+    std::memcpy(out.data() + fill, runs[tree.winner()].head(), rb);
+    fill += rb;
+    ++emitted;
+    SUPMR_RETURN_IF_ERROR(tree.pop_advance());
+    if (fill == out.size() || tree.empty()) {
+      SUPMR_RETURN_IF_ERROR(
+          sink(std::span<const char>(out.data(), fill)));
+      fill = 0;
+    }
+  }
+  if (emitted != records_added_) {
+    return Status::Internal("external merge lost records: emitted " +
+                            std::to_string(emitted) + " of " +
+                            std::to_string(records_added_));
+  }
+
+  for (const auto& path : spill_paths_) std::remove(path.c_str());
+  const std::size_t sources = runs.size();
+  spill_paths_.clear();
+
+  MergeStats::Round round;
+  round.active_workers = 1;
+  round.items_moved = emitted;
+  round.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  stats.rounds.push_back(round);
+  (void)sources;
+  return stats;
+}
+
+}  // namespace supmr::merge

@@ -1,0 +1,95 @@
+// Iterative f-way merge: the generalization bridging the paper's two merge
+// algorithms.
+//
+// Round-based merging with fan-in f merges groups of f runs per round using
+// a loser tree; f = 2 is exactly the original runtime's pairwise merge
+// (log2(R) rounds) and f >= R is exactly one p-way round. Sweeping f
+// quantifies how much of SupMR's 3.1x merge speedup comes from round count
+// vs parallel width — the ablation the paper's Conclusion 3 gestures at.
+//
+// Each round merges ceil(R/f) groups in parallel (one worker per group),
+// moving every element once per round: total moves = N * ceil(log_f(R)).
+#pragma once
+
+#include <chrono>
+#include <span>
+#include <vector>
+
+#include "merge/loser_tree.hpp"
+#include "merge/sample_sort.hpp"
+#include "merge/stats.hpp"
+#include "threading/thread_pool.hpp"
+
+namespace supmr::merge {
+
+// Merges `runs` (sorted under cmp, laid out back-to-back in `buffer`) with
+// fan-in `fanin` per round. The sorted result ends in `buffer`.
+template <typename T, typename Cmp>
+MergeStats fway_merge(ThreadPool& pool, std::vector<std::span<T>> runs,
+                      std::span<T> buffer, std::size_t fanin, Cmp cmp) {
+  MergeStats stats;
+  if (fanin < 2) fanin = 2;
+  if (runs.size() <= 1) return stats;
+
+  std::vector<T> scratch(buffer.size());
+  std::span<T> dst(scratch.data(), scratch.size());
+  bool result_in_scratch = false;
+
+  while (runs.size() > 1) {
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::span<T>> next;
+    std::vector<std::function<void(std::size_t)>> tasks;
+    std::size_t offset = 0;
+    for (std::size_t g = 0; g < runs.size(); g += fanin) {
+      const std::size_t last = std::min(g + fanin, runs.size());
+      std::size_t group_size = 0;
+      for (std::size_t r = g; r < last; ++r) group_size += runs[r].size();
+      T* out = dst.data() + offset;
+      next.push_back(std::span<T>(out, group_size));
+      if (last - g == 1) {
+        // Lone trailing run: copy through to keep the packed layout.
+        std::span<T> lone = runs[g];
+        tasks.push_back([lone, out](std::size_t) {
+          std::copy(lone.begin(), lone.end(), out);
+        });
+      } else {
+        std::vector<std::span<const T>> group;
+        for (std::size_t r = g; r < last; ++r)
+          group.push_back(std::span<const T>(runs[r].data(), runs[r].size()));
+        tasks.push_back([group = std::move(group), out, &cmp](std::size_t) {
+          LoserTree<T, Cmp> tree(group, cmp);
+          tree.drain(out);
+        });
+      }
+      offset += group_size;
+    }
+    pool.run_wave(tasks);
+
+    MergeStats::Round round;
+    round.active_workers = tasks.size();
+    round.items_moved = buffer.size();
+    round.wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    stats.rounds.push_back(round);
+
+    runs = std::move(next);
+    std::swap(buffer, dst);
+    result_in_scratch = !result_in_scratch;
+  }
+
+  if (result_in_scratch) {
+    std::copy(scratch.begin(), scratch.end(), dst.begin());
+  }
+  return stats;
+}
+
+// Full sort: parallel run formation + iterative f-way merging.
+template <typename T, typename Cmp>
+MergeStats fway_merge_sort(ThreadPool& pool, std::span<T> data, Cmp cmp,
+                           std::size_t num_runs, std::size_t fanin) {
+  auto runs = form_runs_parallel(pool, data, num_runs, cmp);
+  return fway_merge(pool, std::move(runs), data, fanin, cmp);
+}
+
+}  // namespace supmr::merge

@@ -1,0 +1,111 @@
+// Loser-tree (tournament) k-way merge.
+//
+// Merges N sorted runs into one output in a single pass with log2(N)
+// comparisons per element — the p-way merging of Salzberg [9] that SupMR
+// substitutes for the runtime's iterative pairwise merge (paper §IV). The
+// loser tree keeps the loser of each internal match so advancing the winner
+// replays only one root-to-leaf path.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace supmr::merge {
+
+template <typename T, typename Cmp>
+class LoserTree {
+ public:
+  // `runs` must each be sorted under `cmp`. Empty runs are allowed.
+  LoserTree(std::vector<std::span<const T>> runs, Cmp cmp)
+      : runs_(std::move(runs)), cmp_(cmp) {
+    k_ = 1;
+    while (k_ < runs_.size()) k_ <<= 1;  // pad to a power of two
+    cursor_.assign(runs_.size(), 0);
+    tree_.assign(k_, kInvalid);
+    remaining_ = 0;
+    for (const auto& r : runs_) remaining_ += r.size();
+    build();
+  }
+
+  bool empty() const { return remaining_ == 0; }
+  std::uint64_t remaining() const { return remaining_; }
+
+  // Pops the smallest element across all runs.
+  const T& pop() {
+    assert(!empty());
+    const std::size_t win = winner_;
+    const T& result = runs_[win][cursor_[win]];
+    ++cursor_[win];
+    --remaining_;
+    replay(win);
+    return result;
+  }
+
+  // Drains everything into `out` (must have room for remaining()).
+  void drain(T* out) {
+    while (!empty()) *out++ = pop();
+  }
+
+ private:
+  static constexpr std::size_t kInvalid = ~std::size_t{0};
+
+  bool exhausted(std::size_t run) const {
+    return run >= runs_.size() || cursor_[run] >= runs_[run].size();
+  }
+
+  // True if run a's head sorts before run b's head (exhausted runs lose).
+  bool beats(std::size_t a, std::size_t b) const {
+    if (exhausted(a)) return false;
+    if (exhausted(b)) return true;
+    return !cmp_(runs_[b][cursor_[b]], runs_[a][cursor_[a]]);  // stable: ties to lower index via caller order
+  }
+
+  void build() {
+    // Play the full tournament once: leaves are run indices; tree_[i] holds
+    // the loser of the match at internal node i; winner_ holds the champion.
+    std::vector<std::size_t> up(k_);
+    for (std::size_t i = 0; i < k_; ++i) up[i] = i;
+    std::size_t level = k_;
+    while (level > 1) {
+      for (std::size_t i = 0; i < level; i += 2) {
+        const std::size_t a = up[i], b = up[i + 1];
+        const bool a_wins = beats(a, b);
+        const std::size_t winner = a_wins ? a : b;
+        const std::size_t loser = a_wins ? b : a;
+        tree_[(level + i) / 2] = loser;
+        up[i / 2] = winner;
+      }
+      level /= 2;
+    }
+    winner_ = up[0];
+  }
+
+  void replay(std::size_t run) {
+    // Walk from leaf `run` to the root, swapping with stored losers when
+    // they now beat the current candidate.
+    std::size_t node = (k_ + run) / 2;
+    std::size_t candidate = run;
+    while (node >= 1) {
+      const std::size_t other = tree_[node];
+      if (other != kInvalid && beats(other, candidate)) {
+        tree_[node] = candidate;
+        candidate = other;
+      }
+      if (node == 1) break;
+      node /= 2;
+    }
+    winner_ = candidate;
+  }
+
+  std::vector<std::span<const T>> runs_;
+  Cmp cmp_;
+  std::size_t k_ = 0;
+  std::vector<std::size_t> cursor_;
+  std::vector<std::size_t> tree_;  // loser at each internal node
+  std::size_t winner_ = kInvalid;
+  std::uint64_t remaining_ = 0;
+};
+
+}  // namespace supmr::merge

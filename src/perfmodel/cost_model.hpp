@@ -1,0 +1,89 @@
+// Calibrated cost models for paper-scale simulation.
+//
+// Calibration policy (see DESIGN.md): every constant is pinned from the
+// paper's BASELINE ("none") rows of Table II and the stated hardware; the
+// SupMR rows and all figures are then *predicted* by the model, never
+// fitted. EXPERIMENTS.md tabulates prediction vs. paper for each cell.
+//
+// Derivations (Table II, 32 hardware contexts):
+//   disk_bw        = 155 GB / 403.90 s            = 383.8 MB/s (matches the
+//                    stated RAID-0 maximum of 384 MB/s)
+//   wc map cpu/B   = 67.41 s * 32 / 155e9 B       = 1.392e-8 s
+//   sort map cpu/B = 6.33 s * 32 / 60e9 B         = 3.376e-9 s
+//   sort ingest extra (container page-in during read; read row is 182.78 s
+//                    vs 156.25 s raw transfer)    = 4.42e-10 s/B (sys)
+//   wc reduce/key  = 0.03 s * 32 / 2e6 keys       = 4.8e-7 s
+//   sort reduce/rec= 7.72 s * 32 / 600e6          = 4.12e-7 s
+//   mem stream bw  : pairwise merge moves all records log2(R)=6 times,
+//                    2 x 60 GB traffic per round  => 720 GB / 191.23 s
+//                                                  = 3.765 GB/s
+//   p-way penalty  : a p-way merge runs p workers x R-run loser trees
+//                    (thousands of concurrent streams vs 2 per worker), so
+//                    its effective stream bandwidth is halved. This is the
+//                    single shape parameter not derivable from a baseline
+//                    row; 2.0 predicts 63.7 s vs the paper's 61.14 s.
+//   setup+cleanup  : total minus the listed phases ("All job execution
+//                    times do not add up", §VI.B): wc 0.40 s, sort 9.25 s.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "wload/virtual_dataset.hpp"
+
+namespace supmr::perfmodel {
+
+// Machine + storage constants (paper testbed).
+struct CostModel {
+  int contexts = 32;
+  double disk_bw_bps = 384.0e6;
+  double mem_stream_bw_bps = 3.765e9;
+  double pway_stream_penalty = 2.0;
+  double thread_spawn_s = 0.0002;  // sys-CPU per mapper thread create
+  double thread_join_s = 0.0001;   // sys-CPU per mapper thread destroy
+};
+
+// Per-application cost description.
+struct AppModel {
+  // Parallel map work (cpu-seconds per input byte, per thread).
+  double map_cpu_s_per_byte = 0.0;
+  // Extra kernel-side cost charged while ingesting (page faults while
+  // paging freshly allocated container memory in).
+  double ingest_extra_cpu_s_per_byte = 0.0;
+  // Reduce: items * cost, parallelized over all contexts.
+  std::uint64_t reduce_items = 0;
+  double reduce_cpu_s_per_item = 0.0;
+  // Merge: records of record_bytes moved through the memory system.
+  std::uint64_t merge_records = 0;
+  double merge_record_bytes = 0.0;
+  // Unattributed setup/cleanup added to the job total.
+  double setup_cleanup_s = 0.0;
+};
+
+inline CostModel paper_machine() { return CostModel{}; }
+
+inline AppModel wordcount_model(const wload::VirtualDataset& d) {
+  AppModel m;
+  m.map_cpu_s_per_byte = 1.392e-8;
+  m.ingest_extra_cpu_s_per_byte = 0.0;
+  m.reduce_items = d.distinct_keys;
+  m.reduce_cpu_s_per_item = 4.8e-7;
+  m.merge_records = d.distinct_keys;
+  m.merge_record_bytes = 16.0;  // (word ptr, count) pairs
+  m.setup_cleanup_s = 0.40;
+  return m;
+}
+
+inline AppModel sort_model(const wload::VirtualDataset& d) {
+  AppModel m;
+  m.map_cpu_s_per_byte = 3.376e-9;
+  m.ingest_extra_cpu_s_per_byte = 4.42e-10;
+  m.reduce_items = d.num_records;
+  m.reduce_cpu_s_per_item = 4.12e-7;
+  m.merge_records = d.num_records;
+  m.merge_record_bytes = d.avg_record_bytes;
+  m.setup_cleanup_s = 9.25;
+  return m;
+}
+
+}  // namespace supmr::perfmodel

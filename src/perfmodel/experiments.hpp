@@ -1,0 +1,75 @@
+// Per-experiment drivers: one function per table/figure of the paper.
+//
+// Bench binaries print these results; tests assert their shape (who wins,
+// by roughly what factor, where crossovers fall). All run at paper scale in
+// virtual time.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "perfmodel/sim_job.hpp"
+
+namespace supmr::perfmodel {
+
+struct Table2Row {
+  std::string label;          // "none", "1GB", "50GB"
+  SimJobResult result;
+};
+
+// Table II, word count block: chunk sizes none / 1 GB / 50 GB on 155 GB.
+std::vector<Table2Row> table2_wordcount();
+
+// Table II, sort block: chunk none (pairwise merge) / 1 GB (p-way merge).
+std::vector<Table2Row> table2_sort();
+
+// Fig. 1: original-runtime sort trace (60 GB, no chunks, pairwise merge).
+SimJobResult fig1_sort_baseline();
+
+// Fig. 3: OpenMP-style sort vs. the original MapReduce runtime.
+struct Fig3Result {
+  SimJobResult mapreduce;     // original runtime (same run as Fig. 1)
+  PhaseBreakdown openmp;      // sequential ingest+parse, parallel sort
+  double openmp_compute_s = 0.0;
+  double mapreduce_compute_s = 0.0;
+};
+Fig3Result fig3_openmp_vs_mapreduce();
+
+// Fig. 5 a/b/c: word count traces at chunk = none / 1 GB / 50 GB.
+std::vector<std::pair<std::string, SimJobResult>> fig5_wordcount_traces();
+
+// Fig. 6: SupMR sort trace (1 GB chunks, p-way merge).
+SimJobResult fig6_sort_pway();
+
+// Fig. 7: word count ingesting 30 GB from HDFS behind one 1 Gb/s link.
+struct Fig7Result {
+  SimJobResult original;  // copy everything, then compute
+  SimJobResult supmr;     // ingest chunk pipeline over the link
+  double speedup_s = 0.0;
+};
+Fig7Result fig7_hdfs_casestudy();
+
+// Ablation: total job time across a chunk-size sweep (bytes; 0 = none).
+struct SweepPoint {
+  std::uint64_t chunk_bytes = 0;
+  double total_s = 0.0;
+  double readmap_s = 0.0;
+  double mean_utilization = 0.0;
+  std::uint64_t threads_spawned = 0;
+};
+std::vector<SweepPoint> chunk_size_sweep(
+    const AppModel& app, const wload::VirtualDataset& dataset,
+    core::MergeMode merge_mode, const std::vector<std::uint64_t>& sizes);
+
+// Ablation: merge wall time vs. fan-in (number of sorted runs).
+struct FaninPoint {
+  std::size_t runs = 0;
+  double pairwise_merge_s = 0.0;
+  double pway_merge_s = 0.0;
+};
+std::vector<FaninPoint> merge_fanin_sweep(const AppModel& app,
+                                          const wload::VirtualDataset& d,
+                                          const std::vector<std::size_t>& runs);
+
+}  // namespace supmr::perfmodel

@@ -1,0 +1,53 @@
+// Paper-scale job simulation: replays the runtime's schedule against the
+// discrete-event machine model.
+//
+// The schedule mirrors core::MapReduceJob exactly:
+//   original runtime:  [ingest all] -> [map wave] -> [reduce] -> [merge]
+//   run_ingestMR:      n+1 pipeline rounds — ingest(c_{i+1}) overlapped with
+//                      map(c_i) — then reduce and merge.
+// The chunk plan uses the same arithmetic as ingest planning (equal chunks,
+// short tail), the map waves use the same "<= mappers tasks per round" rule,
+// and the merge rounds use the same run counts, so the simulated schedule is
+// the real runtime's schedule with modelled costs.
+#pragma once
+
+#include "common/phase_timer.hpp"
+#include "common/timeseries.hpp"
+#include "core/job_config.hpp"
+#include "perfmodel/cost_model.hpp"
+
+namespace supmr::perfmodel {
+
+struct SimJobSpec {
+  CostModel machine;
+  AppModel app;
+  wload::VirtualDataset dataset;
+
+  // 0 => original runtime (single ingest, no pipeline).
+  std::uint64_t chunk_bytes = 0;
+  core::MergeMode merge_mode = core::MergeMode::kPairwise;
+  std::size_t num_mappers = 32;   // map wave width
+  std::size_t merge_runs = 64;    // sorted runs entering the final merge
+
+  // Overrides the disk bandwidth (e.g. the HDFS shared 1 Gb/s link).
+  double ingest_bw_override_bps = 0.0;
+
+  double trace_interval_s = 1.0;
+};
+
+struct SimJobResult {
+  PhaseBreakdown phases;
+  TimeSeries trace;            // user/sys/iowait, like collectl
+  double mean_utilization = 0.0;  // user+sys percent over the whole job
+  std::uint64_t map_rounds = 0;
+  std::uint64_t merge_rounds = 0;
+  std::uint64_t threads_spawned = 0;
+
+  SimJobResult() : trace({"user", "sys", "iowait"}) {}
+};
+
+// Runs the simulation to completion (virtual time; returns in milliseconds
+// of host time even for 155 GB jobs).
+SimJobResult simulate_job(const SimJobSpec& spec);
+
+}  // namespace supmr::perfmodel

@@ -1,0 +1,38 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+
+namespace supmr::sim {
+
+void Engine::schedule_at(SimTime t, std::function<void()> fn) {
+  assert(t >= now_ - 1e-12 && "cannot schedule into the past");
+  if (t < now_) t = now_;
+  calendar_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+SimTime Engine::run() {
+  while (!calendar_.empty()) {
+    // priority_queue::top returns const&; the function object must be moved
+    // out before pop, so copy the handle (cheap for std::function with small
+    // captures) and pop first.
+    Event ev = calendar_.top();
+    calendar_.pop();
+    now_ = ev.t;
+    ++executed_;
+    ev.fn();
+  }
+  return now_;
+}
+
+void Engine::run_until(SimTime t_end) {
+  while (!calendar_.empty() && calendar_.top().t <= t_end) {
+    Event ev = calendar_.top();
+    calendar_.pop();
+    now_ = ev.t;
+    ++executed_;
+    ev.fn();
+  }
+  if (now_ < t_end) now_ = t_end;
+}
+
+}  // namespace supmr::sim

@@ -1,0 +1,92 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace supmr::sim {
+
+Machine::Machine(Engine& engine, MachineConfig config)
+    : engine_(engine), config_(config) {
+  assert(config.hardware_contexts > 0);
+  cpu_ = std::make_unique<PsResource>(engine, "cpu",
+                                      double(config.hardware_contexts),
+                                      /*per_job_cap=*/1.0);
+  blocked_.times.push_back(0.0);
+  blocked_.counts.push_back(0);
+}
+
+void Machine::attach_device(PsResource* device) {
+  devices_.push_back(device);
+}
+
+void Machine::set_blocked_delta(int delta) {
+  blocked_count_ += delta;
+  assert(blocked_count_ >= 0);
+  blocked_.times.push_back(engine_.now());
+  blocked_.counts.push_back(blocked_count_);
+}
+
+void Machine::spawn_thread(std::vector<Stage> stages,
+                           std::function<void()> on_exit,
+                           bool charge_overhead) {
+  ++threads_spawned_;
+  auto shared_stages =
+      std::make_shared<std::vector<Stage>>(std::move(stages));
+  if (charge_overhead && config_.thread_spawn_cost_s > 0.0) {
+    // Thread creation is kernel work on the spawning path.
+    cpu_->submit(config_.thread_spawn_cost_s, Category::kSys,
+                 [this, shared_stages, on_exit = std::move(on_exit),
+                  charge_overhead]() mutable {
+                   run_stage(shared_stages, 0, std::move(on_exit),
+                             charge_overhead);
+                 });
+  } else {
+    run_stage(shared_stages, 0, std::move(on_exit), charge_overhead);
+  }
+}
+
+void Machine::run_stage(std::shared_ptr<std::vector<Stage>> stages,
+                        std::size_t idx, std::function<void()> on_exit,
+                        bool charge_overhead) {
+  if (idx >= stages->size()) {
+    if (charge_overhead && config_.thread_join_cost_s > 0.0) {
+      cpu_->submit(config_.thread_join_cost_s, Category::kSys,
+                   std::move(on_exit));
+    } else if (on_exit) {
+      engine_.schedule_after(0.0, std::move(on_exit));
+    }
+    return;
+  }
+  const Stage& stage = (*stages)[idx];
+  auto next = [this, stages, idx, on_exit = std::move(on_exit),
+               charge_overhead]() mutable {
+    run_stage(stages, idx + 1, std::move(on_exit), charge_overhead);
+  };
+  if (stage.kind == Stage::Kind::kCompute) {
+    cpu_->submit(stage.demand, stage.cat, std::move(next));
+  } else {
+    assert(stage.device != nullptr);
+    set_blocked_delta(+1);
+    stage.device->submit(stage.demand, Category::kSys,
+                         [this, next = std::move(next)]() mutable {
+                           set_blocked_delta(-1);
+                           next();
+                         });
+  }
+}
+
+double Machine::BlockedTimeline::mean(double t0, double t1) const {
+  if (t1 <= t0 || times.empty()) return 0.0;
+  double integral = 0.0;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    const double seg_start = times[i];
+    const double seg_end =
+        (i + 1 < times.size()) ? times[i + 1] : std::max(t1, seg_start);
+    const double lo = std::max(seg_start, t0);
+    const double hi = std::min(seg_end, t1);
+    if (hi > lo) integral += double(counts[i]) * (hi - lo);
+  }
+  return integral / (t1 - t0);
+}
+
+}  // namespace supmr::sim

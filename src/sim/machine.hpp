@@ -1,0 +1,91 @@
+// Machine model: hardware contexts + attached devices + thread lifecycle.
+//
+// A simulated thread is a sequence of stages, each either CPU work (charged
+// to the shared context pool) or I/O (charged to a device resource). While a
+// thread waits on I/O it is counted as blocked; the tracer converts blocked
+// threads on otherwise-idle contexts into the "IO wait" channel, matching
+// how collectl reported the paper's traces.
+//
+// Thread spawn/destroy overhead is modelled as a small sys-CPU charge,
+// which is what makes tiny ingest chunks measurably expensive (paper §VI.C.1).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+
+namespace supmr::sim {
+
+struct MachineConfig {
+  int hardware_contexts = 32;       // paper: 2x8 cores, hyperthreaded
+  double thread_spawn_cost_s = 0.0002;   // sys-CPU per thread create
+  double thread_join_cost_s = 0.0001;    // sys-CPU per thread destroy
+};
+
+// One step of a simulated thread's life.
+struct Stage {
+  enum class Kind { kCompute, kIo };
+
+  static Stage compute(double cpu_seconds, Category cat = Category::kUser) {
+    return Stage{Kind::kCompute, cpu_seconds, cat, nullptr};
+  }
+  static Stage io(PsResource* device, double bytes) {
+    return Stage{Kind::kIo, bytes, Category::kSys, device};
+  }
+
+  Kind kind;
+  double demand;     // cpu-seconds or bytes
+  Category cat;      // for compute stages
+  PsResource* device;  // for io stages
+};
+
+class Machine {
+ public:
+  Machine(Engine& engine, MachineConfig config);
+
+  Engine& engine() { return engine_; }
+  const MachineConfig& config() const { return config_; }
+  PsResource& cpu() { return *cpu_; }
+  const PsResource& cpu() const { return *cpu_; }
+
+  // Registers a device resource (disk, link) owned by the caller so the
+  // tracer can find it for I/O-busy accounting.
+  void attach_device(PsResource* device);
+  const std::vector<PsResource*>& devices() const { return devices_; }
+
+  // Spawns a simulated thread running `stages` in order; `on_exit` fires
+  // after the final stage (and the join overhead) completes. `charge_overhead`
+  // adds the configured spawn/join sys-CPU cost — the runtime's per-round
+  // mapper threads pay it; long-lived coordinator threads do not.
+  void spawn_thread(std::vector<Stage> stages, std::function<void()> on_exit,
+                    bool charge_overhead = true);
+
+  // Piecewise-constant count of threads blocked on I/O (for iowait).
+  struct BlockedTimeline {
+    std::vector<double> times;
+    std::vector<int> counts;
+    double mean(double t0, double t1) const;
+  };
+  const BlockedTimeline& blocked_timeline() const { return blocked_; }
+
+  std::uint64_t threads_spawned() const { return threads_spawned_; }
+
+ private:
+  void run_stage(std::shared_ptr<std::vector<Stage>> stages, std::size_t idx,
+                 std::function<void()> on_exit, bool charge_overhead);
+  void set_blocked_delta(int delta);
+
+  Engine& engine_;
+  MachineConfig config_;
+  std::unique_ptr<PsResource> cpu_;
+  std::vector<PsResource*> devices_;
+  int blocked_count_ = 0;
+  BlockedTimeline blocked_;
+  std::uint64_t threads_spawned_ = 0;
+};
+
+}  // namespace supmr::sim

@@ -1,0 +1,142 @@
+#include "sim/resource.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <memory>
+
+namespace supmr::sim {
+
+namespace {
+// Demands are heterogeneous units (cpu-seconds, bytes), so completion
+// tolerances must be expressed in TIME, the common denominator: a job whose
+// remaining demand would be served within kTimeEps seconds is complete.
+// Without this, a disk job with a few micro-bytes left computes a completion
+// dt below the double-precision ULP of the current virtual time and the
+// completion event re-fires at the same timestamp forever.
+constexpr double kTimeEps = 1e-9;
+// Absolute floor for zero-demand submissions.
+constexpr double kEps = 1e-12;
+}  // namespace
+
+PsResource::PsResource(Engine& engine, std::string name, double capacity,
+                       double per_job_cap)
+    : engine_(engine),
+      name_(std::move(name)),
+      capacity_(capacity),
+      per_job_cap_(per_job_cap) {
+  assert(capacity > 0.0 && per_job_cap > 0.0);
+}
+
+double PsResource::rate_per_job() const {
+  if (jobs_.empty()) return 0.0;
+  return std::min(per_job_cap_, capacity_ / double(jobs_.size()));
+}
+
+void PsResource::advance() {
+  const double now = engine_.now();
+  const double dt = now - last_advance_;
+  if (dt > 0.0 && !jobs_.empty()) {
+    const double rate = rate_per_job();
+    for (auto& job : jobs_) {
+      const double served = std::min(job.remaining, rate * dt);
+      job.remaining -= served;
+      delivered_[static_cast<int>(job.cat)] += served;
+    }
+  }
+  last_advance_ = now;
+}
+
+void PsResource::log_rates() {
+  const double rate = rate_per_job();
+  double by_cat[kNumCategories] = {0.0, 0.0};
+  for (const auto& job : jobs_) by_cat[static_cast<int>(job.cat)] += rate;
+  timeline_.times.push_back(engine_.now());
+  for (int c = 0; c < kNumCategories; ++c)
+    timeline_.rates.push_back(by_cat[c]);
+}
+
+void PsResource::replan() {
+  ++epoch_;
+  log_rates();
+  if (jobs_.empty()) return;
+  const double rate = rate_per_job();
+  double min_remaining = std::numeric_limits<double>::infinity();
+  for (const auto& job : jobs_)
+    min_remaining = std::min(min_remaining, job.remaining);
+  // Guarantee forward progress: never schedule below the time tolerance.
+  const double dt = std::max(min_remaining / rate, kTimeEps);
+  const std::uint64_t epoch = epoch_;
+  engine_.schedule_after(dt, [this, epoch] { on_completion_event(epoch); });
+}
+
+void PsResource::submit(double demand, Category cat,
+                        std::function<void()> on_done) {
+  assert(demand >= 0.0);
+  advance();
+  if (demand <= kEps) {
+    // Zero work: complete via an event to preserve ordering.
+    if (on_done) engine_.schedule_after(0.0, std::move(on_done));
+    return;
+  }
+  jobs_.push_back(Job{demand, cat, std::move(on_done), next_job_id_++});
+  replan();
+}
+
+void PsResource::on_completion_event(std::uint64_t epoch) {
+  if (epoch != epoch_) return;  // superseded by a later arrival/completion
+  advance();
+  // Collect finished jobs first: callbacks may resubmit to this resource.
+  // A job is finished once its residual service time is below kTimeEps.
+  const double finish_below = rate_per_job() * kTimeEps;
+  std::vector<std::function<void()>> done;
+  for (auto it = jobs_.begin(); it != jobs_.end();) {
+    if (it->remaining <= finish_below) {
+      if (it->on_done) done.push_back(std::move(it->on_done));
+      it = jobs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  replan();
+  for (auto& fn : done) engine_.schedule_after(0.0, std::move(fn));
+}
+
+double PsResource::Timeline::mean_rate(double t0, double t1,
+                                       Category cat) const {
+  if (t1 <= t0 || times.empty()) return 0.0;
+  const int c = static_cast<int>(cat);
+  double integral = 0.0;
+  // The step function holds rates[i] on [times[i], times[i+1]).
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    const double seg_start = times[i];
+    const double seg_end =
+        (i + 1 < times.size()) ? times[i + 1] : std::max(t1, seg_start);
+    const double lo = std::max(seg_start, t0);
+    const double hi = std::min(seg_end, t1);
+    if (hi > lo) integral += rates[i * kNumCategories + c] * (hi - lo);
+  }
+  return integral / (t1 - t0);
+}
+
+double PsResource::Timeline::mean_rate_total(double t0, double t1) const {
+  double sum = 0.0;
+  for (int c = 0; c < kNumCategories; ++c)
+    sum += mean_rate(t0, t1, static_cast<Category>(c));
+  return sum;
+}
+
+std::function<void()> make_join(std::size_t n, std::function<void()> fn) {
+  if (n == 0) {
+    if (fn) fn();
+    return [] {};
+  }
+  auto remaining = std::make_shared<std::size_t>(n);
+  auto body = std::make_shared<std::function<void()>>(std::move(fn));
+  return [remaining, body] {
+    assert(*remaining > 0 && "join invoked more times than its arity");
+    if (--*remaining == 0 && *body) (*body)();
+  };
+}
+
+}  // namespace supmr::sim

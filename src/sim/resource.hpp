@@ -1,0 +1,106 @@
+// Processor-sharing resource model.
+//
+// Models a pool of identical servers (CPU contexts, a disk's aggregate
+// bandwidth, a network link). Active jobs share the capacity equally, each
+// capped at `per_job_cap` units/s:
+//
+//   rate_per_job = min(per_job_cap, capacity / n_active)
+//
+// With capacity = 32 and per_job_cap = 1 this is an ideal 32-context CPU: up
+// to 32 threads run at full speed, more than 32 time-share. With capacity =
+// 384 MB/s and per_job_cap = capacity it is a shared disk: one reader gets
+// full bandwidth, k readers get 1/k each.
+//
+// The resource re-plans completion times on every arrival/departure (the
+// classic PS recomputation) and appends to a piecewise-constant utilization
+// timeline, from which the tracer reconstructs figures after the run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace supmr::sim {
+
+// Work categories, matching collectl's CPU breakdown in the paper's figures.
+enum class Category : int { kUser = 0, kSys = 1 };
+inline constexpr int kNumCategories = 2;
+
+class PsResource {
+ public:
+  PsResource(Engine& engine, std::string name, double capacity,
+             double per_job_cap);
+
+  PsResource(const PsResource&) = delete;
+  PsResource& operator=(const PsResource&) = delete;
+
+  // Submits a job needing `demand` units; calls `on_done` (as an engine
+  // event) when served. Demand 0 completes immediately (still via an event,
+  // preserving causal ordering).
+  void submit(double demand, Category cat, std::function<void()> on_done);
+
+  const std::string& name() const { return name_; }
+  double capacity() const { return capacity_; }
+  std::size_t active_jobs() const { return jobs_.size(); }
+
+  // Total service delivered so far, per category (units).
+  double delivered(Category cat) const {
+    return delivered_[static_cast<int>(cat)];
+  }
+  double delivered_total() const {
+    return delivered_[0] + delivered_[1];
+  }
+
+  // Piecewise-constant utilization history: at times_[i] the aggregate
+  // service rate changed to rates_[i*kNumCategories + cat]. Used by the
+  // tracer; O(#submit + #complete) entries.
+  struct Timeline {
+    std::vector<double> times;
+    std::vector<double> rates;  // row-major: sample x category
+
+    // Mean rate of `cat` over [t0, t1) by integrating the step function.
+    double mean_rate(double t0, double t1, Category cat) const;
+    // Mean rate summed over all categories.
+    double mean_rate_total(double t0, double t1) const;
+  };
+  const Timeline& timeline() const { return timeline_; }
+
+ private:
+  struct Job {
+    double remaining;
+    Category cat;
+    std::function<void()> on_done;
+    std::uint64_t id;
+  };
+
+  // Advances all jobs' remaining demand to engine_.now().
+  void advance();
+  // Recomputes per-job rate and schedules the next completion event.
+  void replan();
+  void on_completion_event(std::uint64_t epoch);
+  double rate_per_job() const;
+  void log_rates();
+
+  Engine& engine_;
+  std::string name_;
+  double capacity_;
+  double per_job_cap_;
+  std::list<Job> jobs_;
+  double last_advance_ = 0.0;
+  double delivered_[kNumCategories] = {0.0, 0.0};
+  // Epoch guards stale completion events after a replan.
+  std::uint64_t epoch_ = 0;
+  std::uint64_t next_job_id_ = 0;
+  Timeline timeline_;
+};
+
+// Fan-in join for pipeline stages: returns a callable that, after being
+// invoked `n` times (across any completion callbacks), runs `fn` once.
+// State is shared_ptr-owned so the join outlives its creator's scope.
+std::function<void()> make_join(std::size_t n, std::function<void()> fn);
+
+}  // namespace supmr::sim

@@ -1,0 +1,36 @@
+#include "sim/tracer.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace supmr::sim {
+
+TimeSeries trace_utilization(const Machine& machine, double t_begin,
+                             double t_end, const TracerOptions& options) {
+  assert(options.sample_interval_s > 0.0);
+  TimeSeries series({"user", "sys", "iowait"});
+  const double contexts = double(machine.config().hardware_contexts);
+  const auto& cpu_tl = machine.cpu().timeline();
+  const auto& blocked_tl = machine.blocked_timeline();
+
+  for (double t = t_begin; t < t_end; t += options.sample_interval_s) {
+    const double t1 = std::min(t + options.sample_interval_s, t_end);
+    const double user = cpu_tl.mean_rate(t, t1, Category::kUser);
+    const double sys = cpu_tl.mean_rate(t, t1, Category::kSys);
+    const double busy = user + sys;
+    const double idle = std::max(0.0, contexts - busy);
+    const double blocked = blocked_tl.mean(t, t1);
+    const double iowait = std::min(blocked, idle);
+    series.append(t, {user / contexts * 100.0, sys / contexts * 100.0,
+                      iowait / contexts * 100.0});
+  }
+  return series;
+}
+
+double mean_utilization(const Machine& machine, double t0, double t1) {
+  const auto& cpu_tl = machine.cpu().timeline();
+  const double contexts = double(machine.config().hardware_contexts);
+  return cpu_tl.mean_rate_total(t0, t1) / contexts * 100.0;
+}
+
+}  // namespace supmr::sim

@@ -1,0 +1,32 @@
+// Utilization tracer: reconstructs collectl-style CPU traces from a
+// completed simulation.
+//
+// The paper's figures plot total CPU utilization split into user, sys and
+// IO-wait channels on a fixed sampling interval. We rebuild the same series
+// post-run from the machine's piecewise-constant rate timelines:
+//
+//   user%   = mean user-category CPU rate / contexts * 100
+//   sys%    = mean sys-category CPU rate / contexts * 100
+//   iowait% = min(mean blocked threads, idle contexts) / contexts * 100
+//
+// iowait mirrors the kernel's definition: time where CPUs are idle *and*
+// some thread is waiting on I/O.
+#pragma once
+
+#include "common/timeseries.hpp"
+#include "sim/machine.hpp"
+
+namespace supmr::sim {
+
+struct TracerOptions {
+  double sample_interval_s = 1.0;  // collectl default granularity
+};
+
+// Samples [t_begin, t_end) of a finished run. Channels: user, sys, iowait.
+TimeSeries trace_utilization(const Machine& machine, double t_begin,
+                             double t_end, const TracerOptions& options = {});
+
+// Convenience: mean total CPU utilization (user+sys, percent) over a window.
+double mean_utilization(const Machine& machine, double t0, double t1);
+
+}  // namespace supmr::sim

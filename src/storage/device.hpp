@@ -1,0 +1,55 @@
+// Storage device abstraction.
+//
+// The ingest layer reads chunks through this interface so the same runtime
+// code runs against a real file, an in-memory buffer (tests), a
+// bandwidth-throttled wrapper (reproducing the paper's 384 MB/s RAID-0 in
+// wall-clock experiments), a RAID-0 stripe set, or the HDFS-like remote
+// store of the paper's case study.
+//
+// DeviceModel carries the analytic performance parameters of a device for
+// the simulated executor; real devices report the model that matches their
+// throttling so wall-clock and virtual-time runs describe the same hardware.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "common/status.hpp"
+
+namespace supmr::storage {
+
+// Analytic cost model for the simulated executor.
+struct DeviceModel {
+  double bandwidth_bps = 384.0e6;  // paper's RAID-0 aggregate read speed
+  double seek_s = 0.008;           // per non-sequential access (HDD seek)
+
+  // Time to transfer `bytes` sequentially (no seek).
+  double transfer_time(std::uint64_t bytes) const {
+    return double(bytes) / bandwidth_bps;
+  }
+  // Time for one access beginning with a seek.
+  double access_time(std::uint64_t bytes) const {
+    return seek_s + transfer_time(bytes);
+  }
+};
+
+class Device {
+ public:
+  virtual ~Device() = default;
+
+  // Reads up to out.size() bytes at `offset`. Returns the number of bytes
+  // read; fewer than requested only at end-of-device. Thread-safe: multiple
+  // readers may call concurrently (positional reads carry no shared cursor).
+  virtual StatusOr<std::size_t> read_at(std::uint64_t offset,
+                                        std::span<char> out) const = 0;
+
+  virtual std::uint64_t size() const = 0;
+  virtual std::string_view name() const = 0;
+
+  // Performance model for simulation; defaults describe the paper's RAID-0.
+  virtual DeviceModel model() const { return DeviceModel{}; }
+};
+
+}  // namespace supmr::storage

@@ -1,0 +1,56 @@
+// Fault-injection device wrapper for failure testing.
+//
+// Wraps any device and fails reads according to a policy: the Nth read call,
+// or any read overlapping a poisoned byte range. Used by the test suite to
+// verify that ingest errors propagate cleanly out of the pipeline instead of
+// wedging the double buffer.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+
+#include "storage/device.hpp"
+
+namespace supmr::storage {
+
+class FaultDevice final : public Device {
+ public:
+  explicit FaultDevice(const Device* base) : base_(base) {}
+
+  // Fail the `n`-th read_at call (0-based).
+  void fail_on_call(std::uint64_t n) { fail_call_ = n; }
+  // Fail any read overlapping [lo, hi).
+  void fail_on_range(std::uint64_t lo, std::uint64_t hi) {
+    range_lo_ = lo;
+    range_hi_ = hi;
+  }
+
+  std::uint64_t calls() const { return calls_.load(); }
+
+  StatusOr<std::size_t> read_at(std::uint64_t offset,
+                                std::span<char> out) const override {
+    const std::uint64_t call = calls_.fetch_add(1);
+    if (call == fail_call_) {
+      return Status::IoError("injected fault on call " + std::to_string(call));
+    }
+    const std::uint64_t end = offset + out.size();
+    if (offset < range_hi_ && end > range_lo_) {
+      return Status::IoError("injected fault in poisoned range");
+    }
+    return base_->read_at(offset, out);
+  }
+
+  std::uint64_t size() const override { return base_->size(); }
+  std::string_view name() const override { return base_->name(); }
+  DeviceModel model() const override { return base_->model(); }
+
+ private:
+  const Device* base_;
+  std::uint64_t fail_call_ = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t range_lo_ = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t range_hi_ = std::numeric_limits<std::uint64_t>::max();
+  mutable std::atomic<std::uint64_t> calls_{0};
+};
+
+}  // namespace supmr::storage

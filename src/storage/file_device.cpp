@@ -1,0 +1,52 @@
+#include "storage/file_device.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace supmr::storage {
+
+StatusOr<std::unique_ptr<FileDevice>> FileDevice::open(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError("open(" + path + "): " + std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError("fstat(" + path + "): " + std::strerror(err));
+  }
+  return std::unique_ptr<FileDevice>(
+      new FileDevice(fd, static_cast<std::uint64_t>(st.st_size), path));
+}
+
+FileDevice::~FileDevice() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+StatusOr<std::size_t> FileDevice::read_at(std::uint64_t offset,
+                                          std::span<char> out) const {
+  if (offset > size_) {
+    return Status::OutOfRange("read at offset " + std::to_string(offset) +
+                              " past end of " + path_);
+  }
+  std::size_t total = 0;
+  while (total < out.size()) {
+    const ssize_t n = ::pread(fd_, out.data() + total, out.size() - total,
+                              static_cast<off_t>(offset + total));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("pread(" + path_ + "): " + std::strerror(errno));
+    }
+    if (n == 0) break;  // end of file
+    total += static_cast<std::size_t>(n);
+  }
+  return total;
+}
+
+}  // namespace supmr::storage

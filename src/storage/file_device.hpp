@@ -1,0 +1,37 @@
+// File-backed device using positional reads (pread).
+//
+// pread carries no shared file cursor, so concurrent chunk reads need no
+// locking. The device keeps one file descriptor for its lifetime (RAII).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "storage/device.hpp"
+
+namespace supmr::storage {
+
+class FileDevice final : public Device {
+ public:
+  // Opens `path` read-only.
+  static StatusOr<std::unique_ptr<FileDevice>> open(const std::string& path);
+
+  ~FileDevice() override;
+  FileDevice(const FileDevice&) = delete;
+  FileDevice& operator=(const FileDevice&) = delete;
+
+  StatusOr<std::size_t> read_at(std::uint64_t offset,
+                                std::span<char> out) const override;
+  std::uint64_t size() const override { return size_; }
+  std::string_view name() const override { return path_; }
+
+ private:
+  FileDevice(int fd, std::uint64_t size, std::string path)
+      : fd_(fd), size_(size), path_(std::move(path)) {}
+
+  int fd_;
+  std::uint64_t size_;
+  std::string path_;
+};
+
+}  // namespace supmr::storage

@@ -1,0 +1,109 @@
+#include "storage/hdfs_sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace supmr::storage {
+
+namespace {
+
+class HdfsFileDevice final : public Device {
+ public:
+  HdfsFileDevice(const HdfsSimStore* store, const std::string* data,
+                 std::size_t first_node, std::string name)
+      : store_(store), data_(data), first_node_(first_node),
+        name_(std::move(name)) {}
+
+  StatusOr<std::size_t> read_at(std::uint64_t offset,
+                                std::span<char> out) const override;
+  std::uint64_t size() const override { return data_->size(); }
+  std::string_view name() const override { return name_; }
+  DeviceModel model() const override {
+    // The shared link is the end-to-end bottleneck; seeks are hidden by
+    // HDFS's large sequential blocks.
+    return DeviceModel{.bandwidth_bps = store_->config().link_bps,
+                       .seek_s = 0.0005};
+  }
+
+ private:
+  const HdfsSimStore* store_;
+  const std::string* data_;
+  std::size_t first_node_;
+  std::string name_;
+};
+
+}  // namespace
+
+HdfsSimStore::HdfsSimStore(HdfsConfig config) : config_(config) {
+  assert(config_.num_nodes > 0 && config_.block_bytes > 0);
+  link_ = std::make_unique<RateLimiter>(config_.link_bps);
+  node_disks_.reserve(config_.num_nodes);
+  for (std::size_t i = 0; i < config_.num_nodes; ++i)
+    node_disks_.push_back(std::make_unique<RateLimiter>(config_.per_node_bps));
+}
+
+void HdfsSimStore::put(const std::string& path, std::string data) {
+  files_[path] = FileEntry{std::move(data), next_first_node_};
+  next_first_node_ = (next_first_node_ + 1) % config_.num_nodes;
+}
+
+bool HdfsSimStore::exists(const std::string& path) const {
+  return files_.count(path) != 0;
+}
+
+std::vector<std::string> HdfsSimStore::list() const {
+  std::vector<std::string> names;
+  names.reserve(files_.size());
+  for (const auto& [name, entry] : files_) names.push_back(name);
+  return names;
+}
+
+std::size_t HdfsSimStore::block_node(const std::string& path,
+                                     std::uint64_t block_index) const {
+  auto it = files_.find(path);
+  assert(it != files_.end());
+  return (it->second.first_node + block_index) % config_.num_nodes;
+}
+
+StatusOr<std::unique_ptr<Device>> HdfsSimStore::open(
+    const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::NotFound("hdfs: no such file: " + path);
+  }
+  return std::unique_ptr<Device>(
+      new HdfsFileDevice(this, &it->second.data, it->second.first_node,
+                         "hdfs:" + path));
+}
+
+namespace {
+
+StatusOr<std::size_t> HdfsFileDevice::read_at(std::uint64_t offset,
+                                              std::span<char> out) const {
+  if (offset > data_->size()) {
+    return Status::OutOfRange("hdfs read past end of " + name_);
+  }
+  const std::uint64_t block_bytes = store_->config().block_bytes;
+  std::size_t total = 0;
+  while (total < out.size() && offset + total < data_->size()) {
+    const std::uint64_t pos = offset + total;
+    const std::uint64_t block = pos / block_bytes;
+    const std::uint64_t in_block = pos % block_bytes;
+    const std::size_t want = static_cast<std::size_t>(std::min<std::uint64_t>(
+        {out.size() - total, block_bytes - in_block, data_->size() - pos}));
+    // Pay the source node's disk, then the shared link.
+    const std::size_t node =
+        (first_node_ + static_cast<std::size_t>(block)) %
+        store_->config().num_nodes;
+    store_->node_disk(node).acquire(want);
+    store_->link().acquire(want);
+    std::memcpy(out.data() + total, data_->data() + pos, want);
+    total += want;
+  }
+  return total;
+}
+
+}  // namespace
+
+}  // namespace supmr::storage

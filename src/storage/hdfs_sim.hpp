@@ -1,0 +1,74 @@
+// HDFS-like remote store behind one shared link (paper §VI.C.3, Fig. 7).
+//
+// The case study runs word count on a scale-up node that ingests from a
+// 32-node HDFS cluster connected by 1 Gbit ethernet *behind one link*: the
+// aggregate cluster can serve data fast, but everything funnels through the
+// single NIC. We model that as:
+//   * files split into fixed-size blocks, placed round-robin on data nodes,
+//   * each data node's disk with its own bandwidth budget, and
+//   * one shared link limiter every byte must also pass through.
+// The shared link is the binding constraint (1 Gb/s ≈ 119 MiB/s << node
+// aggregate), reproducing the long-ingest geometry of Fig. 7.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/device.hpp"
+#include "storage/rate_limiter.hpp"
+
+namespace supmr::storage {
+
+struct HdfsConfig {
+  std::size_t num_nodes = 32;
+  std::uint64_t block_bytes = 4 * 1024 * 1024;
+  double link_bps = 125.0e6;       // 1 Gbit/s payload rate
+  double per_node_bps = 100.0e6;   // one local HDD per data node
+};
+
+class HdfsSimStore {
+ public:
+  explicit HdfsSimStore(HdfsConfig config);
+
+  HdfsSimStore(const HdfsSimStore&) = delete;
+  HdfsSimStore& operator=(const HdfsSimStore&) = delete;
+
+  const HdfsConfig& config() const { return config_; }
+
+  // Stores `data` under `path`, placing blocks round-robin across nodes.
+  void put(const std::string& path, std::string data);
+
+  bool exists(const std::string& path) const;
+  std::vector<std::string> list() const;
+
+  // Opens a read-only device for `path`. Reads contend on the shared link
+  // and on each block's node. The device borrows the store: the store must
+  // outlive it (mirrors libhdfs, where handles borrow the connection).
+  StatusOr<std::unique_ptr<Device>> open(const std::string& path) const;
+
+  // Which node stores block `block_index` of `path`.
+  std::size_t block_node(const std::string& path,
+                         std::uint64_t block_index) const;
+
+  // Resource accessors used by opened devices (and by tests asserting
+  // contention behaviour).
+  RateLimiter& link() const { return *link_; }
+  RateLimiter& node_disk(std::size_t node) const { return *node_disks_[node]; }
+
+ private:
+  struct FileEntry {
+    std::string data;
+    std::size_t first_node;  // round-robin start, varies per file
+  };
+
+  HdfsConfig config_;
+  std::map<std::string, FileEntry> files_;
+  mutable std::unique_ptr<RateLimiter> link_;
+  mutable std::vector<std::unique_ptr<RateLimiter>> node_disks_;
+  std::size_t next_first_node_ = 0;
+};
+
+}  // namespace supmr::storage

@@ -1,0 +1,21 @@
+#include "storage/mem_device.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace supmr::storage {
+
+StatusOr<std::size_t> MemDevice::read_at(std::uint64_t offset,
+                                         std::span<char> out) const {
+  if (offset > data_.size()) {
+    return Status::OutOfRange("read at offset " + std::to_string(offset) +
+                              " past end of " + name_ + " (size " +
+                              std::to_string(data_.size()) + ")");
+  }
+  const std::size_t n =
+      std::min<std::uint64_t>(out.size(), data_.size() - offset);
+  std::memcpy(out.data(), data_.data() + offset, n);
+  return n;
+}
+
+}  // namespace supmr::storage

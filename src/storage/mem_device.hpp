@@ -1,0 +1,35 @@
+// In-memory device: the test double and the backing for generated datasets
+// that fit in RAM. Reads are memcpy; the model reports effectively infinite
+// bandwidth unless overridden.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "storage/device.hpp"
+
+namespace supmr::storage {
+
+class MemDevice final : public Device {
+ public:
+  explicit MemDevice(std::string data, std::string name = "mem")
+      : data_(std::move(data)), name_(std::move(name)) {}
+  MemDevice(std::vector<char> data, std::string name)
+      : data_(data.begin(), data.end()), name_(std::move(name)) {}
+
+  StatusOr<std::size_t> read_at(std::uint64_t offset,
+                                std::span<char> out) const override;
+  std::uint64_t size() const override { return data_.size(); }
+  std::string_view name() const override { return name_; }
+  DeviceModel model() const override {
+    return DeviceModel{.bandwidth_bps = 20.0e9, .seek_s = 0.0};
+  }
+
+  const std::string& contents() const { return data_; }
+
+ private:
+  std::string data_;
+  std::string name_;
+};
+
+}  // namespace supmr::storage

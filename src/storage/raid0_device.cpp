@@ -1,0 +1,59 @@
+#include "storage/raid0_device.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace supmr::storage {
+
+Raid0Device::Raid0Device(std::vector<std::shared_ptr<const Device>> members,
+                         std::uint64_t stripe_bytes, std::string name)
+    : members_(std::move(members)),
+      stripe_bytes_(stripe_bytes),
+      name_(std::move(name)) {
+  assert(!members_.empty() && stripe_bytes_ > 0);
+  std::uint64_t min_member = members_[0]->size();
+  for (const auto& m : members_) min_member = std::min(min_member, m->size());
+  // Whole stripe rows only: each row consumes stripe_bytes from every member.
+  const std::uint64_t rows = min_member / stripe_bytes_;
+  size_ = rows * stripe_bytes_ * members_.size();
+}
+
+StatusOr<std::size_t> Raid0Device::read_at(std::uint64_t offset,
+                                           std::span<char> out) const {
+  if (offset > size_) {
+    return Status::OutOfRange("raid0 read past end");
+  }
+  std::size_t total = 0;
+  while (total < out.size() && offset + total < size_) {
+    const std::uint64_t logical = offset + total;
+    const std::uint64_t stripe_index = logical / stripe_bytes_;
+    const std::uint64_t in_stripe = logical % stripe_bytes_;
+    const std::size_t member =
+        static_cast<std::size_t>(stripe_index % members_.size());
+    const std::uint64_t row = stripe_index / members_.size();
+    const std::uint64_t member_off = row * stripe_bytes_ + in_stripe;
+    const std::size_t want = static_cast<std::size_t>(std::min<std::uint64_t>(
+        {out.size() - total, stripe_bytes_ - in_stripe, size_ - logical}));
+    SUPMR_ASSIGN_OR_RETURN(
+        std::size_t n,
+        members_[member]->read_at(member_off,
+                                  out.subspan(total, want)));
+    total += n;
+    if (n < want) break;  // member shorter than declared — stop cleanly
+  }
+  return total;
+}
+
+DeviceModel Raid0Device::model() const {
+  DeviceModel agg;
+  agg.bandwidth_bps = 0.0;
+  agg.seek_s = 0.0;
+  for (const auto& m : members_) {
+    const DeviceModel mm = m->model();
+    agg.bandwidth_bps += mm.bandwidth_bps;
+    agg.seek_s = std::max(agg.seek_s, mm.seek_s);
+  }
+  return agg;
+}
+
+}  // namespace supmr::storage

@@ -1,0 +1,41 @@
+// RAID-0 stripe set over member devices.
+//
+// The paper's testbed stored inputs on 3 HDDs in RAID-0. Logical byte i
+// lives on member (i / stripe) % members at member offset computed from the
+// stripe geometry. Reads spanning stripes fan out to the members; the
+// aggregate model's bandwidth is the sum of member bandwidths (which is how
+// 3 disks reach 384 MB/s).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "storage/device.hpp"
+
+namespace supmr::storage {
+
+class Raid0Device final : public Device {
+ public:
+  // members: equal-priority stripe members. stripe_bytes: stripe unit.
+  // The logical size is members * min(member size) rounded down to a whole
+  // stripe row — matching md-raid semantics for unequal members.
+  Raid0Device(std::vector<std::shared_ptr<const Device>> members,
+              std::uint64_t stripe_bytes, std::string name = "raid0");
+
+  StatusOr<std::size_t> read_at(std::uint64_t offset,
+                                std::span<char> out) const override;
+  std::uint64_t size() const override { return size_; }
+  std::string_view name() const override { return name_; }
+  DeviceModel model() const override;
+
+  std::size_t member_count() const { return members_.size(); }
+  std::uint64_t stripe_bytes() const { return stripe_bytes_; }
+
+ private:
+  std::vector<std::shared_ptr<const Device>> members_;
+  std::uint64_t stripe_bytes_;
+  std::uint64_t size_;
+  std::string name_;
+};
+
+}  // namespace supmr::storage

@@ -1,0 +1,37 @@
+#include "storage/rate_limiter.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <thread>
+
+namespace supmr::storage {
+
+RateLimiter::RateLimiter(double rate_bps, std::uint64_t burst_bytes)
+    : rate_bps_(rate_bps),
+      burst_s_(burst_bytes > 0 ? double(burst_bytes) / rate_bps
+                               : 0.05) {
+  assert(rate_bps > 0.0);
+  virtual_clock_ = clock::now();
+}
+
+void RateLimiter::acquire(std::uint64_t bytes) {
+  const auto duration =
+      std::chrono::duration_cast<clock::duration>(
+          std::chrono::duration<double>(double(bytes) / rate_bps_));
+  clock::time_point completes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto now = clock::now();
+    const auto burst_floor =
+        now - std::chrono::duration_cast<clock::duration>(
+                  std::chrono::duration<double>(burst_s_));
+    // Idle credit is capped: the clock never lags real time by more than
+    // the burst window.
+    virtual_clock_ = std::max(virtual_clock_, burst_floor);
+    virtual_clock_ += duration;
+    completes = virtual_clock_;
+  }
+  std::this_thread::sleep_until(completes);
+}
+
+}  // namespace supmr::storage

@@ -1,0 +1,15 @@
+#include "storage/throttled_device.hpp"
+
+namespace supmr::storage {
+
+StatusOr<std::size_t> ThrottledDevice::read_at(std::uint64_t offset,
+                                               std::span<char> out) const {
+  // Charge for what will actually transfer (short reads at EOF pay less).
+  const std::uint64_t avail =
+      offset >= base_->size() ? 0 : base_->size() - offset;
+  const std::uint64_t expect = std::min<std::uint64_t>(out.size(), avail);
+  if (expect > 0) limiter_->acquire(expect);
+  return base_->read_at(offset, out);
+}
+
+}  // namespace supmr::storage

@@ -1,0 +1,48 @@
+// Bandwidth-throttled device wrapper.
+//
+// Wraps any device and charges its reads against a RateLimiter, so
+// wall-clock experiments on this machine's (fast, page-cached) filesystem
+// behave like the paper's 384 MB/s RAID-0 — the ingest bottleneck becomes
+// real again at small scale. The limiter may be shared across devices to
+// model one channel feeding many files.
+#pragma once
+
+#include <memory>
+
+#include "storage/device.hpp"
+#include "storage/rate_limiter.hpp"
+
+namespace supmr::storage {
+
+class ThrottledDevice final : public Device {
+ public:
+  // Owns neither: `base` and `limiter` must outlive this device (shared_ptr
+  // overload below owns both).
+  ThrottledDevice(const Device* base, RateLimiter* limiter)
+      : base_(base), limiter_(limiter) {}
+
+  ThrottledDevice(std::shared_ptr<const Device> base,
+                  std::shared_ptr<RateLimiter> limiter)
+      : base_(base.get()),
+        limiter_(limiter.get()),
+        owned_base_(std::move(base)),
+        owned_limiter_(std::move(limiter)) {}
+
+  StatusOr<std::size_t> read_at(std::uint64_t offset,
+                                std::span<char> out) const override;
+  std::uint64_t size() const override { return base_->size(); }
+  std::string_view name() const override { return base_->name(); }
+  DeviceModel model() const override {
+    DeviceModel m = base_->model();
+    m.bandwidth_bps = limiter_->rate_bps();
+    return m;
+  }
+
+ private:
+  const Device* base_;
+  RateLimiter* limiter_;
+  std::shared_ptr<const Device> owned_base_;
+  std::shared_ptr<RateLimiter> owned_limiter_;
+};
+
+}  // namespace supmr::storage

@@ -1,0 +1,71 @@
+#include "threading/thread_pool.hpp"
+
+#include <cassert>
+
+namespace supmr {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  assert(num_threads >= 1);
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  queue_.close();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    ++pending_;
+  }
+  queue_.push(std::move(task));
+}
+
+void ThreadPool::wait_all() {
+  std::unique_lock<std::mutex> lock(pending_mu_);
+  pending_cv_.wait(lock, [&] { return pending_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  while (auto task = queue_.pop()) {
+    (*task)();
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    if (--pending_ == 0) pending_cv_.notify_all();
+  }
+}
+
+void ThreadPool::run_wave(
+    const std::vector<std::function<void(std::size_t)>>& tasks) {
+  for (std::size_t i = 0; i < tasks.size(); ++i)
+    submit([&tasks, i] { tasks[i](i); });
+  wait_all();
+}
+
+void ThreadPool::run_wave_unpooled(
+    const std::vector<std::function<void(std::size_t)>>& tasks) {
+  std::vector<std::thread> threads;
+  threads.reserve(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i)
+    threads.emplace_back([&tasks, i] { tasks[i](i); });
+  for (auto& t : threads) t.join();
+}
+
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t, std::size_t,
+                                           std::size_t)>& fn) {
+  const std::size_t workers = pool.size();
+  const std::size_t per = (n + workers - 1) / workers;
+  std::vector<std::function<void(std::size_t)>> tasks;
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t begin = w * per;
+    if (begin >= n) break;
+    const std::size_t end = std::min(begin + per, n);
+    tasks.push_back([&fn, begin, end](std::size_t idx) { fn(begin, end, idx); });
+  }
+  pool.run_wave(tasks);
+}
+
+}  // namespace supmr

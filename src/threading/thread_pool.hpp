@@ -1,0 +1,65 @@
+// Fixed-size worker pool.
+//
+// The SupMR runtime restarts mapper "waves" once per ingest chunk. Creating
+// and joining std::threads per round is exactly the thread overhead the paper
+// measures for small chunk sizes — so the pool supports both modes:
+//   * submit()/wait_all(): reuse pooled workers (the production path), and
+//   * run_wave(): spawn-and-join raw threads (faithful to the paper's
+//     "create thread / destroy thread" pseudo-code, used by benches that
+//     want to measure that overhead).
+#pragma once
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "threading/latch.hpp"
+#include "threading/mpmc_queue.hpp"
+
+namespace supmr {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (>=1). Workers are joined in the destructor.
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Enqueues a task. Tasks must not throw (CP: tasks own their errors; a
+  // throwing task aborts via std::terminate in the worker).
+  void submit(std::function<void()> task);
+
+  // Blocks until every task submitted so far has finished.
+  void wait_all();
+
+  // Runs `tasks` as one wave on pooled workers: submits all and waits.
+  // `worker_index` (0-based within the wave) is passed to each task.
+  void run_wave(const std::vector<std::function<void(std::size_t)>>& tasks);
+
+  // Spawn-and-join raw std::threads, one per task — the paper's per-round
+  // thread lifecycle. Measurably slower for many small rounds.
+  static void run_wave_unpooled(
+      const std::vector<std::function<void(std::size_t)>>& tasks);
+
+ private:
+  void worker_loop();
+
+  MpmcQueue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+
+  std::mutex pending_mu_;
+  std::condition_variable pending_cv_;
+  std::size_t pending_ = 0;
+};
+
+// Statically partitions [0, n) across `pool.size()` workers and runs
+// fn(begin, end, worker_index) for each non-empty range.
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t, std::size_t,
+                                           std::size_t)>& fn);
+
+}  // namespace supmr

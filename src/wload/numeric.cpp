@@ -1,0 +1,92 @@
+#include "wload/numeric.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+#include <cstdio>
+
+namespace supmr::wload {
+
+std::string generate_numeric(const NumericConfig& config) {
+  assert(config.hi >= config.lo);
+  Xoshiro256 rng(config.seed);
+  const std::uint64_t range =
+      static_cast<std::uint64_t>(config.hi - config.lo) + 1;
+  std::string out;
+  out.reserve(config.num_values * 8);
+  char buf[32];
+  for (std::uint64_t i = 0; i < config.num_values; ++i) {
+    std::int64_t v;
+    switch (config.distribution) {
+      case NumericDistribution::kTriangular: {
+        const std::uint64_t a = rng.uniform(range);
+        const std::uint64_t b = rng.uniform(range);
+        v = config.lo + static_cast<std::int64_t>((a + b) / 2);
+        break;
+      }
+      case NumericDistribution::kUniform:
+      default:
+        v = config.lo + static_cast<std::int64_t>(rng.uniform(range));
+        break;
+    }
+    const int n = std::snprintf(buf, sizeof(buf), "%lld\n",
+                                static_cast<long long>(v));
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  return out;
+}
+
+std::string generate_points(const PointsConfig& config,
+                            std::vector<std::vector<double>>* centers_out) {
+  assert(config.clusters > 0 && config.dim > 0);
+  Xoshiro256 rng(config.seed);
+  // Cluster centers: uniform in the box, re-drawn if too close to another
+  // center (keeps blobs separable for recovery tests).
+  std::vector<std::vector<double>> centers;
+  const double min_gap = 6.0 * config.spread;
+  for (std::size_t c = 0; c < config.clusters; ++c) {
+    std::vector<double> center(config.dim);
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      for (auto& x : center) x = rng.uniform_double() * config.box;
+      bool ok = true;
+      for (const auto& other : centers) {
+        double d2 = 0;
+        for (std::size_t d = 0; d < config.dim; ++d) {
+          const double delta = center[d] - other[d];
+          d2 += delta * delta;
+        }
+        if (d2 < min_gap * min_gap) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) break;
+    }
+    centers.push_back(center);
+  }
+
+  // Box-Muller normal deviates around a uniformly chosen center.
+  auto normal = [&rng] {
+    const double u1 = std::max(rng.uniform_double(), 1e-12);
+    const double u2 = rng.uniform_double();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  };
+
+  std::string out;
+  out.reserve(config.num_points * config.dim * 10);
+  char buf[64];
+  for (std::uint64_t i = 0; i < config.num_points; ++i) {
+    const auto& center = centers[rng.uniform(config.clusters)];
+    for (std::size_t d = 0; d < config.dim; ++d) {
+      const double x = center[d] + normal() * config.spread;
+      const int n = std::snprintf(buf, sizeof(buf), d == 0 ? "%.4f" : " %.4f",
+                                  x);
+      out.append(buf, static_cast<std::size_t>(n));
+    }
+    out.push_back('\n');
+  }
+  if (centers_out != nullptr) *centers_out = std::move(centers);
+  return out;
+}
+
+}  // namespace supmr::wload

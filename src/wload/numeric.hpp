@@ -1,0 +1,47 @@
+// Numeric dataset generator: newline-separated ASCII values, for the
+// histogram application. Values are drawn from a configurable distribution
+// so histogram shapes are predictable in tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace supmr::wload {
+
+enum class NumericDistribution {
+  kUniform,    // uniform over [lo, hi]
+  kTriangular, // sum of two uniforms: peak in the middle
+};
+
+struct NumericConfig {
+  std::uint64_t num_values = 100000;
+  std::int64_t lo = 0;
+  std::int64_t hi = 255;
+  NumericDistribution distribution = NumericDistribution::kUniform;
+  std::uint64_t seed = 17;
+};
+
+// One ASCII integer per '\n'-terminated line.
+std::string generate_numeric(const NumericConfig& config);
+
+// Clustered point dataset for k-means: points drawn from `clusters`
+// Gaussian blobs with the given spread, one point per line as
+// space-separated ASCII doubles. The true centers are returned through
+// `centers_out` (if non-null) so tests can verify recovery.
+struct PointsConfig {
+  std::uint64_t num_points = 10000;
+  std::size_t dim = 2;
+  std::size_t clusters = 4;
+  double box = 100.0;     // centers drawn uniformly from [0, box)^dim
+  double spread = 2.0;    // per-coordinate stddev around the center
+  std::uint64_t seed = 23;
+};
+
+std::string generate_points(
+    const PointsConfig& config,
+    std::vector<std::vector<double>>* centers_out = nullptr);
+
+}  // namespace supmr::wload

@@ -1,0 +1,71 @@
+#include "wload/teragen.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+namespace supmr::wload {
+
+namespace {
+// Printable key alphabet: uniform over 64 symbols so memcmp order is
+// well-distributed (matters for sample-sort splitter quality).
+constexpr char kAlphabet[] =
+    "0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz+/";
+}  // namespace
+
+void teragen_record(const TeraGenConfig& config, std::uint64_t rowid,
+                    Xoshiro256& rng, char* out) {
+  assert(config.record_bytes >=
+         config.key_bytes + kTeraTerminatorBytes + 1);
+  char* p = out;
+  for (std::uint32_t i = 0; i < config.key_bytes; ++i)
+    *p++ = kAlphabet[rng.uniform(64)];
+  // Payload: rowid in fixed-width decimal, then 'X' filler.
+  const std::uint32_t payload =
+      config.record_bytes - config.key_bytes - kTeraTerminatorBytes;
+  char rowbuf[24];
+  const int rowlen =
+      std::snprintf(rowbuf, sizeof(rowbuf), "%020llu",
+                    static_cast<unsigned long long>(rowid));
+  for (std::uint32_t i = 0; i < payload; ++i)
+    *p++ = (i < static_cast<std::uint32_t>(rowlen)) ? rowbuf[i] : 'X';
+  *p++ = '\r';
+  *p++ = '\n';
+}
+
+std::string teragen_to_string(const TeraGenConfig& config) {
+  Xoshiro256 rng(config.seed);
+  std::string out;
+  out.resize(config.num_records * config.record_bytes);
+  for (std::uint64_t r = 0; r < config.num_records; ++r)
+    teragen_record(config, r, rng, out.data() + r * config.record_bytes);
+  return out;
+}
+
+Status teragen_to_file(const TeraGenConfig& config, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("fopen(" + path + ") failed");
+  Xoshiro256 rng(config.seed);
+  // Buffer ~4 MB of records between writes.
+  const std::uint64_t per_batch =
+      std::max<std::uint64_t>(1, (4u << 20) / config.record_bytes);
+  std::vector<char> buf(per_batch * config.record_bytes);
+  std::uint64_t written = 0;
+  while (written < config.num_records) {
+    const std::uint64_t n =
+        std::min(per_batch, config.num_records - written);
+    for (std::uint64_t i = 0; i < n; ++i)
+      teragen_record(config, written + i, rng,
+                     buf.data() + i * config.record_bytes);
+    if (std::fwrite(buf.data(), config.record_bytes, n, f) != n) {
+      std::fclose(f);
+      return Status::IoError("fwrite to " + path + " failed");
+    }
+    written += n;
+  }
+  if (std::fclose(f) != 0) return Status::IoError("fclose failed");
+  return Status::Ok();
+}
+
+}  // namespace supmr::wload

@@ -1,0 +1,38 @@
+// TeraSort-style input generator.
+//
+// The paper's sort benchmark operates on TeraSort data: fixed-size records,
+// each terminated by "\r\n" (§III.A.1). We use the classic layout scaled to
+// a configurable record size: a fixed-width random key, a separator, a
+// rowid, filler, and the CRLF terminator. Keys are printable so text tools
+// can inspect datasets; ordering is plain memcmp over the key bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+
+namespace supmr::wload {
+
+struct TeraGenConfig {
+  std::uint64_t num_records = 1000;
+  std::uint32_t key_bytes = 10;      // classic TeraSort key width
+  std::uint32_t record_bytes = 100;  // total, including "\r\n"
+  std::uint64_t seed = 42;
+};
+
+// Generates records into a string (for MemDevice-backed tests/benches).
+std::string teragen_to_string(const TeraGenConfig& config);
+
+// Streams records to a file without materializing the dataset in memory.
+Status teragen_to_file(const TeraGenConfig& config, const std::string& path);
+
+// Layout helpers shared with the sort application.
+inline constexpr std::uint32_t kTeraTerminatorBytes = 2;  // "\r\n"
+
+// Writes one record into `out` (exactly config.record_bytes long).
+void teragen_record(const TeraGenConfig& config, std::uint64_t rowid,
+                    Xoshiro256& rng, char* out);
+
+}  // namespace supmr::wload

@@ -1,0 +1,123 @@
+#include "wload/text_corpus.hpp"
+
+#include <cassert>
+#include <cstdio>
+
+namespace supmr::wload {
+
+std::string make_word(std::size_t rank, std::uint32_t min_len,
+                      std::uint32_t max_len) {
+  assert(min_len >= 1 && max_len >= min_len);
+  // Deterministic: hash the rank, draw length and letters from the hash
+  // stream. Distinct ranks can collide to the same spelling only with
+  // negligible probability given 26^len spellings per length.
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ (rank * 0xff51afd7ed558ccdULL);
+  auto next = [&h] {
+    h ^= h >> 33;
+    h *= 0xc4ceb9fe1a85ec53ULL;
+    h ^= h >> 29;
+    return h;
+  };
+  const std::uint32_t len = min_len + next() % (max_len - min_len + 1);
+  std::string word(len, 'a');
+  for (auto& ch : word) ch = static_cast<char>('a' + next() % 26);
+  // Prefix a base-26 encoding of the rank to guarantee uniqueness.
+  std::string prefix;
+  std::size_t r = rank;
+  do {
+    prefix.push_back(static_cast<char>('a' + r % 26));
+    r /= 26;
+  } while (r != 0);
+  return prefix + word;
+}
+
+namespace {
+
+class TextEmitter {
+ public:
+  explicit TextEmitter(const TextCorpusConfig& config)
+      : config_(config),
+        rng_(config.seed),
+        zipf_(config.zipf_skew, config.vocabulary) {
+    words_.reserve(config.vocabulary);
+    for (std::size_t i = 0; i < config.vocabulary; ++i)
+      words_.push_back(
+          make_word(i, config.min_word_len, config.max_word_len));
+  }
+
+  // Appends words/newlines to `out` until it reaches ~target size, ending
+  // with a newline.
+  void fill(std::string& out, std::uint64_t target) {
+    std::uint32_t line_len = 0;
+    while (out.size() + config_.max_word_len + 2 < target) {
+      const std::string& w = words_[zipf_(rng_)];
+      if (line_len + w.size() + 1 > config_.max_line_len) {
+        out.push_back('\n');
+        line_len = 0;
+      } else if (line_len > 0) {
+        out.push_back(' ');
+        ++line_len;
+      }
+      out.append(w);
+      line_len += static_cast<std::uint32_t>(w.size());
+    }
+    if (out.empty() || out.back() != '\n') out.push_back('\n');
+  }
+
+ private:
+  const TextCorpusConfig& config_;
+  Xoshiro256 rng_;
+  ZipfSampler zipf_;
+  std::vector<std::string> words_;
+};
+
+}  // namespace
+
+std::string generate_text(const TextCorpusConfig& config) {
+  TextEmitter emitter(config);
+  std::string out;
+  out.reserve(config.total_bytes);
+  emitter.fill(out, config.total_bytes);
+  return out;
+}
+
+std::vector<std::shared_ptr<const storage::Device>> generate_text_files(
+    const TextCorpusConfig& config, std::size_t num_files,
+    std::uint64_t per_file_bytes) {
+  std::vector<std::shared_ptr<const storage::Device>> files;
+  files.reserve(num_files);
+  TextCorpusConfig per = config;
+  for (std::size_t i = 0; i < num_files; ++i) {
+    per.seed = config.seed + i * 1000003ULL;
+    per.total_bytes = per_file_bytes;
+    char name[32];
+    std::snprintf(name, sizeof(name), "part-%05zu", i);
+    files.push_back(
+        std::make_shared<storage::MemDevice>(generate_text(per), name));
+  }
+  return files;
+}
+
+Status generate_text_file(const TextCorpusConfig& config,
+                          const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("fopen(" + path + ") failed");
+  TextEmitter emitter(config);
+  std::string buf;
+  std::uint64_t remaining = config.total_bytes;
+  while (remaining > 0) {
+    buf.clear();
+    const std::uint64_t target = std::min<std::uint64_t>(remaining, 4u << 20);
+    if (target < config.max_word_len + 2u) break;
+    emitter.fill(buf, target);
+    if (std::fwrite(buf.data(), 1, buf.size(), f) != buf.size()) {
+      std::fclose(f);
+      return Status::IoError("fwrite to " + path + " failed");
+    }
+    remaining -= std::min<std::uint64_t>(remaining, buf.size());
+  }
+  if (std::fclose(f) != 0) return Status::IoError("fclose failed");
+  return Status::Ok();
+}
+
+}  // namespace supmr::wload

@@ -1,0 +1,51 @@
+// Text corpus generator for word count.
+//
+// The paper's word count input is 155 GB of text served as many files
+// (Hadoop-style). We synthesize natural-language-like text: a vocabulary of
+// pseudo-words whose frequencies follow a Zipf distribution, newline-
+// terminated lines of bounded length. The Zipf skew is what gives word count
+// its "large input set -> much smaller intermediate set" property that makes
+// the hash container effective (paper §V.B).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "storage/mem_device.hpp"
+
+namespace supmr::wload {
+
+struct TextCorpusConfig {
+  std::uint64_t total_bytes = 1 << 20;
+  std::size_t vocabulary = 10000;
+  double zipf_skew = 1.0;
+  std::uint32_t min_word_len = 3;
+  std::uint32_t max_word_len = 10;
+  std::uint32_t max_line_len = 80;
+  std::uint64_t seed = 7;
+};
+
+// Deterministic pseudo-word for a vocabulary rank.
+std::string make_word(std::size_t rank, std::uint32_t min_len,
+                      std::uint32_t max_len);
+
+// Generates ~total_bytes of text (ends at a line boundary, so the actual
+// size may be slightly below the target).
+std::string generate_text(const TextCorpusConfig& config);
+
+// Generates `num_files` files of ~per_file_bytes each, as in-memory devices
+// named like part-00000 — the many-small-files layout the paper's intra-file
+// chunking targets.
+std::vector<std::shared_ptr<const storage::Device>> generate_text_files(
+    const TextCorpusConfig& config, std::size_t num_files,
+    std::uint64_t per_file_bytes);
+
+// Writes one generated file to disk (for file-backed examples).
+Status generate_text_file(const TextCorpusConfig& config,
+                          const std::string& path);
+
+}  // namespace supmr::wload

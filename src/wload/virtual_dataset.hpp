@@ -1,0 +1,59 @@
+// Virtual dataset descriptors for paper-scale simulation.
+//
+// The performance model does not materialize 155 GB of text; it only needs
+// the statistics that drive runtime cost: total bytes, record count and
+// width, file layout, and key cardinality. These descriptors pin the paper's
+// three evaluation datasets.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace supmr::wload {
+
+struct VirtualDataset {
+  std::uint64_t total_bytes = 0;
+  std::uint64_t num_records = 0;    // lines (text) or records (TeraSort)
+  double avg_record_bytes = 0.0;
+  std::uint64_t num_files = 1;      // >1 => many-small-files layout
+  std::uint64_t distinct_keys = 0;  // intermediate key cardinality
+};
+
+// 155 GB text corpus (word count, Table II / Fig. 5). English-like text:
+// ~70-byte lines, ~5.5-byte words, vocabulary in the low millions.
+inline VirtualDataset paper_wordcount_dataset() {
+  VirtualDataset d;
+  d.total_bytes = 155 * kGB;
+  d.avg_record_bytes = 70.0;
+  d.num_records = static_cast<std::uint64_t>(double(d.total_bytes) /
+                                             d.avg_record_bytes);
+  d.num_files = 1550;  // Hadoop-style many-files layout, ~100 MB each
+  d.distinct_keys = 2'000'000;
+  return d;
+}
+
+// 60 GB TeraSort input (sort, Table II / Figs. 1, 6): 100-byte records,
+// unique 10-byte keys.
+inline VirtualDataset paper_sort_dataset() {
+  VirtualDataset d;
+  d.total_bytes = 60 * kGB;
+  d.avg_record_bytes = 100.0;
+  d.num_records = d.total_bytes / 100;
+  d.num_files = 1;
+  d.distinct_keys = d.num_records;  // unique keys: sort's defining property
+  return d;
+}
+
+// 30 GB corpus on the 32-node HDFS cluster (Fig. 7 case study).
+inline VirtualDataset paper_hdfs_dataset() {
+  VirtualDataset d = paper_wordcount_dataset();
+  d.total_bytes = 30 * kGB;
+  d.num_records = static_cast<std::uint64_t>(double(d.total_bytes) /
+                                             d.avg_record_bytes);
+  d.num_files = 300;
+  d.distinct_keys = 1'200'000;
+  return d;
+}
+
+}  // namespace supmr::wload

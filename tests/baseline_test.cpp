@@ -1,0 +1,74 @@
+// Tests for the OpenMP-style sort baseline (the Fig. 3 comparator).
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "baseline/omp_sort.hpp"
+#include "storage/mem_device.hpp"
+#include "storage/rate_limiter.hpp"
+#include "storage/throttled_device.hpp"
+#include "wload/teragen.hpp"
+
+namespace supmr::baseline {
+namespace {
+
+TEST(OmpSort, SortsRecordsByKey) {
+  wload::TeraGenConfig cfg;
+  cfg.num_records = 3000;
+  const std::string input = wload::teragen_to_string(cfg);
+  storage::MemDevice dev(input);
+  auto result = run_omp_style_sort(dev, OmpSortOptions{.num_threads = 4});
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  EXPECT_EQ(result->records, cfg.num_records);
+  ASSERT_EQ(result->sorted.size(), input.size());
+  for (std::uint64_t r = 1; r < cfg.num_records; ++r) {
+    EXPECT_LE(std::memcmp(result->sorted.data() + (r - 1) * 100,
+                          result->sorted.data() + r * 100, 10),
+              0);
+  }
+}
+
+TEST(OmpSort, PhasesAreSeparated) {
+  wload::TeraGenConfig cfg;
+  cfg.num_records = 1000;
+  storage::MemDevice dev(wload::teragen_to_string(cfg));
+  auto result = run_omp_style_sort(dev, OmpSortOptions{.num_threads = 2});
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->phases.read_s, 0.0);
+  EXPECT_GE(result->phases.map_s, 0.0);
+  EXPECT_GT(result->phases.merge_s, 0.0);
+  EXPECT_GE(result->phases.total_s,
+            result->phases.read_s + result->phases.merge_s);
+}
+
+TEST(OmpSort, SequentialIngestDominatesOnSlowDevice) {
+  // The Fig. 3 geometry: with a slow device, total time is read-dominated
+  // even though the sort itself is parallel.
+  wload::TeraGenConfig cfg;
+  cfg.num_records = 2000;  // 200 KB
+  auto base = std::make_shared<storage::MemDevice>(
+      wload::teragen_to_string(cfg), "slow");
+  auto limiter = std::make_shared<storage::RateLimiter>(2.0e6);
+  storage::ThrottledDevice dev(base, limiter);
+  auto result = run_omp_style_sort(dev, OmpSortOptions{.num_threads = 4});
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->phases.read_s, result->phases.merge_s);
+  EXPECT_GT(result->phases.read_s, 0.5 * result->phases.total_s);
+}
+
+TEST(OmpSort, RejectsTornInput) {
+  storage::MemDevice dev(std::string(150, 'x'));
+  auto result = run_omp_style_sort(dev, OmpSortOptions{.num_threads = 2});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(OmpSort, EmptyInput) {
+  storage::MemDevice dev("");
+  auto result = run_omp_style_sort(dev, OmpSortOptions{.num_threads = 2});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->records, 0u);
+}
+
+}  // namespace
+}  // namespace supmr::baseline

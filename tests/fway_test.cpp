@@ -1,0 +1,104 @@
+// Tests for the iterative f-way merge generalization.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "merge/fway.hpp"
+#include "merge/sample_sort.hpp"
+
+namespace supmr::merge {
+namespace {
+
+std::vector<int> random_ints(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<int> v(n);
+  for (auto& x : v) x = static_cast<int>(rng.uniform(1000000));
+  return v;
+}
+
+TEST(FwayMerge, FaninTwoMatchesPairwiseRoundCount) {
+  ThreadPool pool(4);
+  auto data = random_ints(8000, 1);
+  auto copy = data;
+  MergeStats stats = fway_merge_sort(
+      pool, std::span<int>(data.data(), data.size()), std::less<int>{},
+      /*num_runs=*/8, /*fanin=*/2);
+  EXPECT_EQ(stats.num_rounds(), 3u);  // log2(8)
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(data, copy);
+}
+
+TEST(FwayMerge, FullFaninIsOneRound) {
+  ThreadPool pool(4);
+  auto data = random_ints(8000, 2);
+  auto copy = data;
+  MergeStats stats = fway_merge_sort(
+      pool, std::span<int>(data.data(), data.size()), std::less<int>{}, 16,
+      /*fanin=*/16);
+  EXPECT_EQ(stats.num_rounds(), 1u);
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(data, copy);
+}
+
+TEST(FwayMerge, RoundCountIsCeilLogF) {
+  ThreadPool pool(2);
+  auto data = random_ints(27000, 3);
+  MergeStats stats = fway_merge_sort(
+      pool, std::span<int>(data.data(), data.size()), std::less<int>{}, 27,
+      /*fanin=*/3);
+  EXPECT_EQ(stats.num_rounds(), 3u);  // log3(27)
+  EXPECT_TRUE(std::is_sorted(data.begin(), data.end()));
+}
+
+TEST(FwayMerge, TotalMovesScaleWithRounds) {
+  ThreadPool pool(2);
+  auto data = random_ints(16000, 4);
+  MergeStats stats = fway_merge_sort(
+      pool, std::span<int>(data.data(), data.size()), std::less<int>{}, 16,
+      /*fanin=*/4);
+  EXPECT_EQ(stats.num_rounds(), 2u);  // log4(16)
+  EXPECT_EQ(stats.total_items_moved(), 2u * 16000u);
+}
+
+class FwayProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(FwayProperty, SortsForAllFaninsAndRunCounts) {
+  const auto [num_runs, fanin, seed] = GetParam();
+  ThreadPool pool(3);
+  auto data = random_ints(5000 + 977 * seed, 100 + seed);
+  auto copy = data;
+  fway_merge_sort(pool, std::span<int>(data.data(), data.size()),
+                  std::less<int>{}, num_runs, fanin);
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(data, copy);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FwayProperty,
+    ::testing::Combine(::testing::Values(1, 3, 7, 16, 33),
+                       ::testing::Values(2, 3, 5, 64),
+                       ::testing::Values(1, 2)));
+
+TEST(FwayMerge, AgreesWithOtherSorters) {
+  ThreadPool pool(3);
+  auto a = random_ints(40000, 9);
+  auto b = a;
+  fway_merge_sort(pool, std::span<int>(a.data(), a.size()), std::less<int>{},
+                  12, 3);
+  parallel_sample_sort(pool, std::span<int>(b.data(), b.size()),
+                       std::less<int>{});
+  EXPECT_EQ(a, b);
+}
+
+TEST(FwayMerge, FaninBelowTwoClamped) {
+  ThreadPool pool(2);
+  auto data = random_ints(1000, 10);
+  fway_merge_sort(pool, std::span<int>(data.data(), data.size()),
+                  std::less<int>{}, 4, /*fanin=*/0);
+  EXPECT_TRUE(std::is_sorted(data.begin(), data.end()));
+}
+
+}  // namespace
+}  // namespace supmr::merge

@@ -1,0 +1,284 @@
+// Unit tests for the discrete-event simulation substrate: engine ordering,
+// processor-sharing math, machine/thread lifecycle, tracer invariants.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/machine.hpp"
+#include "sim/resource.hpp"
+#include "sim/tracer.hpp"
+
+namespace supmr::sim {
+namespace {
+
+// --------------------------------------------------------------- engine
+
+TEST(Engine, FiresInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(2.0, [&] { order.push_back(2); });
+  e.schedule_at(1.0, [&] { order.push_back(1); });
+  e.schedule_at(3.0, [&] { order.push_back(3); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+}
+
+TEST(Engine, SimultaneousEventsFifoBySequence) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    e.schedule_at(1.0, [&, i] { order.push_back(i); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, EventsMayScheduleMoreEvents) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(1.0, [&] {
+    ++fired;
+    e.schedule_after(1.0, [&] { ++fired; });
+  });
+  e.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(e.now(), 2.0);
+}
+
+TEST(Engine, RunUntilLeavesLaterEvents) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(1.0, [&] { ++fired; });
+  e.schedule_at(5.0, [&] { ++fired; });
+  e.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(e.now(), 2.0);
+  e.run();
+  EXPECT_EQ(fired, 2);
+}
+
+// ------------------------------------------------------------- resource
+
+TEST(PsResource, SingleJobFullRate) {
+  Engine e;
+  PsResource disk(e, "disk", 100.0, 100.0);
+  double done_at = -1;
+  disk.submit(250.0, Category::kSys, [&] { done_at = e.now(); });
+  e.run();
+  EXPECT_NEAR(done_at, 2.5, 1e-9);
+  EXPECT_NEAR(disk.delivered_total(), 250.0, 1e-6);
+}
+
+TEST(PsResource, PerJobCapLimitsSingleJob) {
+  // CPU semantics: one thread on a 32-context machine runs at rate 1.
+  Engine e;
+  PsResource cpu(e, "cpu", 32.0, 1.0);
+  double done_at = -1;
+  cpu.submit(4.0, Category::kUser, [&] { done_at = e.now(); });
+  e.run();
+  EXPECT_NEAR(done_at, 4.0, 1e-9);
+}
+
+TEST(PsResource, FairSharingBetweenTwoJobs) {
+  // Two equal jobs on a shared-bandwidth resource each get half rate.
+  Engine e;
+  PsResource disk(e, "disk", 100.0, 100.0);
+  double t1 = -1, t2 = -1;
+  disk.submit(100.0, Category::kSys, [&] { t1 = e.now(); });
+  disk.submit(100.0, Category::kSys, [&] { t2 = e.now(); });
+  e.run();
+  // Both share 100/s: each runs at 50/s, both finish at t=2.
+  EXPECT_NEAR(t1, 2.0, 1e-9);
+  EXPECT_NEAR(t2, 2.0, 1e-9);
+}
+
+TEST(PsResource, LateArrivalRecomputesCompletion) {
+  Engine e;
+  PsResource disk(e, "disk", 100.0, 100.0);
+  double t1 = -1, t2 = -1;
+  disk.submit(100.0, Category::kSys, [&] { t1 = e.now(); });  // alone: 1s
+  e.schedule_at(0.5, [&] {
+    disk.submit(100.0, Category::kSys, [&] { t2 = e.now(); });
+  });
+  e.run();
+  // Job1: 50 served by 0.5, then shares -> 50 more at 50/s -> done at 1.5.
+  EXPECT_NEAR(t1, 1.5, 1e-9);
+  // Job2: 50 served by 1.5 (shared at 50/s), then alone: 50 at 100/s -> 2.0.
+  EXPECT_NEAR(t2, 2.0, 1e-9);
+}
+
+TEST(PsResource, ContextPoolRunsUpToCapacityAtFullSpeed) {
+  Engine e;
+  PsResource cpu(e, "cpu", 4.0, 1.0);
+  int done = 0;
+  for (int i = 0; i < 4; ++i)
+    cpu.submit(1.0, Category::kUser, [&] { ++done; });
+  e.run();
+  EXPECT_EQ(done, 4);
+  EXPECT_NEAR(e.now(), 1.0, 1e-9);  // 4 jobs, 4 contexts: no slowdown
+}
+
+TEST(PsResource, OversubscriptionTimeShares) {
+  Engine e;
+  PsResource cpu(e, "cpu", 4.0, 1.0);
+  int done = 0;
+  for (int i = 0; i < 8; ++i)
+    cpu.submit(1.0, Category::kUser, [&] { ++done; });
+  e.run();
+  EXPECT_EQ(done, 8);
+  EXPECT_NEAR(e.now(), 2.0, 1e-9);  // 8 cpu-seconds over 4 contexts
+}
+
+TEST(PsResource, ZeroDemandCompletesViaEvent) {
+  Engine e;
+  PsResource cpu(e, "cpu", 1.0, 1.0);
+  bool fired = false;
+  cpu.submit(0.0, Category::kUser, [&] { fired = true; });
+  EXPECT_FALSE(fired);  // not synchronous
+  e.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(PsResource, TinyResidualsDoNotSpinForever) {
+  // Regression: a disk job with micro-byte residual demand at large virtual
+  // time used to reschedule its completion at the same timestamp forever.
+  Engine e;
+  PsResource disk(e, "disk", 384.0e6, 384.0e6);
+  int done = 0;
+  // Land completions at large t with residuals straddling float precision.
+  e.schedule_at(178.0, [&] {
+    disk.submit(1e10, Category::kSys, [&] { ++done; });
+    disk.submit(1e10 + 1e-5, Category::kSys, [&] { ++done; });
+  });
+  e.run();
+  EXPECT_EQ(done, 2);
+  EXPECT_LT(e.events_executed(), 1000u);
+}
+
+TEST(PsResource, DeliveredSplitsByCategory) {
+  Engine e;
+  PsResource cpu(e, "cpu", 2.0, 1.0);
+  cpu.submit(1.0, Category::kUser, nullptr);
+  cpu.submit(3.0, Category::kSys, nullptr);
+  e.run();
+  EXPECT_NEAR(cpu.delivered(Category::kUser), 1.0, 1e-6);
+  EXPECT_NEAR(cpu.delivered(Category::kSys), 3.0, 1e-6);
+}
+
+TEST(PsResourceTimeline, MeanRateIntegrates) {
+  Engine e;
+  PsResource cpu(e, "cpu", 4.0, 1.0);
+  for (int i = 0; i < 2; ++i) cpu.submit(1.0, Category::kUser, nullptr);
+  e.run();
+  // Two jobs at rate 1 each for 1s: mean user rate over [0,1) is 2.
+  EXPECT_NEAR(cpu.timeline().mean_rate(0.0, 1.0, Category::kUser), 2.0, 1e-6);
+  EXPECT_NEAR(cpu.timeline().mean_rate(0.0, 2.0, Category::kUser), 1.0, 1e-6);
+}
+
+TEST(MakeJoin, FiresOnceAfterN) {
+  int fired = 0;
+  auto join = make_join(3, [&] { ++fired; });
+  join();
+  join();
+  EXPECT_EQ(fired, 0);
+  join();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(MakeJoin, ZeroArityFiresImmediately) {
+  int fired = 0;
+  make_join(0, [&] { ++fired; });
+  EXPECT_EQ(fired, 1);
+}
+
+// -------------------------------------------------------------- machine
+
+TEST(Machine, ThreadRunsStagesInOrder) {
+  Engine e;
+  Machine m(e, MachineConfig{4, 0.0, 0.0});
+  PsResource disk(e, "disk", 10.0, 10.0);
+  m.attach_device(&disk);
+  double done_at = -1;
+  m.spawn_thread({Stage::io(&disk, 20.0), Stage::compute(1.0)},
+                 [&] { done_at = e.now(); });
+  e.run();
+  EXPECT_NEAR(done_at, 3.0, 1e-9);  // 2s IO + 1s compute
+}
+
+TEST(Machine, SpawnOverheadCharged) {
+  Engine e;
+  Machine m(e, MachineConfig{1, 0.5, 0.25});
+  double done_at = -1;
+  m.spawn_thread({Stage::compute(1.0)}, [&] { done_at = e.now(); });
+  e.run();
+  EXPECT_NEAR(done_at, 1.75, 1e-9);  // 0.5 spawn + 1.0 work + 0.25 join
+  EXPECT_EQ(m.threads_spawned(), 1u);
+}
+
+TEST(Machine, OverheadSkippedForCoordinators) {
+  Engine e;
+  Machine m(e, MachineConfig{1, 0.5, 0.25});
+  double done_at = -1;
+  m.spawn_thread({Stage::compute(1.0)}, [&] { done_at = e.now(); },
+                 /*charge_overhead=*/false);
+  e.run();
+  EXPECT_NEAR(done_at, 1.0, 1e-9);
+}
+
+TEST(Machine, BlockedTimelineTracksIoWaiters) {
+  Engine e;
+  Machine m(e, MachineConfig{4, 0.0, 0.0});
+  PsResource disk(e, "disk", 10.0, 10.0);
+  m.attach_device(&disk);
+  m.spawn_thread({Stage::io(&disk, 20.0)}, nullptr);
+  e.run();
+  EXPECT_NEAR(m.blocked_timeline().mean(0.0, 2.0), 1.0, 1e-6);
+  EXPECT_NEAR(m.blocked_timeline().mean(2.0, 4.0), 0.0, 1e-6);
+}
+
+// --------------------------------------------------------------- tracer
+
+TEST(Tracer, UtilizationBounded) {
+  Engine e;
+  Machine m(e, MachineConfig{2, 0.0001, 0.0001});
+  PsResource disk(e, "disk", 100.0, 100.0);
+  m.attach_device(&disk);
+  for (int i = 0; i < 6; ++i)
+    m.spawn_thread({Stage::compute(0.7), Stage::io(&disk, 30.0)}, nullptr);
+  e.run();
+  TimeSeries trace = trace_utilization(m, 0.0, e.now(),
+                                       TracerOptions{0.25});
+  ASSERT_GT(trace.samples(), 0u);
+  for (std::size_t i = 0; i < trace.samples(); ++i) {
+    for (std::size_t c = 0; c < trace.channels(); ++c) {
+      EXPECT_GE(trace.value(i, c), -1e-9);
+      EXPECT_LE(trace.value(i, c), 100.0 + 1e-9);
+    }
+    EXPECT_LE(trace.row_sum(i), 100.0 + 1e-6);
+  }
+}
+
+TEST(Tracer, FullLoadShowsFullUtilization) {
+  Engine e;
+  Machine m(e, MachineConfig{2, 0.0, 0.0});
+  for (int i = 0; i < 2; ++i) m.spawn_thread({Stage::compute(2.0)}, nullptr);
+  e.run();
+  EXPECT_NEAR(mean_utilization(m, 0.0, 2.0), 100.0, 1e-6);
+}
+
+TEST(Tracer, IoOnlyPhaseShowsIoWaitNotUser) {
+  Engine e;
+  Machine m(e, MachineConfig{4, 0.0, 0.0});
+  PsResource disk(e, "disk", 10.0, 10.0);
+  m.attach_device(&disk);
+  m.spawn_thread({Stage::io(&disk, 40.0)}, nullptr);  // 4s pure IO
+  e.run();
+  TimeSeries trace = trace_utilization(m, 0.0, 4.0, TracerOptions{1.0});
+  ASSERT_EQ(trace.samples(), 4u);
+  EXPECT_NEAR(trace.value(0, 0), 0.0, 1e-6);            // user
+  EXPECT_NEAR(trace.value(0, 2), 100.0 / 4.0, 1e-6);    // iowait: 1 of 4
+}
+
+}  // namespace
+}  // namespace supmr::sim

@@ -1,0 +1,334 @@
+// Unit tests for the storage substrate: devices, throttling, RAID-0
+// striping, HDFS-sim store, fault injection.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "storage/fault_device.hpp"
+#include "storage/file_device.hpp"
+#include "storage/hdfs_sim.hpp"
+#include "storage/mem_device.hpp"
+#include "storage/raid0_device.hpp"
+#include "storage/throttled_device.hpp"
+
+namespace supmr::storage {
+namespace {
+
+std::string read_all(const Device& d) {
+  std::string out(d.size(), '\0');
+  auto n = d.read_at(0, std::span<char>(out.data(), out.size()));
+  EXPECT_TRUE(n.ok()) << n.status().to_string();
+  EXPECT_EQ(*n, out.size());
+  return out;
+}
+
+// ------------------------------------------------------------ MemDevice
+
+TEST(MemDevice, ReadsExactBytes) {
+  MemDevice d("hello world");
+  char buf[5];
+  auto n = d.read_at(6, std::span<char>(buf, 5));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 5u);
+  EXPECT_EQ(std::string(buf, 5), "world");
+}
+
+TEST(MemDevice, ShortReadAtEof) {
+  MemDevice d("abc");
+  char buf[10];
+  auto n = d.read_at(1, std::span<char>(buf, 10));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 2u);
+}
+
+TEST(MemDevice, ReadPastEndIsError) {
+  MemDevice d("abc");
+  char buf[1];
+  auto n = d.read_at(4, std::span<char>(buf, 1));
+  EXPECT_FALSE(n.ok());
+  EXPECT_EQ(n.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(MemDevice, ReadAtExactEndReturnsZero) {
+  MemDevice d("abc");
+  char buf[1];
+  auto n = d.read_at(3, std::span<char>(buf, 1));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0u);
+}
+
+// ----------------------------------------------------------- FileDevice
+
+TEST(FileDevice, RoundTripsFileContents) {
+  const std::string path = ::testing::TempDir() + "/supmr_file_test.bin";
+  const std::string payload = "The quick brown fox\njumps over\n";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite(payload.data(), 1, payload.size(), f);
+  std::fclose(f);
+
+  auto dev = FileDevice::open(path);
+  ASSERT_TRUE(dev.ok()) << dev.status().to_string();
+  EXPECT_EQ((*dev)->size(), payload.size());
+  EXPECT_EQ(read_all(**dev), payload);
+  std::remove(path.c_str());
+}
+
+TEST(FileDevice, MissingFileIsIoError) {
+  auto dev = FileDevice::open("/nonexistent/supmr/file");
+  EXPECT_FALSE(dev.ok());
+  EXPECT_EQ(dev.status().code(), StatusCode::kIoError);
+}
+
+TEST(FileDevice, ConcurrentPositionalReads) {
+  const std::string path = ::testing::TempDir() + "/supmr_concurrent.bin";
+  std::string payload;
+  for (int i = 0; i < 1000; ++i) payload += "0123456789";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fwrite(payload.data(), 1, payload.size(), f);
+  std::fclose(f);
+
+  auto dev = FileDevice::open(path);
+  ASSERT_TRUE(dev.ok());
+  std::vector<std::thread> readers;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      char buf[10];
+      for (int i = 0; i < 200; ++i) {
+        const std::uint64_t off = ((t * 200 + i) % 1000) * 10;
+        auto n = (*dev)->read_at(off, std::span<char>(buf, 10));
+        if (!n.ok() || *n != 10 ||
+            std::string(buf, 10) != "0123456789") {
+          ++mismatches;
+        }
+      }
+    });
+  }
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------- RateLimiter
+
+TEST(RateLimiter, EnforcesRate) {
+  RateLimiter limiter(1.0e6);  // 1 MB/s
+  limiter.acquire(1);          // drain initial burst gradually
+  const auto t0 = std::chrono::steady_clock::now();
+  limiter.acquire(200000);     // 200 KB -> >= ~0.15s at 1 MB/s minus burst
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_GE(elapsed, 0.10);
+}
+
+TEST(RateLimiter, BurstAllowsSmallReadsImmediately) {
+  RateLimiter limiter(100.0e6, /*burst=*/1 << 20);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const auto t0 = std::chrono::steady_clock::now();
+  limiter.acquire(4096);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(elapsed, 0.05);
+}
+
+// ------------------------------------------------------ ThrottledDevice
+
+TEST(ThrottledDevice, PreservesContents) {
+  auto base = std::make_shared<MemDevice>(std::string(10000, 'z'));
+  auto limiter = std::make_shared<RateLimiter>(50.0e6);
+  ThrottledDevice dev(base, limiter);
+  EXPECT_EQ(read_all(dev), std::string(10000, 'z'));
+}
+
+TEST(ThrottledDevice, ThrottlesThroughput) {
+  auto base = std::make_shared<MemDevice>(std::string(1 << 20, 'q'));
+  auto limiter = std::make_shared<RateLimiter>(4.0e6);  // 4 MB/s
+  ThrottledDevice dev(base, limiter);
+  const auto t0 = std::chrono::steady_clock::now();
+  read_all(dev);  // 1 MiB at 4 MB/s ~ 0.26s
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_GE(elapsed, 0.15);
+}
+
+TEST(ThrottledDevice, ModelReportsLimiterBandwidth) {
+  auto base = std::make_shared<MemDevice>(std::string(16, 'x'));
+  auto limiter = std::make_shared<RateLimiter>(384.0e6);
+  ThrottledDevice dev(base, limiter);
+  EXPECT_DOUBLE_EQ(dev.model().bandwidth_bps, 384.0e6);
+}
+
+// ----------------------------------------------------------- Raid0Device
+
+TEST(Raid0, StripesAcrossMembers) {
+  // 3 members, stripe 4: logical "aaaabbbbccccaaaabbbbcccc..."
+  auto m0 = std::make_shared<MemDevice>(std::string(8, 'a'), "d0");
+  auto m1 = std::make_shared<MemDevice>(std::string(8, 'b'), "d1");
+  auto m2 = std::make_shared<MemDevice>(std::string(8, 'c'), "d2");
+  Raid0Device raid({m0, m1, m2}, 4);
+  EXPECT_EQ(raid.size(), 24u);
+  EXPECT_EQ(read_all(raid), "aaaabbbbccccaaaabbbbcccc");
+}
+
+TEST(Raid0, UnalignedReadsSpanStripes) {
+  auto m0 = std::make_shared<MemDevice>("01234567", "d0");
+  auto m1 = std::make_shared<MemDevice>("abcdefgh", "d1");
+  Raid0Device raid({m0, m1}, 4);
+  // Logical: 0123 abcd 4567 efgh
+  char buf[6];
+  auto n = raid.read_at(2, std::span<char>(buf, 6));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(std::string(buf, *n), "23abcd");
+}
+
+TEST(Raid0, SizeTruncatesToWholeRows) {
+  auto m0 = std::make_shared<MemDevice>(std::string(10, 'a'), "d0");
+  auto m1 = std::make_shared<MemDevice>(std::string(7, 'b'), "d1");
+  Raid0Device raid({m0, m1}, 4);
+  // min member 7 -> 1 whole stripe per member -> 2 members * 4 = 8.
+  EXPECT_EQ(raid.size(), 8u);
+}
+
+TEST(Raid0, AggregateModelSumsBandwidth) {
+  auto m0 = std::make_shared<MemDevice>(std::string(8, 'a'), "d0");
+  auto m1 = std::make_shared<MemDevice>(std::string(8, 'b'), "d1");
+  Raid0Device raid({m0, m1}, 4);
+  EXPECT_DOUBLE_EQ(raid.model().bandwidth_bps,
+                   m0->model().bandwidth_bps + m1->model().bandwidth_bps);
+}
+
+TEST(Raid0, RandomizedEquivalenceWithFlatBuffer) {
+  // Property: a RAID-0 of chunked copies of a flat buffer reads identically
+  // to the flat buffer, for random offsets/lengths.
+  const std::size_t stripe = 16;
+  const std::size_t members = 3, rows = 10;
+  std::string flat;
+  Xoshiro256 rng(99);
+  for (std::size_t i = 0; i < members * rows * stripe; ++i)
+    flat.push_back(static_cast<char>('A' + rng.uniform(26)));
+  // Build member contents from the flat image.
+  std::vector<std::string> member_data(members);
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    const std::size_t s = i / stripe;
+    member_data[s % members].push_back(flat[i]);
+  }
+  std::vector<std::shared_ptr<const Device>> devices;
+  for (auto& md : member_data)
+    devices.push_back(std::make_shared<MemDevice>(md, "m"));
+  Raid0Device raid(devices, stripe);
+  ASSERT_EQ(raid.size(), flat.size());
+
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t off = rng.uniform(flat.size());
+    const std::size_t len = 1 + rng.uniform(100);
+    std::string buf(len, '\0');
+    auto n = raid.read_at(off, std::span<char>(buf.data(), len));
+    ASSERT_TRUE(n.ok());
+    EXPECT_EQ(std::string_view(buf.data(), *n), flat.substr(off, *n));
+  }
+}
+
+// -------------------------------------------------------------- HdfsSim
+
+TEST(HdfsSim, PutOpenRead) {
+  HdfsConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.block_bytes = 8;
+  cfg.link_bps = 1e9;
+  cfg.per_node_bps = 1e9;
+  HdfsSimStore store(cfg);
+  store.put("/data/a.txt", "hello hdfs world!");
+  ASSERT_TRUE(store.exists("/data/a.txt"));
+  auto dev = store.open("/data/a.txt");
+  ASSERT_TRUE(dev.ok());
+  EXPECT_EQ(read_all(**dev), "hello hdfs world!");
+}
+
+TEST(HdfsSim, MissingFileNotFound) {
+  HdfsSimStore store(HdfsConfig{});
+  auto dev = store.open("/nope");
+  EXPECT_FALSE(dev.ok());
+  EXPECT_EQ(dev.status().code(), StatusCode::kNotFound);
+}
+
+TEST(HdfsSim, BlocksPlacedRoundRobin) {
+  HdfsConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.block_bytes = 4;
+  cfg.link_bps = 1e9;
+  cfg.per_node_bps = 1e9;
+  HdfsSimStore store(cfg);
+  store.put("/f", std::string(20, 'x'));  // 5 blocks
+  const std::size_t n0 = store.block_node("/f", 0);
+  EXPECT_EQ(store.block_node("/f", 1), (n0 + 1) % 3);
+  EXPECT_EQ(store.block_node("/f", 3), n0);
+}
+
+TEST(HdfsSim, FilesStartOnDifferentNodes) {
+  HdfsConfig cfg;
+  cfg.num_nodes = 8;
+  HdfsSimStore store(cfg);
+  store.put("/a", "x");
+  store.put("/b", "x");
+  EXPECT_NE(store.block_node("/a", 0), store.block_node("/b", 0));
+}
+
+TEST(HdfsSim, SharedLinkThrottles) {
+  HdfsConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.block_bytes = 64 * 1024;
+  cfg.link_bps = 4.0e6;      // slow shared link
+  cfg.per_node_bps = 1.0e9;  // fast node disks
+  HdfsSimStore store(cfg);
+  store.put("/big", std::string(1 << 20, 'h'));
+  auto dev = store.open("/big");
+  ASSERT_TRUE(dev.ok());
+  const auto t0 = std::chrono::steady_clock::now();
+  read_all(**dev);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_GE(elapsed, 0.15);  // 1 MiB over 4 MB/s
+}
+
+TEST(HdfsSim, ListsFiles) {
+  HdfsSimStore store(HdfsConfig{});
+  store.put("/b", "2");
+  store.put("/a", "1");
+  EXPECT_EQ(store.list(), (std::vector<std::string>{"/a", "/b"}));
+}
+
+// ---------------------------------------------------------- FaultDevice
+
+TEST(FaultDevice, FailsOnNthCall) {
+  MemDevice base("abcdef");
+  FaultDevice dev(&base);
+  dev.fail_on_call(1);
+  char buf[2];
+  EXPECT_TRUE(dev.read_at(0, std::span<char>(buf, 2)).ok());
+  EXPECT_FALSE(dev.read_at(2, std::span<char>(buf, 2)).ok());
+  EXPECT_TRUE(dev.read_at(4, std::span<char>(buf, 2)).ok());
+  EXPECT_EQ(dev.calls(), 3u);
+}
+
+TEST(FaultDevice, FailsOnPoisonedRange) {
+  MemDevice base(std::string(100, 'p'));
+  FaultDevice dev(&base);
+  dev.fail_on_range(50, 60);
+  char buf[10];
+  EXPECT_TRUE(dev.read_at(0, std::span<char>(buf, 10)).ok());
+  EXPECT_FALSE(dev.read_at(55, std::span<char>(buf, 10)).ok());
+  EXPECT_FALSE(dev.read_at(45, std::span<char>(buf, 10)).ok());  // overlap
+  EXPECT_TRUE(dev.read_at(60, std::span<char>(buf, 10)).ok());
+}
+
+}  // namespace
+}  // namespace supmr::storage

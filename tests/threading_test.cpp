@@ -1,0 +1,286 @@
+// Unit tests for the threading substrate: latch, barrier, queues, pool,
+// double buffer, parallel_for.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+
+#include "threading/double_buffer.hpp"
+#include "threading/latch.hpp"
+#include "threading/mpmc_queue.hpp"
+#include "threading/spsc_queue.hpp"
+#include "threading/thread_pool.hpp"
+
+namespace supmr {
+namespace {
+
+// ---------------------------------------------------------------- latch
+
+TEST(CountdownLatch, ReleasesAtZero) {
+  CountdownLatch latch(3);
+  EXPECT_FALSE(latch.try_wait());
+  latch.count_down();
+  latch.count_down(2);
+  EXPECT_TRUE(latch.try_wait());
+  latch.wait();  // does not block
+}
+
+TEST(CountdownLatch, OverCountClampsToZero) {
+  CountdownLatch latch(1);
+  latch.count_down(10);
+  EXPECT_TRUE(latch.try_wait());
+}
+
+TEST(CountdownLatch, CrossThreadRelease) {
+  CountdownLatch latch(4);
+  std::atomic<int> before{0};
+  std::vector<std::thread> workers;
+  for (int i = 0; i < 4; ++i) {
+    workers.emplace_back([&] {
+      ++before;
+      latch.count_down();
+    });
+  }
+  latch.wait();
+  EXPECT_EQ(before.load(), 4);
+  for (auto& w : workers) w.join();
+}
+
+TEST(Barrier, ExactlyOneSerialThreadPerGeneration) {
+  constexpr int kParties = 4, kGenerations = 8;
+  Barrier barrier(kParties);
+  std::atomic<int> serial_count{0};
+  std::vector<std::thread> workers;
+  for (int p = 0; p < kParties; ++p) {
+    workers.emplace_back([&] {
+      for (int g = 0; g < kGenerations; ++g) {
+        if (barrier.arrive_and_wait()) ++serial_count;
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(serial_count.load(), kGenerations);
+}
+
+// ----------------------------------------------------------- spsc queue
+
+TEST(SpscQueue, FifoOrder) {
+  SpscQueue<int> q(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(q.try_push(i));
+  EXPECT_FALSE(q.try_push(99));  // full
+  for (int i = 0; i < 8; ++i) {
+    auto v = q.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(SpscQueue, CapacityRoundsUpToPowerOfTwo) {
+  SpscQueue<int> q(5);
+  EXPECT_EQ(q.capacity(), 8u);
+}
+
+TEST(SpscQueue, StressProducerConsumer) {
+  constexpr int kItems = 200000;
+  SpscQueue<int> q(64);
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) {
+      while (!q.try_push(i)) std::this_thread::yield();
+    }
+  });
+  long long sum = 0;
+  int received = 0;
+  while (received < kItems) {
+    if (auto v = q.try_pop()) {
+      EXPECT_EQ(*v, received);  // order preserved
+      sum += *v;
+      ++received;
+    }
+  }
+  producer.join();
+  EXPECT_EQ(sum, 1LL * kItems * (kItems - 1) / 2);
+}
+
+// ----------------------------------------------------------- mpmc queue
+
+TEST(MpmcQueue, PushPopBasic) {
+  MpmcQueue<int> q;
+  q.push(1);
+  q.push(2);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+}
+
+TEST(MpmcQueue, CloseDrainsThenEnds) {
+  MpmcQueue<int> q;
+  q.push(7);
+  q.close();
+  EXPECT_FALSE(q.push(8));
+  EXPECT_EQ(q.pop(), 7);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(MpmcQueue, TryPopNonBlocking) {
+  MpmcQueue<int> q;
+  EXPECT_FALSE(q.try_pop().has_value());
+  q.push(3);
+  EXPECT_EQ(q.try_pop(), 3);
+}
+
+TEST(MpmcQueue, ManyProducersManyConsumers) {
+  constexpr int kPerProducer = 5000, kProducers = 4, kConsumers = 4;
+  MpmcQueue<int> q(128);
+  std::atomic<long long> sum{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&] {
+      for (int i = 1; i <= kPerProducer; ++i) q.push(i);
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (auto v = q.pop()) sum += *v;
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[p].join();
+  q.close();
+  for (int c = 0; c < kConsumers; ++c) threads[kProducers + c].join();
+  EXPECT_EQ(sum.load(),
+            1LL * kProducers * kPerProducer * (kPerProducer + 1) / 2);
+}
+
+// ---------------------------------------------------------- thread pool
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { ++count; });
+  pool.wait_all();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaveProvidesDistinctIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(8);
+  std::vector<std::function<void(std::size_t)>> tasks;
+  for (int i = 0; i < 8; ++i)
+    tasks.push_back([&hits](std::size_t idx) { ++hits[idx]; });
+  pool.run_wave(tasks);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, UnpooledWaveRunsAll) {
+  std::atomic<int> count{0};
+  std::vector<std::function<void(std::size_t)>> tasks;
+  for (int i = 0; i < 5; ++i)
+    tasks.push_back([&count](std::size_t) { ++count; });
+  ThreadPool::run_wave_unpooled(tasks);
+  EXPECT_EQ(count.load(), 5);
+}
+
+TEST(ThreadPool, WaitAllIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&] { ++count; });
+  pool.wait_all();
+  EXPECT_EQ(count.load(), 1);
+  pool.submit([&] { ++count; });
+  pool.submit([&] { ++count; });
+  pool.wait_all();
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, hits.size(),
+               [&](std::size_t b, std::size_t e, std::size_t) {
+                 for (std::size_t i = b; i < e; ++i) ++hits[i];
+               });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRange) {
+  ThreadPool pool(2);
+  bool called = false;
+  parallel_for(pool, 0, [&](std::size_t, std::size_t, std::size_t) {
+    called = true;
+  });
+  EXPECT_FALSE(called);
+}
+
+// --------------------------------------------------------- double buffer
+
+TEST(DoubleBuffer, PassesValuesInOrder) {
+  DoubleBuffer<int> buf;
+  std::thread producer([&] {
+    for (int i = 0; i < 100; ++i) EXPECT_TRUE(buf.produce(i));
+    buf.close();
+  });
+  int expected = 0, v = 0;
+  while (buf.consume(v)) EXPECT_EQ(v, expected++);
+  EXPECT_EQ(expected, 100);
+  producer.join();
+}
+
+TEST(DoubleBuffer, AtMostTwoResident) {
+  // The double-buffering bound: the producer can never get more than two
+  // items ahead of the consumer (paper Fig. 4's memory guarantee).
+  DoubleBuffer<int> buf;
+  std::atomic<std::size_t> max_seen{0};
+  std::thread producer([&] {
+    for (int i = 0; i < 500; ++i) {
+      buf.produce(i);
+      std::size_t occ = buf.occupied();
+      std::size_t prev = max_seen.load();
+      while (occ > prev && !max_seen.compare_exchange_weak(prev, occ)) {
+      }
+    }
+    buf.close();
+  });
+  int v;
+  while (buf.consume(v)) {
+    EXPECT_LE(buf.occupied(), 2u);
+  }
+  producer.join();
+  EXPECT_LE(max_seen.load(), 2u);
+  EXPECT_GE(max_seen.load(), 1u);
+}
+
+TEST(DoubleBuffer, CloseReleasesBlockedProducer) {
+  DoubleBuffer<int> buf;
+  ASSERT_TRUE(buf.produce(1));
+  ASSERT_TRUE(buf.produce(2));
+  std::atomic<bool> third_result{true};
+  std::thread producer([&] { third_result = buf.produce(3); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  buf.close();  // consumer aborting
+  producer.join();
+  EXPECT_FALSE(third_result.load());
+}
+
+TEST(DoubleBuffer, ConsumeAfterCloseDrains) {
+  DoubleBuffer<int> buf;
+  buf.produce(42);
+  buf.close();
+  int v = 0;
+  EXPECT_TRUE(buf.consume(v));
+  EXPECT_EQ(v, 42);
+  EXPECT_FALSE(buf.consume(v));
+}
+
+TEST(DoubleBuffer, MovesOwnershipOfHeavyValues) {
+  DoubleBuffer<std::vector<char>> buf;
+  std::vector<char> big(1 << 20, 'x');
+  const char* data = big.data();
+  buf.produce(std::move(big));
+  std::vector<char> out;
+  buf.close();
+  ASSERT_TRUE(buf.consume(out));
+  EXPECT_EQ(out.data(), data);  // moved, not copied
+}
+
+}  // namespace
+}  // namespace supmr

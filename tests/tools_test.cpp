@@ -1,0 +1,72 @@
+// Tests for the CLI flag parser.
+#include <gtest/gtest.h>
+
+#include "tools/flags.hpp"
+
+namespace supmr::tools {
+namespace {
+
+Flags parse_ok(std::vector<std::string> args,
+               const std::set<std::string>& known) {
+  std::vector<char*> argv;
+  for (auto& a : args) argv.push_back(a.data());
+  auto flags = Flags::parse(int(argv.size()), argv.data(), known);
+  EXPECT_TRUE(flags.ok()) << flags.status().to_string();
+  return std::move(flags).value();
+}
+
+TEST(Flags, PositionalAndNamed) {
+  Flags f = parse_ok({"input.txt", "--chunk=64MB", "--verbose", "more.txt"},
+                     {"chunk", "verbose"});
+  EXPECT_EQ(f.positional(),
+            (std::vector<std::string>{"input.txt", "more.txt"}));
+  EXPECT_EQ(f.get_or("chunk", ""), "64MB");
+  EXPECT_TRUE(f.get_bool("verbose"));
+  EXPECT_FALSE(f.get_bool("missing"));
+}
+
+TEST(Flags, UnknownFlagRejected) {
+  std::vector<std::string> args = {"--tpyo=1"};
+  std::vector<char*> argv{args[0].data()};
+  auto flags = Flags::parse(1, argv.data(), {"typo"});
+  EXPECT_FALSE(flags.ok());
+  EXPECT_EQ(flags.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Flags, SizeParsing) {
+  Flags f = parse_ok({"--chunk=1GB"}, {"chunk"});
+  auto size = f.get_size("chunk", 0);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, kGB);
+  EXPECT_EQ(*f.get_size("absent", 42), 42u);
+}
+
+TEST(Flags, SizeParsingRejectsGarbage) {
+  Flags f = parse_ok({"--chunk=banana"}, {"chunk"});
+  EXPECT_FALSE(f.get_size("chunk", 0).ok());
+}
+
+TEST(Flags, IntAndDouble) {
+  Flags f = parse_ok({"--threads=8", "--rate=1.5"}, {"threads", "rate"});
+  EXPECT_EQ(*f.get_int("threads", 0), 8u);
+  EXPECT_DOUBLE_EQ(*f.get_double("rate", 0.0), 1.5);
+  EXPECT_FALSE(f.get_int("rate", 0).ok());  // "1.5" is not an integer
+}
+
+TEST(Flags, BooleanForms) {
+  Flags f = parse_ok({"--a", "--b=false", "--c=0", "--d=yes"},
+                     {"a", "b", "c", "d"});
+  EXPECT_TRUE(f.get_bool("a"));
+  EXPECT_FALSE(f.get_bool("b"));
+  EXPECT_FALSE(f.get_bool("c"));
+  EXPECT_TRUE(f.get_bool("d"));
+}
+
+TEST(Flags, EmptyArgs) {
+  auto flags = Flags::parse(0, nullptr, {});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_TRUE(flags->positional().empty());
+}
+
+}  // namespace
+}  // namespace supmr::tools

@@ -1,0 +1,453 @@
+// supmr — command-line front end for the SupMR runtime.
+//
+//   supmr wordcount <file>        [--chunk=64MB] [--threads=N] [--top=10]
+//   supmr sort <file> --out=<f>   [--chunk=64MB] [--key-bytes=10]
+//                                 [--record-bytes=100]
+//   supmr grep <patterns> <file>  [--chunk=64MB]   (comma-separated patterns)
+//   supmr histogram <file>        [--lo=0] [--hi=256] [--bins=64]
+//   supmr index <file...>         [--files-per-chunk=4]
+//   supmr generate <kind> <path>  --size=64MB  (kind: text | terasort |
+//                                 numeric)
+//
+// Common flags:
+//   --mode=supmr|original|adaptive   runtime (default supmr)
+//   --merge=pway|pairwise            final merge algorithm (default pway)
+//   --threads=N                      mapper/reducer threads
+//   --chunk=SIZE                     ingest chunk size (0/none = original)
+//   --throttle=RATE                  emulate a slow device, e.g. 384MB
+//   --trace=out.csv                  dump a /proc/stat utilization trace
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "apps/external_word_count.hpp"
+#include "apps/grep.hpp"
+#include "apps/kmeans.hpp"
+#include "apps/histogram.hpp"
+#include "apps/inverted_index.hpp"
+#include "apps/tera_sort.hpp"
+#include "apps/word_count.hpp"
+#include "common/logging.hpp"
+#include "core/job.hpp"
+#include "core/proc_sampler.hpp"
+#include "core/report.hpp"
+#include "ingest/adaptive.hpp"
+#include "ingest/hybrid_source.hpp"
+#include "ingest/record_format.hpp"
+#include "ingest/source.hpp"
+#include "storage/file_device.hpp"
+#include "storage/rate_limiter.hpp"
+#include "storage/throttled_device.hpp"
+#include "tools/flags.hpp"
+#include "wload/numeric.hpp"
+#include "wload/teragen.hpp"
+#include "wload/text_corpus.hpp"
+
+namespace supmr::tools {
+namespace {
+
+const std::set<std::string> kCommonFlags = {
+    "mode",   "merge",   "threads", "chunk",      "throttle",
+    "trace",  "top",     "out",     "key-bytes",  "record-bytes",
+    "lo",     "hi",      "bins",    "files-per-chunk", "size",
+    "verbose", "json",    "budget",  "clusters",   "dim",
+    "iters"};
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: supmr <command> [args] [flags]\n"
+               "commands: wordcount sort grep histogram index kmeans generate\n"
+               "see tools/supmr_cli.cpp header for the full flag list\n");
+}
+
+struct CommonConfig {
+  core::JobConfig job;
+  std::uint64_t chunk_bytes = 64 * kMB;
+  std::string mode = "supmr";
+  std::optional<double> throttle_bps;
+  std::optional<std::string> trace_path;
+  bool json = false;
+};
+
+StatusOr<CommonConfig> common_config(const Flags& flags) {
+  CommonConfig cfg;
+  cfg.mode = flags.get_or("mode", "supmr");
+  if (cfg.mode != "supmr" && cfg.mode != "original" &&
+      cfg.mode != "adaptive") {
+    return Status::InvalidArgument("bad --mode: " + cfg.mode);
+  }
+  const std::string merge = flags.get_or("merge", "pway");
+  if (merge == "pway") {
+    cfg.job.merge_mode = core::MergeMode::kPWay;
+  } else if (merge == "pairwise") {
+    cfg.job.merge_mode = core::MergeMode::kPairwise;
+  } else {
+    return Status::InvalidArgument("bad --merge: " + merge);
+  }
+  SUPMR_ASSIGN_OR_RETURN(std::uint64_t threads,
+                         flags.get_int("threads", 0));
+  if (threads > 0) {
+    cfg.job.num_map_threads = threads;
+    cfg.job.num_reduce_threads = threads;
+  }
+  if (auto chunk = flags.get("chunk")) {
+    if (*chunk == "none") {
+      cfg.chunk_bytes = 0;
+    } else {
+      SUPMR_ASSIGN_OR_RETURN(cfg.chunk_bytes,
+                             flags.get_size("chunk", cfg.chunk_bytes));
+    }
+  }
+  if (flags.get("throttle")) {
+    SUPMR_ASSIGN_OR_RETURN(std::uint64_t rate, flags.get_size("throttle", 0));
+    if (rate > 0) cfg.throttle_bps = double(rate);
+  }
+  cfg.trace_path = flags.get("trace");
+  cfg.json = flags.get_bool("json");
+  if (flags.get_bool("verbose")) Logger::set_level(LogLevel::kInfo);
+  return cfg;
+}
+
+StatusOr<std::shared_ptr<const storage::Device>> open_input(
+    const std::string& path, const CommonConfig& cfg) {
+  SUPMR_ASSIGN_OR_RETURN(auto file, storage::FileDevice::open(path));
+  std::shared_ptr<const storage::Device> dev = std::move(file);
+  if (cfg.throttle_bps) {
+    auto limiter = std::make_shared<storage::RateLimiter>(*cfg.throttle_bps);
+    dev = std::make_shared<storage::ThrottledDevice>(dev, limiter);
+  }
+  return dev;
+}
+
+// Runs `app` over `source` honoring --mode; prints the phase row.
+StatusOr<core::JobResult> run_app(core::Application& app,
+                                  const ingest::IngestSource& source,
+                                  const storage::Device* device,
+                                  const ingest::RecordFormat* format,
+                                  const CommonConfig& cfg) {
+  core::MapReduceJob job(app, source, cfg.job);
+  core::ProcStatSampler sampler(0.1);
+  const bool tracing =
+      cfg.trace_path.has_value() && core::ProcStatSampler::available();
+  if (tracing) sampler.start();
+
+  StatusOr<core::JobResult> result = Status::Internal("unreachable");
+  if (cfg.mode == "original" || cfg.chunk_bytes == 0) {
+    result = job.run();
+  } else if (cfg.mode == "adaptive") {
+    if (device == nullptr || format == nullptr) {
+      return Status::InvalidArgument(
+          "--mode=adaptive requires a single-device input");
+    }
+    ingest::RateMatchingController controller;
+    result = job.run_ingestMR_adaptive(*device, *format, controller);
+  } else {
+    result = job.run_ingestMR();
+  }
+  if (tracing) {
+    TimeSeries trace = sampler.stop();
+    trace.write_csv(*cfg.trace_path);
+    std::printf("utilization trace (%zu samples) -> %s\n", trace.samples(),
+                cfg.trace_path->c_str());
+  }
+  if (!result.ok()) return result.status();
+  if (cfg.json) {
+    std::printf("%s\n", core::job_result_to_json(*result).c_str());
+    return result;
+  }
+  std::printf("%s\n%s\n", PhaseBreakdown::table_header().c_str(),
+              result->phases.to_table_row(cfg.mode).c_str());
+  std::printf("chunks=%llu map_rounds=%llu merge_rounds=%llu results=%llu\n",
+              (unsigned long long)result->chunks,
+              (unsigned long long)result->map_rounds,
+              (unsigned long long)result->phases.merge_rounds,
+              (unsigned long long)result->result_count);
+  return result;
+}
+
+// ----------------------------------------------------------- subcommands
+
+Status cmd_wordcount(const Flags& flags) {
+  if (flags.positional().empty()) {
+    return Status::InvalidArgument("wordcount needs an input file");
+  }
+  SUPMR_ASSIGN_OR_RETURN(CommonConfig cfg, common_config(flags));
+  SUPMR_ASSIGN_OR_RETURN(auto dev, open_input(flags.positional()[0], cfg));
+  auto format = std::make_shared<ingest::LineFormat>();
+  ingest::SingleDeviceSource source(dev, format, cfg.chunk_bytes);
+  // --budget=SIZE switches to external aggregation (spill-and-merge) so the
+  // intermediate set never exceeds the budget.
+  SUPMR_ASSIGN_OR_RETURN(std::uint64_t budget, flags.get_size("budget", 0));
+  std::vector<std::pair<std::string, std::uint64_t>> words;
+  if (budget > 0) {
+    containers::SpillingHashContainer::Options opt;
+    opt.memory_budget_bytes = budget;
+    apps::ExternalWordCountApp app(opt);
+    SUPMR_ASSIGN_OR_RETURN(
+        core::JobResult result,
+        run_app(app, source, dev.get(), format.get(), cfg));
+    (void)result;
+    std::printf("spilled runs: %zu\n", app.runs_spilled());
+    words = app.results();
+  } else {
+    apps::WordCountApp app;
+    SUPMR_ASSIGN_OR_RETURN(
+        core::JobResult result,
+        run_app(app, source, dev.get(), format.get(), cfg));
+    (void)result;
+    words = app.results();
+  }
+  SUPMR_ASSIGN_OR_RETURN(std::uint64_t top, flags.get_int("top", 10));
+  const std::size_t n = std::min<std::size_t>(top, words.size());
+  std::partial_sort(words.begin(), words.begin() + n, words.end(),
+                    [](const auto& a, const auto& b) {
+                      return a.second > b.second;
+                    });
+  for (std::size_t i = 0; i < n; ++i)
+    std::printf("%10llu  %s\n", (unsigned long long)words[i].second,
+                words[i].first.c_str());
+  return Status::Ok();
+}
+
+Status cmd_sort(const Flags& flags) {
+  if (flags.positional().empty()) {
+    return Status::InvalidArgument("sort needs an input file");
+  }
+  SUPMR_ASSIGN_OR_RETURN(CommonConfig cfg, common_config(flags));
+  SUPMR_ASSIGN_OR_RETURN(auto dev, open_input(flags.positional()[0], cfg));
+  SUPMR_ASSIGN_OR_RETURN(std::uint64_t key_bytes,
+                         flags.get_int("key-bytes", 10));
+  SUPMR_ASSIGN_OR_RETURN(std::uint64_t record_bytes,
+                         flags.get_int("record-bytes", 100));
+  apps::TeraSortOptions opt;
+  opt.key_bytes = static_cast<std::uint32_t>(key_bytes);
+  opt.record_bytes = static_cast<std::uint32_t>(record_bytes);
+  auto format = std::make_shared<ingest::CrlfFormat>();
+  ingest::SingleDeviceSource source(dev, format, cfg.chunk_bytes);
+  apps::TeraSortApp app(opt);
+  SUPMR_ASSIGN_OR_RETURN(core::JobResult result,
+                         run_app(app, source, dev.get(), format.get(), cfg));
+  (void)result;
+  if (app.malformed_records() > 0) {
+    std::printf("warning: %llu malformed records\n",
+                (unsigned long long)app.malformed_records());
+  }
+  if (auto out = flags.get("out")) {
+    std::FILE* f = std::fopen(out->c_str(), "wb");
+    if (f == nullptr) return Status::IoError("cannot create " + *out);
+    const auto& sorted = app.sorted_data();
+    const bool ok =
+        std::fwrite(sorted.data(), 1, sorted.size(), f) == sorted.size();
+    std::fclose(f);
+    if (!ok) return Status::IoError("short write to " + *out);
+    std::printf("sorted output (%s) -> %s\n",
+                format_bytes(sorted.size()).c_str(), out->c_str());
+  }
+  return Status::Ok();
+}
+
+Status cmd_grep(const Flags& flags) {
+  if (flags.positional().size() < 2) {
+    return Status::InvalidArgument("grep needs <patterns> <file>");
+  }
+  SUPMR_ASSIGN_OR_RETURN(CommonConfig cfg, common_config(flags));
+  std::vector<std::string> patterns;
+  const std::string& arg = flags.positional()[0];
+  std::size_t pos = 0;
+  while (pos <= arg.size()) {
+    const std::size_t comma = arg.find(',', pos);
+    patterns.push_back(arg.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  SUPMR_ASSIGN_OR_RETURN(auto dev, open_input(flags.positional()[1], cfg));
+  auto format = std::make_shared<ingest::LineFormat>();
+  ingest::SingleDeviceSource source(dev, format, cfg.chunk_bytes);
+  apps::GrepApp app(patterns);
+  SUPMR_ASSIGN_OR_RETURN(core::JobResult result,
+                         run_app(app, source, dev.get(), format.get(), cfg));
+  (void)result;
+  for (const auto& [pattern, hits] : app.results())
+    std::printf("%10llu  %s\n", (unsigned long long)hits, pattern.c_str());
+  std::printf("lines scanned: %llu\n",
+              (unsigned long long)app.lines_scanned());
+  return Status::Ok();
+}
+
+Status cmd_histogram(const Flags& flags) {
+  if (flags.positional().empty()) {
+    return Status::InvalidArgument("histogram needs an input file");
+  }
+  SUPMR_ASSIGN_OR_RETURN(CommonConfig cfg, common_config(flags));
+  SUPMR_ASSIGN_OR_RETURN(auto dev, open_input(flags.positional()[0], cfg));
+  apps::HistogramOptions opt;
+  SUPMR_ASSIGN_OR_RETURN(std::uint64_t lo, flags.get_int("lo", 0));
+  SUPMR_ASSIGN_OR_RETURN(std::uint64_t hi, flags.get_int("hi", 256));
+  SUPMR_ASSIGN_OR_RETURN(std::uint64_t bins, flags.get_int("bins", 32));
+  opt.lo = static_cast<std::int64_t>(lo);
+  opt.hi = static_cast<std::int64_t>(hi);
+  opt.bins = bins;
+  auto format = std::make_shared<ingest::LineFormat>();
+  ingest::SingleDeviceSource source(dev, format, cfg.chunk_bytes);
+  apps::HistogramApp app(opt);
+  SUPMR_ASSIGN_OR_RETURN(core::JobResult result,
+                         run_app(app, source, dev.get(), format.get(), cfg));
+  (void)result;
+  std::uint64_t peak = 1;
+  for (auto c : app.counts()) peak = std::max(peak, c);
+  for (std::size_t b = 0; b < app.counts().size(); ++b) {
+    const int bar = int(double(app.counts()[b]) / double(peak) * 50.0);
+    std::printf("[%6lld,%6lld) %10llu |%.*s\n",
+                (long long)(opt.lo + (opt.hi - opt.lo) * (long long)b /
+                                         (long long)opt.bins),
+                (long long)(opt.lo + (opt.hi - opt.lo) * (long long)(b + 1) /
+                                         (long long)opt.bins),
+                (unsigned long long)app.counts()[b], bar,
+                "##################################################");
+  }
+  std::printf("parsed=%llu out-of-range=%llu\n",
+              (unsigned long long)app.values_parsed(),
+              (unsigned long long)app.values_out_of_range());
+  return Status::Ok();
+}
+
+Status cmd_index(const Flags& flags) {
+  if (flags.positional().empty()) {
+    return Status::InvalidArgument("index needs input files");
+  }
+  SUPMR_ASSIGN_OR_RETURN(CommonConfig cfg, common_config(flags));
+  std::vector<std::shared_ptr<const storage::Device>> files;
+  for (const auto& path : flags.positional()) {
+    SUPMR_ASSIGN_OR_RETURN(auto dev, open_input(path, cfg));
+    files.push_back(std::move(dev));
+  }
+  SUPMR_ASSIGN_OR_RETURN(std::uint64_t per_chunk,
+                         flags.get_int("files-per-chunk", 4));
+  ingest::MultiFileSource source(files, per_chunk);
+  apps::InvertedIndexApp app;
+  SUPMR_ASSIGN_OR_RETURN(core::JobResult result,
+                         run_app(app, source, nullptr, nullptr, cfg));
+  (void)result;
+  std::printf("%llu words indexed across %zu files\n",
+              (unsigned long long)app.index().size(), files.size());
+  return Status::Ok();
+}
+
+Status cmd_kmeans(const Flags& flags) {
+  if (flags.positional().empty()) {
+    return Status::InvalidArgument("kmeans needs an input points file");
+  }
+  SUPMR_ASSIGN_OR_RETURN(CommonConfig cfg, common_config(flags));
+  SUPMR_ASSIGN_OR_RETURN(auto dev, open_input(flags.positional()[0], cfg));
+  SUPMR_ASSIGN_OR_RETURN(std::uint64_t clusters,
+                         flags.get_int("clusters", 4));
+  SUPMR_ASSIGN_OR_RETURN(std::uint64_t dim, flags.get_int("dim", 2));
+  SUPMR_ASSIGN_OR_RETURN(std::uint64_t iters, flags.get_int("iters", 30));
+  apps::KMeansOptions opt;
+  opt.clusters = clusters;
+  opt.dim = dim;
+  // Initial centroids: spread along the diagonal (a real deployment would
+  // sample the input; deterministic here).
+  std::vector<std::vector<double>> init(clusters,
+                                        std::vector<double>(dim, 0.0));
+  for (std::size_t c = 0; c < clusters; ++c)
+    for (std::size_t d = 0; d < dim; ++d)
+      init[c][d] = 100.0 * double(c + 1) / double(clusters + 1);
+  ingest::SingleDeviceSource source(
+      dev, std::make_shared<ingest::LineFormat>(), cfg.chunk_bytes);
+  auto result =
+      apps::run_kmeans(source, cfg.job, opt, std::move(init), iters, 1e-6);
+  if (!result.ok()) return result.status();
+  std::printf("k-means: %zu iterations over %llu points (%.3fs, final "
+              "shift %.2g)\n",
+              result->iterations, (unsigned long long)result->points,
+              result->total_s, result->final_shift);
+  for (std::size_t c = 0; c < clusters; ++c) {
+    std::printf("  centroid %zu: (", c);
+    for (std::size_t d = 0; d < dim; ++d)
+      std::printf("%s%.4f", d ? ", " : "", result->centroids[c][d]);
+    std::printf(")\n");
+  }
+  return Status::Ok();
+}
+
+Status cmd_generate(const Flags& flags) {
+  if (flags.positional().size() < 2) {
+    return Status::InvalidArgument("generate needs <kind> <path>");
+  }
+  const std::string& kind = flags.positional()[0];
+  const std::string& path = flags.positional()[1];
+  SUPMR_ASSIGN_OR_RETURN(std::uint64_t size,
+                         flags.get_size("size", 64 * kMB));
+  if (kind == "text") {
+    wload::TextCorpusConfig cfg;
+    cfg.total_bytes = size;
+    SUPMR_RETURN_IF_ERROR(wload::generate_text_file(cfg, path));
+  } else if (kind == "terasort") {
+    wload::TeraGenConfig cfg;
+    cfg.num_records = size / cfg.record_bytes;
+    SUPMR_RETURN_IF_ERROR(wload::teragen_to_file(cfg, path));
+  } else if (kind == "points") {
+    wload::PointsConfig cfg;
+    cfg.num_points = size / 18;  // ~18 bytes per 2-d line
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) return Status::IoError("cannot create " + path);
+    const std::string data = wload::generate_points(cfg);
+    const bool ok = std::fwrite(data.data(), 1, data.size(), f) == data.size();
+    std::fclose(f);
+    if (!ok) return Status::IoError("short write");
+  } else if (kind == "numeric") {
+    wload::NumericConfig cfg;
+    cfg.num_values = size / 4;  // ~4 bytes per line
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) return Status::IoError("cannot create " + path);
+    const std::string data = wload::generate_numeric(cfg);
+    const bool ok = std::fwrite(data.data(), 1, data.size(), f) == data.size();
+    std::fclose(f);
+    if (!ok) return Status::IoError("short write");
+  } else {
+    return Status::InvalidArgument("unknown dataset kind: " + kind);
+  }
+  std::printf("generated %s dataset (~%s) -> %s\n", kind.c_str(),
+              format_bytes(size).c_str(), path.c_str());
+  return Status::Ok();
+}
+
+int run_main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  auto flags_or = Flags::parse(argc - 2, argv + 2, kCommonFlags);
+  if (!flags_or.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 flags_or.status().to_string().c_str());
+    return 2;
+  }
+  const Flags& flags = *flags_or;
+
+  Status st = Status::InvalidArgument("unknown command: " + command);
+  if (command == "wordcount") st = cmd_wordcount(flags);
+  else if (command == "kmeans") st = cmd_kmeans(flags);
+  else if (command == "sort") st = cmd_sort(flags);
+  else if (command == "grep") st = cmd_grep(flags);
+  else if (command == "histogram") st = cmd_histogram(flags);
+  else if (command == "index") st = cmd_index(flags);
+  else if (command == "generate") st = cmd_generate(flags);
+  else usage();
+
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.to_string().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace supmr::tools
+
+int main(int argc, char** argv) {
+  return supmr::tools::run_main(argc, argv);
+}
