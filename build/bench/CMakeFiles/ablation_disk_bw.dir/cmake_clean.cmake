@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_disk_bw.dir/ablation_disk_bw.cpp.o"
+  "CMakeFiles/ablation_disk_bw.dir/ablation_disk_bw.cpp.o.d"
+  "ablation_disk_bw"
+  "ablation_disk_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_disk_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

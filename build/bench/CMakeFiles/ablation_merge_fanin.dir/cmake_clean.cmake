@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_merge_fanin.dir/ablation_merge_fanin.cpp.o"
+  "CMakeFiles/ablation_merge_fanin.dir/ablation_merge_fanin.cpp.o.d"
+  "ablation_merge_fanin"
+  "ablation_merge_fanin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_merge_fanin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_shared_machine.dir/ablation_shared_machine.cpp.o"
+  "CMakeFiles/ablation_shared_machine.dir/ablation_shared_machine.cpp.o.d"
+  "ablation_shared_machine"
+  "ablation_shared_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_shared_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_thread_overhead.dir/ablation_thread_overhead.cpp.o"
+  "CMakeFiles/ablation_thread_overhead.dir/ablation_thread_overhead.cpp.o.d"
+  "ablation_thread_overhead"
+  "ablation_thread_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_thread_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_openmp_vs_mr.dir/fig3_openmp_vs_mr.cpp.o"
+  "CMakeFiles/fig3_openmp_vs_mr.dir/fig3_openmp_vs_mr.cpp.o.d"
+  "fig3_openmp_vs_mr"
+  "fig3_openmp_vs_mr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_openmp_vs_mr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_openmp_vs_mr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_sort_pway_trace.dir/fig6_sort_pway_trace.cpp.o"
+  "CMakeFiles/fig6_sort_pway_trace.dir/fig6_sort_pway_trace.cpp.o.d"
+  "fig6_sort_pway_trace"
+  "fig6_sort_pway_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_sort_pway_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

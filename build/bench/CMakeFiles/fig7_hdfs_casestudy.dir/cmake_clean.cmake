@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_hdfs_casestudy.dir/fig7_hdfs_casestudy.cpp.o"
+  "CMakeFiles/fig7_hdfs_casestudy.dir/fig7_hdfs_casestudy.cpp.o.d"
+  "fig7_hdfs_casestudy"
+  "fig7_hdfs_casestudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_hdfs_casestudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_chunking.dir/micro_chunking.cpp.o"
+  "CMakeFiles/micro_chunking.dir/micro_chunking.cpp.o.d"
+  "micro_chunking"
+  "micro_chunking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_chunking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_external.dir/micro_external.cpp.o"
+  "CMakeFiles/micro_external.dir/micro_external.cpp.o.d"
+  "micro_external"
+  "micro_external.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_external.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

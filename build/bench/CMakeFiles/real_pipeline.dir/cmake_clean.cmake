@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/real_pipeline.dir/real_pipeline.cpp.o"
+  "CMakeFiles/real_pipeline.dir/real_pipeline.cpp.o.d"
+  "real_pipeline"
+  "real_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/real_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

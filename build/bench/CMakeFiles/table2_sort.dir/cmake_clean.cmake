@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_sort.dir/table2_sort.cpp.o"
+  "CMakeFiles/table2_sort.dir/table2_sort.cpp.o.d"
+  "table2_sort"
+  "table2_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

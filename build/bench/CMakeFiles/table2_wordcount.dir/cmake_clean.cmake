@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_wordcount.dir/table2_wordcount.cpp.o"
+  "CMakeFiles/table2_wordcount.dir/table2_wordcount.cpp.o.d"
+  "table2_wordcount"
+  "table2_wordcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_wordcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

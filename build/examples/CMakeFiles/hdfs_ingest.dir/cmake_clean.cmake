@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdfs_ingest.dir/hdfs_ingest.cpp.o"
+  "CMakeFiles/hdfs_ingest.dir/hdfs_ingest.cpp.o.d"
+  "hdfs_ingest"
+  "hdfs_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdfs_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

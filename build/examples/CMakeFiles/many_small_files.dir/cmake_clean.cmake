@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/many_small_files.dir/many_small_files.cpp.o"
+  "CMakeFiles/many_small_files.dir/many_small_files.cpp.o.d"
+  "many_small_files"
+  "many_small_files.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/many_small_files.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for many_small_files.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terasort_pipeline.dir/terasort_pipeline.cpp.o"
+  "CMakeFiles/terasort_pipeline.dir/terasort_pipeline.cpp.o.d"
+  "terasort_pipeline"
+  "terasort_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terasort_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

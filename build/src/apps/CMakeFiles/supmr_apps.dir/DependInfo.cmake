@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/external_word_count.cpp" "src/apps/CMakeFiles/supmr_apps.dir/external_word_count.cpp.o" "gcc" "src/apps/CMakeFiles/supmr_apps.dir/external_word_count.cpp.o.d"
+  "/root/repo/src/apps/grep.cpp" "src/apps/CMakeFiles/supmr_apps.dir/grep.cpp.o" "gcc" "src/apps/CMakeFiles/supmr_apps.dir/grep.cpp.o.d"
+  "/root/repo/src/apps/histogram.cpp" "src/apps/CMakeFiles/supmr_apps.dir/histogram.cpp.o" "gcc" "src/apps/CMakeFiles/supmr_apps.dir/histogram.cpp.o.d"
+  "/root/repo/src/apps/inverted_index.cpp" "src/apps/CMakeFiles/supmr_apps.dir/inverted_index.cpp.o" "gcc" "src/apps/CMakeFiles/supmr_apps.dir/inverted_index.cpp.o.d"
+  "/root/repo/src/apps/kmeans.cpp" "src/apps/CMakeFiles/supmr_apps.dir/kmeans.cpp.o" "gcc" "src/apps/CMakeFiles/supmr_apps.dir/kmeans.cpp.o.d"
+  "/root/repo/src/apps/linear_regression.cpp" "src/apps/CMakeFiles/supmr_apps.dir/linear_regression.cpp.o" "gcc" "src/apps/CMakeFiles/supmr_apps.dir/linear_regression.cpp.o.d"
+  "/root/repo/src/apps/matrix_multiply.cpp" "src/apps/CMakeFiles/supmr_apps.dir/matrix_multiply.cpp.o" "gcc" "src/apps/CMakeFiles/supmr_apps.dir/matrix_multiply.cpp.o.d"
+  "/root/repo/src/apps/tera_sort.cpp" "src/apps/CMakeFiles/supmr_apps.dir/tera_sort.cpp.o" "gcc" "src/apps/CMakeFiles/supmr_apps.dir/tera_sort.cpp.o.d"
+  "/root/repo/src/apps/word_count.cpp" "src/apps/CMakeFiles/supmr_apps.dir/word_count.cpp.o" "gcc" "src/apps/CMakeFiles/supmr_apps.dir/word_count.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/supmr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/containers/CMakeFiles/supmr_containers.dir/DependInfo.cmake"
+  "/root/repo/build/src/merge/CMakeFiles/supmr_merge.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/supmr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ingest/CMakeFiles/supmr_ingest.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/supmr_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/threading/CMakeFiles/supmr_threading.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supmr_apps.dir/external_word_count.cpp.o"
+  "CMakeFiles/supmr_apps.dir/external_word_count.cpp.o.d"
+  "CMakeFiles/supmr_apps.dir/grep.cpp.o"
+  "CMakeFiles/supmr_apps.dir/grep.cpp.o.d"
+  "CMakeFiles/supmr_apps.dir/histogram.cpp.o"
+  "CMakeFiles/supmr_apps.dir/histogram.cpp.o.d"
+  "CMakeFiles/supmr_apps.dir/inverted_index.cpp.o"
+  "CMakeFiles/supmr_apps.dir/inverted_index.cpp.o.d"
+  "CMakeFiles/supmr_apps.dir/kmeans.cpp.o"
+  "CMakeFiles/supmr_apps.dir/kmeans.cpp.o.d"
+  "CMakeFiles/supmr_apps.dir/linear_regression.cpp.o"
+  "CMakeFiles/supmr_apps.dir/linear_regression.cpp.o.d"
+  "CMakeFiles/supmr_apps.dir/matrix_multiply.cpp.o"
+  "CMakeFiles/supmr_apps.dir/matrix_multiply.cpp.o.d"
+  "CMakeFiles/supmr_apps.dir/tera_sort.cpp.o"
+  "CMakeFiles/supmr_apps.dir/tera_sort.cpp.o.d"
+  "CMakeFiles/supmr_apps.dir/word_count.cpp.o"
+  "CMakeFiles/supmr_apps.dir/word_count.cpp.o.d"
+  "libsupmr_apps.a"
+  "libsupmr_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supmr_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

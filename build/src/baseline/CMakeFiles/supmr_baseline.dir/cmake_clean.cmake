@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supmr_baseline.dir/omp_sort.cpp.o"
+  "CMakeFiles/supmr_baseline.dir/omp_sort.cpp.o.d"
+  "libsupmr_baseline.a"
+  "libsupmr_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supmr_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supmr_common.dir/json.cpp.o"
+  "CMakeFiles/supmr_common.dir/json.cpp.o.d"
+  "CMakeFiles/supmr_common.dir/logging.cpp.o"
+  "CMakeFiles/supmr_common.dir/logging.cpp.o.d"
+  "CMakeFiles/supmr_common.dir/phase_timer.cpp.o"
+  "CMakeFiles/supmr_common.dir/phase_timer.cpp.o.d"
+  "CMakeFiles/supmr_common.dir/rng.cpp.o"
+  "CMakeFiles/supmr_common.dir/rng.cpp.o.d"
+  "CMakeFiles/supmr_common.dir/stats.cpp.o"
+  "CMakeFiles/supmr_common.dir/stats.cpp.o.d"
+  "CMakeFiles/supmr_common.dir/status.cpp.o"
+  "CMakeFiles/supmr_common.dir/status.cpp.o.d"
+  "CMakeFiles/supmr_common.dir/timeseries.cpp.o"
+  "CMakeFiles/supmr_common.dir/timeseries.cpp.o.d"
+  "CMakeFiles/supmr_common.dir/units.cpp.o"
+  "CMakeFiles/supmr_common.dir/units.cpp.o.d"
+  "libsupmr_common.a"
+  "libsupmr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supmr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

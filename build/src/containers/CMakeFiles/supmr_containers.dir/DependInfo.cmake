@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/containers/spilling_hash.cpp" "src/containers/CMakeFiles/supmr_containers.dir/spilling_hash.cpp.o" "gcc" "src/containers/CMakeFiles/supmr_containers.dir/spilling_hash.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/supmr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/merge/CMakeFiles/supmr_merge.dir/DependInfo.cmake"
+  "/root/repo/build/src/threading/CMakeFiles/supmr_threading.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

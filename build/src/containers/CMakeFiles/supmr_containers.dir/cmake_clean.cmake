@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supmr_containers.dir/spilling_hash.cpp.o"
+  "CMakeFiles/supmr_containers.dir/spilling_hash.cpp.o.d"
+  "libsupmr_containers.a"
+  "libsupmr_containers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supmr_containers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/job.cpp" "src/core/CMakeFiles/supmr_core.dir/job.cpp.o" "gcc" "src/core/CMakeFiles/supmr_core.dir/job.cpp.o.d"
+  "/root/repo/src/core/proc_sampler.cpp" "src/core/CMakeFiles/supmr_core.dir/proc_sampler.cpp.o" "gcc" "src/core/CMakeFiles/supmr_core.dir/proc_sampler.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/supmr_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/supmr_core.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/supmr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ingest/CMakeFiles/supmr_ingest.dir/DependInfo.cmake"
+  "/root/repo/build/src/containers/CMakeFiles/supmr_containers.dir/DependInfo.cmake"
+  "/root/repo/build/src/merge/CMakeFiles/supmr_merge.dir/DependInfo.cmake"
+  "/root/repo/build/src/threading/CMakeFiles/supmr_threading.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/supmr_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

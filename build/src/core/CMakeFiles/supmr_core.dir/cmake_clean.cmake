@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supmr_core.dir/job.cpp.o"
+  "CMakeFiles/supmr_core.dir/job.cpp.o.d"
+  "CMakeFiles/supmr_core.dir/proc_sampler.cpp.o"
+  "CMakeFiles/supmr_core.dir/proc_sampler.cpp.o.d"
+  "CMakeFiles/supmr_core.dir/report.cpp.o"
+  "CMakeFiles/supmr_core.dir/report.cpp.o.d"
+  "libsupmr_core.a"
+  "libsupmr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supmr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

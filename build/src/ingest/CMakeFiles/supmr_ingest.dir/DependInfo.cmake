@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ingest/adaptive.cpp" "src/ingest/CMakeFiles/supmr_ingest.dir/adaptive.cpp.o" "gcc" "src/ingest/CMakeFiles/supmr_ingest.dir/adaptive.cpp.o.d"
+  "/root/repo/src/ingest/hybrid_source.cpp" "src/ingest/CMakeFiles/supmr_ingest.dir/hybrid_source.cpp.o" "gcc" "src/ingest/CMakeFiles/supmr_ingest.dir/hybrid_source.cpp.o.d"
+  "/root/repo/src/ingest/pipeline.cpp" "src/ingest/CMakeFiles/supmr_ingest.dir/pipeline.cpp.o" "gcc" "src/ingest/CMakeFiles/supmr_ingest.dir/pipeline.cpp.o.d"
+  "/root/repo/src/ingest/record_format.cpp" "src/ingest/CMakeFiles/supmr_ingest.dir/record_format.cpp.o" "gcc" "src/ingest/CMakeFiles/supmr_ingest.dir/record_format.cpp.o.d"
+  "/root/repo/src/ingest/source.cpp" "src/ingest/CMakeFiles/supmr_ingest.dir/source.cpp.o" "gcc" "src/ingest/CMakeFiles/supmr_ingest.dir/source.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/supmr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/supmr_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/threading/CMakeFiles/supmr_threading.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supmr_ingest.dir/adaptive.cpp.o"
+  "CMakeFiles/supmr_ingest.dir/adaptive.cpp.o.d"
+  "CMakeFiles/supmr_ingest.dir/hybrid_source.cpp.o"
+  "CMakeFiles/supmr_ingest.dir/hybrid_source.cpp.o.d"
+  "CMakeFiles/supmr_ingest.dir/pipeline.cpp.o"
+  "CMakeFiles/supmr_ingest.dir/pipeline.cpp.o.d"
+  "CMakeFiles/supmr_ingest.dir/record_format.cpp.o"
+  "CMakeFiles/supmr_ingest.dir/record_format.cpp.o.d"
+  "CMakeFiles/supmr_ingest.dir/source.cpp.o"
+  "CMakeFiles/supmr_ingest.dir/source.cpp.o.d"
+  "libsupmr_ingest.a"
+  "libsupmr_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supmr_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supmr_merge.dir/external_sorter.cpp.o"
+  "CMakeFiles/supmr_merge.dir/external_sorter.cpp.o.d"
+  "libsupmr_merge.a"
+  "libsupmr_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supmr_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsupmr_merge.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supmr_perfmodel.dir/experiments.cpp.o"
+  "CMakeFiles/supmr_perfmodel.dir/experiments.cpp.o.d"
+  "CMakeFiles/supmr_perfmodel.dir/sim_job.cpp.o"
+  "CMakeFiles/supmr_perfmodel.dir/sim_job.cpp.o.d"
+  "libsupmr_perfmodel.a"
+  "libsupmr_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supmr_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supmr_sim.dir/engine.cpp.o"
+  "CMakeFiles/supmr_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/supmr_sim.dir/machine.cpp.o"
+  "CMakeFiles/supmr_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/supmr_sim.dir/resource.cpp.o"
+  "CMakeFiles/supmr_sim.dir/resource.cpp.o.d"
+  "CMakeFiles/supmr_sim.dir/tracer.cpp.o"
+  "CMakeFiles/supmr_sim.dir/tracer.cpp.o.d"
+  "libsupmr_sim.a"
+  "libsupmr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supmr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/file_device.cpp" "src/storage/CMakeFiles/supmr_storage.dir/file_device.cpp.o" "gcc" "src/storage/CMakeFiles/supmr_storage.dir/file_device.cpp.o.d"
+  "/root/repo/src/storage/hdfs_sim.cpp" "src/storage/CMakeFiles/supmr_storage.dir/hdfs_sim.cpp.o" "gcc" "src/storage/CMakeFiles/supmr_storage.dir/hdfs_sim.cpp.o.d"
+  "/root/repo/src/storage/mem_device.cpp" "src/storage/CMakeFiles/supmr_storage.dir/mem_device.cpp.o" "gcc" "src/storage/CMakeFiles/supmr_storage.dir/mem_device.cpp.o.d"
+  "/root/repo/src/storage/raid0_device.cpp" "src/storage/CMakeFiles/supmr_storage.dir/raid0_device.cpp.o" "gcc" "src/storage/CMakeFiles/supmr_storage.dir/raid0_device.cpp.o.d"
+  "/root/repo/src/storage/rate_limiter.cpp" "src/storage/CMakeFiles/supmr_storage.dir/rate_limiter.cpp.o" "gcc" "src/storage/CMakeFiles/supmr_storage.dir/rate_limiter.cpp.o.d"
+  "/root/repo/src/storage/throttled_device.cpp" "src/storage/CMakeFiles/supmr_storage.dir/throttled_device.cpp.o" "gcc" "src/storage/CMakeFiles/supmr_storage.dir/throttled_device.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/supmr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supmr_storage.dir/file_device.cpp.o"
+  "CMakeFiles/supmr_storage.dir/file_device.cpp.o.d"
+  "CMakeFiles/supmr_storage.dir/hdfs_sim.cpp.o"
+  "CMakeFiles/supmr_storage.dir/hdfs_sim.cpp.o.d"
+  "CMakeFiles/supmr_storage.dir/mem_device.cpp.o"
+  "CMakeFiles/supmr_storage.dir/mem_device.cpp.o.d"
+  "CMakeFiles/supmr_storage.dir/raid0_device.cpp.o"
+  "CMakeFiles/supmr_storage.dir/raid0_device.cpp.o.d"
+  "CMakeFiles/supmr_storage.dir/rate_limiter.cpp.o"
+  "CMakeFiles/supmr_storage.dir/rate_limiter.cpp.o.d"
+  "CMakeFiles/supmr_storage.dir/throttled_device.cpp.o"
+  "CMakeFiles/supmr_storage.dir/throttled_device.cpp.o.d"
+  "libsupmr_storage.a"
+  "libsupmr_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supmr_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supmr_threading.dir/thread_pool.cpp.o"
+  "CMakeFiles/supmr_threading.dir/thread_pool.cpp.o.d"
+  "libsupmr_threading.a"
+  "libsupmr_threading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supmr_threading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

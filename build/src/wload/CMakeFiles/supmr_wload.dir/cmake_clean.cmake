@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supmr_wload.dir/numeric.cpp.o"
+  "CMakeFiles/supmr_wload.dir/numeric.cpp.o.d"
+  "CMakeFiles/supmr_wload.dir/teragen.cpp.o"
+  "CMakeFiles/supmr_wload.dir/teragen.cpp.o.d"
+  "CMakeFiles/supmr_wload.dir/text_corpus.cpp.o"
+  "CMakeFiles/supmr_wload.dir/text_corpus.cpp.o.d"
+  "libsupmr_wload.a"
+  "libsupmr_wload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supmr_wload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fway_test.dir/fway_test.cpp.o"
+  "CMakeFiles/fway_test.dir/fway_test.cpp.o.d"
+  "fway_test"
+  "fway_test.pdb"
+  "fway_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fway_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

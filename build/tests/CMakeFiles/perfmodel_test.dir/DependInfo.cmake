@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/perfmodel_test.cpp" "tests/CMakeFiles/perfmodel_test.dir/perfmodel_test.cpp.o" "gcc" "tests/CMakeFiles/perfmodel_test.dir/perfmodel_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/supmr_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/supmr_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/supmr_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/supmr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/wload/CMakeFiles/supmr_wload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/supmr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ingest/CMakeFiles/supmr_ingest.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/supmr_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/containers/CMakeFiles/supmr_containers.dir/DependInfo.cmake"
+  "/root/repo/build/src/merge/CMakeFiles/supmr_merge.dir/DependInfo.cmake"
+  "/root/repo/build/src/threading/CMakeFiles/supmr_threading.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/supmr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

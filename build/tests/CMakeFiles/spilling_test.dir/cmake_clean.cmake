@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spilling_test.dir/spilling_test.cpp.o"
+  "CMakeFiles/spilling_test.dir/spilling_test.cpp.o.d"
+  "spilling_test"
+  "spilling_test.pdb"
+  "spilling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spilling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

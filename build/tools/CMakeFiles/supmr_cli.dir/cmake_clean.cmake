@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supmr_cli.dir/supmr_cli.cpp.o"
+  "CMakeFiles/supmr_cli.dir/supmr_cli.cpp.o.d"
+  "supmr"
+  "supmr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supmr_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
