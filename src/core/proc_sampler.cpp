@@ -9,10 +9,11 @@ ProcStatSampler::ProcStatSampler(double interval_s)
     : interval_s_(interval_s), series_({"user", "sys", "iowait"}) {}
 
 ProcStatSampler::~ProcStatSampler() {
-  if (running_.load()) {
-    running_.store(false);
-    if (thread_.joinable()) thread_.join();
-  }
+  running_.store(false);
+  // Join unconditionally on joinable: gating the join on running_ (as this
+  // originally did) leaks the thread when stop() raced the flag, and a
+  // joinable std::thread at destruction is std::terminate.
+  if (thread_.joinable()) thread_.join();
 }
 
 bool ProcStatSampler::available() { return read_proc_stat().ok; }
@@ -29,7 +30,10 @@ ProcStatSampler::CpuTimes ProcStatSampler::read_proc_stat() {
 }
 
 void ProcStatSampler::start() {
-  running_.store(true);
+  // Idempotent: a second start() while running would assign over a joinable
+  // std::thread, which is std::terminate. (Restart after stop() is fine —
+  // stop() leaves thread_ joined.)
+  if (running_.exchange(true)) return;
   thread_ = std::thread([this] { loop(); });
 }
 

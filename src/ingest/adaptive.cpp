@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/logging.hpp"
+#include "ingest/producer_guard.hpp"
 #include "threading/double_buffer.hpp"
 
 namespace supmr::ingest {
@@ -143,33 +144,35 @@ StatusOr<PipelineStats> AdaptivePipeline::run(
   });
 
   Status consumer_status;
-  IngestChunk chunk;
-  while (true) {
-    const auto t_wait = std::chrono::steady_clock::now();
-    if (!buffer.consume(chunk)) break;
-    const double waited = seconds_since(t_wait);
-    const auto t_proc = std::chrono::steady_clock::now();
-    Status st = process(chunk);
-    const double processed = seconds_since(t_proc);
-    {
-      std::lock_guard<std::mutex> lock(timings_mu);
-      stats.chunks[chunk.index].wait_s = waited;
-      stats.chunks[chunk.index].process_s = processed;
-    }
-    stats.consumer_wait_s += waited;
-    stats.process_busy_s += processed;
-    stats.total_bytes += chunk.data.size();
-    controller_.observe(ChunkFeedback{chunk.index, chunk.data.size(), 0.0,
-                                      processed});
-    if (!st.ok()) {
-      consumer_status = std::move(st);
-      cancel.store(true, std::memory_order_release);
-      buffer.close();
-      break;
+  {
+    // Same exit discipline as IngestPipeline::run_planned — cancel + close
+    // must precede the join on every path (error or exception), or a
+    // producer blocked in produce() deadlocks the join.
+    internal::ProducerJoinGuard guard(buffer, cancel, producer);
+    IngestChunk chunk;
+    while (true) {
+      const auto t_wait = std::chrono::steady_clock::now();
+      if (!buffer.consume(chunk)) break;
+      const double waited = seconds_since(t_wait);
+      const auto t_proc = std::chrono::steady_clock::now();
+      Status st = process(chunk);
+      const double processed = seconds_since(t_proc);
+      {
+        std::lock_guard<std::mutex> lock(timings_mu);
+        stats.chunks[chunk.index].wait_s = waited;
+        stats.chunks[chunk.index].process_s = processed;
+      }
+      stats.consumer_wait_s += waited;
+      stats.process_busy_s += processed;
+      stats.total_bytes += chunk.data.size();
+      controller_.observe(ChunkFeedback{chunk.index, chunk.data.size(), 0.0,
+                                        processed});
+      if (!st.ok()) {
+        consumer_status = std::move(st);
+        break;
+      }
     }
   }
-
-  producer.join();
   stats.total_s = seconds_since(run_start);
   for (const auto& c : stats.chunks) stats.ingest_busy_s += c.ingest_s;
 

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/logging.hpp"
+#include "ingest/producer_guard.hpp"
 #include "threading/double_buffer.hpp"
 
 namespace supmr::ingest {
@@ -59,30 +60,32 @@ StatusOr<PipelineStats> IngestPipeline::run_planned(
   });
 
   Status consumer_status;
-  IngestChunk chunk;
-  while (true) {
-    const auto t_wait = std::chrono::steady_clock::now();
-    if (!buffer.consume(chunk)) break;  // closed and drained
-    const double waited = seconds_since(t_wait);
-    stats.chunks[chunk.index].wait_s = waited;
-    stats.consumer_wait_s += waited;
+  {
+    // Cancels, closes, and joins on every consumer exit — including an
+    // exception escaping process(), which previously left the producer
+    // blocked in produce() and terminated on the joinable thread.
+    internal::ProducerJoinGuard guard(buffer, cancel, producer);
+    IngestChunk chunk;
+    while (true) {
+      const auto t_wait = std::chrono::steady_clock::now();
+      if (!buffer.consume(chunk)) break;  // closed and drained
+      const double waited = seconds_since(t_wait);
+      stats.chunks[chunk.index].wait_s = waited;
+      stats.consumer_wait_s += waited;
 
-    const auto t_proc = std::chrono::steady_clock::now();
-    Status st = process(chunk);
-    const double processed = seconds_since(t_proc);
-    stats.chunks[chunk.index].process_s = processed;
-    stats.process_busy_s += processed;
-    stats.total_bytes += chunk.data.size();
+      const auto t_proc = std::chrono::steady_clock::now();
+      Status st = process(chunk);
+      const double processed = seconds_since(t_proc);
+      stats.chunks[chunk.index].process_s = processed;
+      stats.process_busy_s += processed;
+      stats.total_bytes += chunk.data.size();
 
-    if (!st.ok()) {
-      consumer_status = std::move(st);
-      cancel.store(true, std::memory_order_release);
-      buffer.close();  // releases a producer blocked in produce()
-      break;
+      if (!st.ok()) {
+        consumer_status = std::move(st);
+        break;  // guard cancels + closes before the join, so no deadlock
+      }
     }
   }
-
-  producer.join();
   stats.total_s = seconds_since(run_start);
   for (const auto& c : stats.chunks) stats.ingest_busy_s += c.ingest_s;
 

@@ -1,0 +1,43 @@
+// Scope guard for the ingest pipelines' producer thread.
+//
+// Both pipelines run one producer thread against a DoubleBuffer while the
+// consumer loop runs on the caller's thread. Every exit from the consumer
+// scope — clean drain, processing error, or an exception thrown by the
+// user's process callback — must (1) set the cancel flag, (2) close() the
+// buffer so a producer blocked inside produce() wakes up and exits, and
+// (3) join the thread, in that order. Skipping (2) deadlocks the join;
+// skipping (3) on the exception path destroys a joinable std::thread, which
+// is std::terminate. Centralizing the sequence in a guard makes it
+// impossible for a new exit path to forget a step.
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+#include "ingest/chunk.hpp"
+#include "threading/double_buffer.hpp"
+
+namespace supmr::ingest::internal {
+
+class ProducerJoinGuard {
+ public:
+  ProducerJoinGuard(DoubleBuffer<IngestChunk>& buffer,
+                    std::atomic<bool>& cancel, std::thread& producer)
+      : buffer_(buffer), cancel_(cancel), producer_(producer) {}
+
+  ProducerJoinGuard(const ProducerJoinGuard&) = delete;
+  ProducerJoinGuard& operator=(const ProducerJoinGuard&) = delete;
+
+  ~ProducerJoinGuard() {
+    cancel_.store(true, std::memory_order_release);
+    buffer_.close();  // idempotent; releases a producer blocked in produce()
+    if (producer_.joinable()) producer_.join();
+  }
+
+ private:
+  DoubleBuffer<IngestChunk>& buffer_;
+  std::atomic<bool>& cancel_;
+  std::thread& producer_;
+};
+
+}  // namespace supmr::ingest::internal

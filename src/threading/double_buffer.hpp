@@ -5,6 +5,17 @@
 // *current* chunk) — exactly Fig. 4 of the paper: mappers operate on c_i
 // while c_{i+1} is read from disk. At most two buffers are ever resident,
 // which bounds the pipeline's extra memory to one chunk.
+//
+// Ownership contract (see docs/concurrency.md):
+//   * produce() is producer-only, consume() is consumer-only; one of each.
+//   * close() may be called by EITHER side, any number of times. The
+//     producer closes to signal end-of-stream (consumer drains the resident
+//     slots, then consume() returns false); the consumer closes to cancel
+//     (a producer blocked in produce() returns false and its value is
+//     dropped). A pipeline that cancels MUST close() before joining the
+//     producer thread, or the join deadlocks on a producer stuck in
+//     produce()'s slot_free_ wait.
+//   * Values left resident at destruction are destroyed with the buffer.
 #pragma once
 
 #include <condition_variable>
@@ -58,6 +69,11 @@ class DoubleBuffer {
   std::size_t occupied() const {
     std::lock_guard<std::mutex> lock(mu_);
     return count_;
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
   }
 
  private:

@@ -22,6 +22,13 @@ class CountdownLatch {
   CountdownLatch& operator=(const CountdownLatch&) = delete;
 
   // Decrements the count; wakes waiters when it reaches zero.
+  //
+  // Lost-wakeup audit: the decrement and the notify_all() must both happen
+  // while mu_ is held — a "fast path" that decrements an atomic and notifies
+  // without the lock can interleave between a wait()'s predicate check
+  // (sees count_ > 0) and its sleep, and that waiter never wakes. Every
+  // mutation path in this class stays under the mutex for that reason;
+  // tests/stress/stress_pool_latch_test.cpp hammers this interleaving.
   void count_down(std::size_t n = 1) {
     std::lock_guard<std::mutex> lock(mu_);
     count_ = (n >= count_) ? 0 : count_ - n;

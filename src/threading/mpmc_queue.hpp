@@ -23,7 +23,11 @@ class MpmcQueue {
   MpmcQueue(const MpmcQueue&) = delete;
   MpmcQueue& operator=(const MpmcQueue&) = delete;
 
-  // Blocks while full (bounded mode). Returns false if the queue was closed.
+  // Blocks while full (bounded mode). Returns false if the queue was closed,
+  // in which case `value` is dropped — items that were already queued before
+  // the close are never lost and remain poppable (pop()/try_pop() drain
+  // them). A producer blocked here when close() fires wakes and returns
+  // false without pushing.
   bool push(T value) {
     std::unique_lock<std::mutex> lock(mu_);
     not_full_.wait(lock, [&] {

@@ -57,9 +57,18 @@ class SpscQueue {
     return value;
   }
 
+  // Observer contract: exact from the producer or consumer thread; from any
+  // other thread it is a clamped snapshot in [0, capacity()]. The head load
+  // must precede the tail load: head only grows, so a stale head can only
+  // over-estimate the count — loading tail first (as this code originally
+  // did) lets a concurrent pop advance head past the captured tail, and the
+  // unsigned subtraction underflows to ~SIZE_MAX.
   std::size_t size() const {
-    return tail_.load(std::memory_order_acquire) -
-           head_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    assert(tail >= head && "SpscQueue::size(): torn head/tail observation");
+    const std::size_t n = tail - head;
+    return n <= mask_ + 1 ? n : mask_ + 1;
   }
   bool empty() const { return size() == 0; }
   std::size_t capacity() const { return mask_ + 1; }

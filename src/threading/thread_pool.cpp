@@ -11,17 +11,30 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
     workers_.emplace_back([this] { worker_loop(); });
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   queue_.close();
-  for (auto& w : workers_) w.join();
+  for (auto& w : workers_)
+    if (w.joinable()) w.join();
 }
 
-void ThreadPool::submit(std::function<void()> task) {
+bool ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(pending_mu_);
     ++pending_;
   }
-  queue_.push(std::move(task));
+  if (!queue_.push(std::move(task))) {
+    // The pool shut down between the increment and the enqueue, so the task
+    // will never run and never decrement. Without this rollback, pending_
+    // stays permanently non-zero and every later wait_all() hangs; the
+    // notify covers a wait_all() that already observed the transient count.
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    assert(pending_ > 0 && "ThreadPool pending_ underflow in submit rollback");
+    if (--pending_ == 0) pending_cv_.notify_all();
+    return false;
+  }
+  return true;
 }
 
 void ThreadPool::wait_all() {
@@ -32,7 +45,11 @@ void ThreadPool::wait_all() {
 void ThreadPool::worker_loop() {
   while (auto task = queue_.pop()) {
     (*task)();
+    // The decrement and the notify both happen under pending_mu_: a notify
+    // outside the lock could fire between a wait_all()'s predicate check and
+    // its sleep, losing the wakeup.
     std::lock_guard<std::mutex> lock(pending_mu_);
+    assert(pending_ > 0 && "ThreadPool pending_ underflow: uncounted task");
     if (--pending_ == 0) pending_cv_.notify_all();
   }
 }

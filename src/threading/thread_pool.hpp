@@ -31,10 +31,19 @@ class ThreadPool {
 
   // Enqueues a task. Tasks must not throw (CP: tasks own their errors; a
   // throwing task aborts via std::terminate in the worker).
-  void submit(std::function<void()> task);
+  //
+  // Returns false — and drops the task — if the pool has been shut down. The
+  // pending counter is rolled back on that path so a concurrent wait_all()
+  // can never block on a task that will not run.
+  bool submit(std::function<void()> task);
 
   // Blocks until every task submitted so far has finished.
   void wait_all();
+
+  // Closes the task queue, lets the workers drain every already-queued task,
+  // and joins them. Idempotent; the destructor calls it. After shutdown(),
+  // submit() returns false.
+  void shutdown();
 
   // Runs `tasks` as one wave on pooled workers: submits all and waits.
   // `worker_index` (0-based within the wave) is passed to each task.

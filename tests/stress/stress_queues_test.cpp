@@ -1,0 +1,197 @@
+// Multi-producer/consumer hammer tests for MpmcQueue and SpscQueue under the
+// seeded schedule shuffler. Each TEST_P runs once per seed in kStressSeeds,
+// so a plain ctest pass covers three distinct injected schedules; set
+// SUPMR_SCHED_SEED to replay one.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "sched_fuzz.hpp"
+#include "threading/mpmc_queue.hpp"
+#include "threading/spsc_queue.hpp"
+
+namespace supmr {
+namespace {
+
+class QueueStress : public ::testing::TestWithParam<std::uint64_t> {};
+
+// ----------------------------------------------------------- mpmc queue
+
+TEST_P(QueueStress, MpmcBoundedHammerPreservesEveryItem) {
+  constexpr int kProducers = 3, kConsumers = 3, kPerProducer = 1500;
+  test::SchedFuzz fuzz(GetParam());
+  MpmcQueue<std::uint64_t> q(8);  // small bound: producers block constantly
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      test::SchedFuzz::Stream sched(fuzz, std::uint64_t(p));
+      for (int i = 1; i <= kPerProducer; ++i) {
+        sched.yield_point();
+        ASSERT_TRUE(q.push(std::uint64_t(p) * 1000000 + std::uint64_t(i)));
+      }
+    });
+  }
+
+  std::atomic<std::uint64_t> total_count{0};
+  std::atomic<std::uint64_t> total_sum{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&, c] {
+      test::SchedFuzz::Stream sched(fuzz, 100 + std::uint64_t(c));
+      // The queue is globally FIFO, so each consumer must see strictly
+      // increasing sequence numbers per producer.
+      std::map<std::uint64_t, std::uint64_t> last_seen;
+      while (auto v = q.pop()) {
+        sched.yield_point();
+        const std::uint64_t producer = *v / 1000000, seq = *v % 1000000;
+        auto [it, fresh] = last_seen.emplace(producer, seq);
+        if (!fresh) {
+          EXPECT_LT(it->second, seq) << "per-producer FIFO violated";
+          it->second = seq;
+        }
+        total_sum += *v;
+        ++total_count;
+      }
+    });
+  }
+
+  for (int p = 0; p < kProducers; ++p) threads[p].join();
+  q.close();
+  for (auto& c : consumers) c.join();
+
+  EXPECT_EQ(total_count.load(), std::uint64_t(kProducers) * kPerProducer);
+  std::uint64_t want = 0;
+  for (int p = 0; p < kProducers; ++p)
+    for (int i = 1; i <= kPerProducer; ++i)
+      want += std::uint64_t(p) * 1000000 + std::uint64_t(i);
+  EXPECT_EQ(total_sum.load(), want);
+}
+
+TEST_P(QueueStress, MpmcCloseWhileBlockedPushKeepsQueuedItems) {
+  test::SchedFuzz fuzz(GetParam());
+  test::SchedFuzz::Stream sched(fuzz, 0);
+  MpmcQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));  // fill the bound
+
+  std::atomic<int> blocked_result{-1};
+  std::thread producer([&] {
+    test::SchedFuzz::Stream psched(fuzz, 1);
+    psched.yield_point();
+    blocked_result = q.push(2) ? 1 : 0;  // blocks on the full queue
+  });
+
+  // Let the producer reach (or pass through) the blocked wait, then close.
+  for (int i = 0; i < 16; ++i) sched.yield_point();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  q.close();
+  producer.join();
+
+  // The blocked (or about-to-block) push must report failure, not silently
+  // drop into the queue...
+  EXPECT_EQ(blocked_result.load(), 0);
+  // ...and the item queued before the close must still drain via try_pop.
+  auto v = q.try_pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 1);
+  EXPECT_FALSE(q.try_pop().has_value());
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST_P(QueueStress, MpmcCloseReleasesBlockedConsumers) {
+  test::SchedFuzz fuzz(GetParam());
+  MpmcQueue<int> q;
+  std::atomic<int> woke{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&, c] {
+      test::SchedFuzz::Stream sched(fuzz, std::uint64_t(c));
+      sched.yield_point();
+      EXPECT_FALSE(q.pop().has_value());  // blocks until close
+      ++woke;
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  q.close();
+  for (auto& c : consumers) c.join();
+  EXPECT_EQ(woke.load(), 3);
+}
+
+TEST(MpmcQueue, TryPopDrainsEverythingAfterClose) {
+  MpmcQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.push(i));
+  q.close();
+  for (int i = 0; i < 5; ++i) {
+    auto v = q.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+// ----------------------------------------------------------- spsc queue
+
+// Regression for SpscQueue::size(): the original implementation loaded tail
+// before head, so a pop between the two loads underflowed the unsigned
+// subtraction and a third-party observer saw size() near SIZE_MAX. The fix
+// loads head first and clamps; this test drives a dedicated observer thread
+// against a hot producer/consumer pair.
+TEST_P(QueueStress, SpscSizeObservedFromThirdThreadStaysInRange) {
+  constexpr int kItems = 20000;
+  test::SchedFuzz fuzz(GetParam());
+  SpscQueue<int> q(4);  // tiny ring: head/tail chase each other closely
+  std::atomic<bool> done{false};
+
+  std::thread observer([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const std::size_t n = q.size();
+      EXPECT_LE(n, q.capacity()) << "torn size() observation";
+    }
+  });
+
+  std::thread producer([&] {
+    test::SchedFuzz::Stream sched(fuzz, 1);
+    for (int i = 0; i < kItems; ++i) {
+      while (!q.try_push(i)) std::this_thread::yield();
+      if ((i & 63) == 0) sched.yield_point();
+    }
+  });
+
+  test::SchedFuzz::Stream sched(fuzz, 2);
+  int received = 0;
+  long long sum = 0;
+  while (received < kItems) {
+    if (auto v = q.try_pop()) {
+      EXPECT_EQ(*v, received);
+      sum += *v;
+      ++received;
+      if ((received & 63) == 0) sched.yield_point();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  done.store(true, std::memory_order_release);
+  observer.join();
+  EXPECT_EQ(sum, 1LL * kItems * (kItems - 1) / 2);
+}
+
+TEST(SpscQueue, SizeIsExactFromOwnerThreads) {
+  SpscQueue<int> q(4);
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_TRUE(q.empty());
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(q.try_push(i));
+  EXPECT_EQ(q.size(), 3u);
+  (void)q.try_pop();
+  EXPECT_EQ(q.size(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueueStress,
+                         ::testing::ValuesIn(test::kStressSeeds));
+
+}  // namespace
+}  // namespace supmr

@@ -97,6 +97,8 @@ TEST(SpscQueue, StressProducerConsumer) {
       EXPECT_EQ(*v, received);  // order preserved
       sum += *v;
       ++received;
+    } else {
+      std::this_thread::yield();  // single-core: let the producer refill
     }
   }
   producer.join();
@@ -156,9 +158,20 @@ TEST(MpmcQueue, ManyProducersManyConsumers) {
 TEST(ThreadPool, RunsSubmittedTasks) {
   ThreadPool pool(3);
   std::atomic<int> count{0};
-  for (int i = 0; i < 100; ++i) pool.submit([&] { ++count; });
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(pool.submit([&] { ++count; }));
   pool.wait_all();
   EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ShutdownDrainsThenRejectsSubmit) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(pool.submit([&] { ++count; }));
+  pool.shutdown();
+  EXPECT_EQ(count.load(), 10);  // queued tasks ran before the join
+  EXPECT_FALSE(pool.submit([&] { ++count; }));
+  pool.wait_all();  // rejected submit must not leave a pending count behind
+  EXPECT_EQ(count.load(), 10);
 }
 
 TEST(ThreadPool, WaveProvidesDistinctIndices) {

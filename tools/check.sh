@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# SupMR correctness gate: plain tier-1 build + TSan + ASan+UBSan.
+#
+# Stages:
+#   plain — full build, full ctest (the tier-1 gate from ROADMAP.md)
+#   tsan  — -DSUPMR_SANITIZE=thread,           ctest -L sanitizer
+#   asan  — -DSUPMR_SANITIZE=address,undefined, ctest -L sanitizer
+#
+# Usage:
+#   tools/check.sh            # all three stages
+#   tools/check.sh tsan       # one stage
+#   JOBS=8 tools/check.sh     # override parallelism
+#
+# Each stage uses its own build tree (build-check-<stage>), so repeat runs
+# are incremental. Suppression files (empty by default) are wired from
+# tools/sanitizers/; sanitizer reports fail the run.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="${JOBS:-$(nproc)}"
+SUPP="${ROOT}/tools/sanitizers"
+STAGES=("$@")
+[ ${#STAGES[@]} -eq 0 ] && STAGES=(plain tsan asan)
+
+configure_and_build() {
+  local dir="$1"; shift
+  cmake -B "${dir}" -S "${ROOT}" "$@" >/dev/null
+  cmake --build "${dir}" -j "${JOBS}"
+}
+
+run_stage() {
+  local stage="$1"
+  echo "==> stage: ${stage}"
+  case "${stage}" in
+    plain)
+      configure_and_build "${ROOT}/build-check-plain"
+      (cd "${ROOT}/build-check-plain" && ctest --output-on-failure -j "${JOBS}")
+      ;;
+    tsan)
+      configure_and_build "${ROOT}/build-check-tsan" \
+        -DSUPMR_SANITIZE=thread -DSUPMR_BUILD_BENCH=OFF \
+        -DSUPMR_BUILD_EXAMPLES=OFF
+      (cd "${ROOT}/build-check-tsan" &&
+        TSAN_OPTIONS="suppressions=${SUPP}/tsan.supp halt_on_error=1 second_deadlock_stack=1" \
+        ctest -L sanitizer --output-on-failure -j "${JOBS}")
+      ;;
+    asan)
+      configure_and_build "${ROOT}/build-check-asan" \
+        -DSUPMR_SANITIZE=address,undefined -DSUPMR_BUILD_BENCH=OFF \
+        -DSUPMR_BUILD_EXAMPLES=OFF
+      (cd "${ROOT}/build-check-asan" &&
+        ASAN_OPTIONS="suppressions=${SUPP}/asan.supp detect_leaks=1" \
+        LSAN_OPTIONS="suppressions=${SUPP}/lsan.supp" \
+        UBSAN_OPTIONS="suppressions=${SUPP}/ubsan.supp print_stacktrace=1" \
+        ctest -L sanitizer --output-on-failure -j "${JOBS}")
+      ;;
+    *)
+      echo "unknown stage '${stage}' (want plain, tsan, or asan)" >&2
+      return 2
+      ;;
+  esac
+  echo "==> stage ${stage}: OK"
+}
+
+for stage in "${STAGES[@]}"; do
+  run_stage "${stage}"
+done
+echo "==> all stages passed"
