@@ -2,9 +2,11 @@
 #pragma once
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "common/phase_timer.hpp"
+#include "core/job_config.hpp"
 #include "perfmodel/sim_job.hpp"
 
 namespace supmr::bench {
@@ -30,6 +32,21 @@ inline void dump_csv(const std::string& name, const TimeSeries& trace) {
   const std::string path = name + ".csv";
   trace.write_csv(path);
   std::printf("trace csv written to %s\n", path.c_str());
+}
+
+// Applies the shared observability flags (--metrics-json=PATH,
+// --trace-out=PATH) to a JobConfig so every bench binary exposes the same
+// knobs as the CLI. Unrecognized arguments are ignored — benches keep their
+// own positional conventions.
+inline void apply_obs_flags(int argc, char** argv, core::JobConfig& config) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--metrics-json=", 15) == 0) {
+      config.metrics_json_path = arg + 15;
+    } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+      config.trace_out_path = arg + 12;
+    }
+  }
 }
 
 }  // namespace supmr::bench

@@ -23,7 +23,8 @@ struct RunResult {
   std::uint64_t words = 0;
 };
 
-RunResult run(bool chunked, const std::string& text, double bw) {
+RunResult run(bool chunked, const std::string& text, double bw,
+              const core::JobConfig& obs_config) {
   auto base = std::make_shared<storage::MemDevice>(text, "corpus");
   auto limiter = std::make_shared<storage::RateLimiter>(bw);
   auto dev = std::make_shared<storage::ThrottledDevice>(base, limiter);
@@ -33,6 +34,8 @@ RunResult run(bool chunked, const std::string& text, double bw) {
   core::JobConfig jc;
   jc.num_map_threads = 4;
   jc.num_reduce_threads = 2;
+  jc.metrics_json_path = obs_config.metrics_json_path;
+  jc.trace_out_path = obs_config.trace_out_path;
   core::MapReduceJob job(app, src, jc);
   auto r = chunked ? job.run_ingestMR() : job.run();
   RunResult out;
@@ -50,17 +53,23 @@ RunResult run(bool chunked, const std::string& text, double bw) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_banner(
       "Real-mode pipeline validation (16 MB corpus @ 32 MB/s throttle)",
       "SupMR paper, Section III (double-buffered ingest chunk pipeline)");
+
+  core::JobConfig obs_config;
+  bench::apply_obs_flags(argc, argv, obs_config);
 
   wload::TextCorpusConfig cfg;
   cfg.total_bytes = 16 * kMB;
   const std::string text = wload::generate_text(cfg);
 
-  const RunResult original = run(false, text, 32.0e6);
-  const RunResult supmr = run(true, text, 32.0e6);
+  // Only the chunked run carries the observability outputs: both runs share
+  // the process-global registry/recorder, so attaching the dumps to the last
+  // run keeps the emitted files covering a single coherent job.
+  const RunResult original = run(false, text, 32.0e6, core::JobConfig{});
+  const RunResult supmr = run(true, text, 32.0e6, obs_config);
 
   std::printf("  %-18s total %6.2fs  read+map %6.2fs\n", "original run()",
               original.total, original.readmap);

@@ -5,9 +5,16 @@
 //   3. run an application through MapReduceJob::run_ingestMR().
 //
 // Build & run:  ./examples/quickstart [input.txt] [chunk-size]
-// Without arguments it generates a 8 MB synthetic corpus.
+//                                     [--metrics-json=out.json]
+//                                     [--trace-out=trace.json]
+// Without arguments it generates a 8 MB synthetic corpus. The two optional
+// flags dump the observability outputs: a metrics snapshot and a
+// chrome://tracing / Perfetto-loadable event file.
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "apps/word_count.hpp"
 #include "common/units.hpp"
@@ -21,12 +28,26 @@
 using namespace supmr;
 
 int main(int argc, char** argv) {
+  // Split --flags from positional arguments.
+  core::JobConfig config;  // defaults: hardware-concurrency threads, p-way merge
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--metrics-json=", 15) == 0) {
+      config.metrics_json_path = arg + 15;
+    } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+      config.trace_out_path = arg + 12;
+    } else {
+      args.emplace_back(arg);
+    }
+  }
+
   // 1. Input device: a real file if given, else a generated corpus.
   std::shared_ptr<const storage::Device> device;
-  if (argc > 1) {
-    auto file = storage::FileDevice::open(argv[1]);
+  if (!args.empty()) {
+    auto file = storage::FileDevice::open(args[0]);
     if (!file.ok()) {
-      std::fprintf(stderr, "cannot open %s: %s\n", argv[1],
+      std::fprintf(stderr, "cannot open %s: %s\n", args[0].c_str(),
                    file.status().to_string().c_str());
       return 1;
     }
@@ -40,15 +61,14 @@ int main(int argc, char** argv) {
 
   // 2. Chunking strategy: inter-file chunks at line boundaries.
   std::uint64_t chunk_bytes = 1 * kMB;
-  if (argc > 2) {
-    if (auto parsed = parse_size(argv[2])) chunk_bytes = *parsed;
+  if (args.size() > 1) {
+    if (auto parsed = parse_size(args[1])) chunk_bytes = *parsed;
   }
   ingest::SingleDeviceSource source(
       device, std::make_shared<ingest::LineFormat>(), chunk_bytes);
 
   // 3. Run the job through the ingest chunk pipeline.
   apps::WordCountApp app;
-  core::JobConfig config;  // defaults: hardware-concurrency threads, p-way merge
   core::MapReduceJob job(app, source, config);
   auto result = job.run_ingestMR();
   if (!result.ok()) {
@@ -80,5 +100,9 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < std::min<std::size_t>(10, top.size()); ++i)
     std::printf("  %8llu  %s\n", (unsigned long long)top[i].second,
                 top[i].first.c_str());
+  if (!config.metrics_json_path.empty())
+    std::printf("metrics -> %s\n", config.metrics_json_path.c_str());
+  if (!config.trace_out_path.empty())
+    std::printf("trace -> %s\n", config.trace_out_path.c_str());
   return 0;
 }

@@ -1,7 +1,8 @@
 #include "common/phase_timer.hpp"
 
-#include <cassert>
 #include <cstdio>
+
+#include "common/logging.hpp"
 
 namespace supmr {
 
@@ -52,34 +53,59 @@ std::string PhaseBreakdown::to_table_row(const std::string& label) const {
 
 PhaseClock::PhaseClock() = default;
 
+// Misuse (double start, stop without start) used to be an assert, which
+// release builds compile out — the mismatched bookkeeping then silently
+// corrupted accumulated timings (a stale started_[] stamp, or a stop adding
+// an interval that never started). Misuse is now a logged no-op in every
+// build: the first start wins, an unmatched stop adds nothing.
+
 void PhaseClock::start(Phase p) {
   const int i = static_cast<int>(p);
-  assert(!running_[i] && "phase already running");
+  if (running_[i]) {
+    SUPMR_LOG_WARN("PhaseClock: start(%.*s) while already running; ignored",
+                   static_cast<int>(phase_name(p).size()),
+                   phase_name(p).data());
+    return;
+  }
   running_[i] = true;
   started_[i] = clock::now();
 }
 
 void PhaseClock::stop(Phase p) {
   const int i = static_cast<int>(p);
-  assert(running_[i] && "phase not running");
+  if (!running_[i]) {
+    SUPMR_LOG_WARN("PhaseClock: stop(%.*s) without matching start; ignored",
+                   static_cast<int>(phase_name(p).size()),
+                   phase_name(p).data());
+    return;
+  }
   running_[i] = false;
   acc_[i] += std::chrono::duration<double>(clock::now() - started_[i]).count();
 }
 
 void PhaseClock::start_total() {
-  assert(!total_running_);
+  if (total_running_) {
+    SUPMR_LOG_WARN("PhaseClock: start_total() while already running; ignored");
+    return;
+  }
   total_running_ = true;
   total_start_ = clock::now();
 }
 
 void PhaseClock::stop_total() {
-  assert(total_running_);
+  if (!total_running_) {
+    SUPMR_LOG_WARN("PhaseClock: stop_total() without matching start; ignored");
+    return;
+  }
   total_running_ = false;
   total_ += std::chrono::duration<double>(clock::now() - total_start_).count();
 }
 
 double PhaseClock::now_since_start() const {
-  assert(total_running_);
+  if (!total_running_) {
+    SUPMR_LOG_WARN("PhaseClock: now_since_start() while stopped; returning 0");
+    return 0.0;
+  }
   return std::chrono::duration<double>(clock::now() - total_start_).count();
 }
 

@@ -44,7 +44,12 @@ struct PhaseBreakdown {
   double total_s = 0.0;
 
   std::uint64_t input_bytes = 0;
-  std::uint64_t num_chunks = 0;   // 0 in original-runtime mode
+  // How many ingest chunks the plan had. Always the real count, even in the
+  // original (unchunked) runtime where all chunks are read up front —
+  // `chunked` records which presentation the run used, so reports no longer
+  // zero this out to mean "unchunked".
+  std::uint64_t num_chunks = 0;
+  bool chunked = false;  // true when the ingest chunk pipeline ran
   std::uint64_t map_rounds = 0;
   std::uint64_t merge_rounds = 0;
 
@@ -58,7 +63,9 @@ struct PhaseBreakdown {
   static std::string table_header();
 };
 
-// Accumulating stopwatch over named phases (wall clock).
+// Accumulating stopwatch over named phases (wall clock). Misuse — double
+// start, stop without a matching start — is a logged no-op in every build
+// (never an assert), so release binaries cannot silently corrupt timings.
 class PhaseClock {
  public:
   PhaseClock();

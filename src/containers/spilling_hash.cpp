@@ -7,6 +7,7 @@
 #include <queue>
 
 #include "merge/introsort.hpp"
+#include "obs/macros.hpp"
 
 namespace supmr::containers {
 
@@ -155,8 +156,11 @@ SpillingHashContainer::drain_stripes() {
 }
 
 Status SpillingHashContainer::spill() {
+  SUPMR_TRACE_SCOPE_VAR(span, "container", "spill.run");
   auto pairs = drain_stripes();
   if (pairs.empty()) return Status::Ok();
+  SUPMR_TRACE_SET_ARG(span, "pairs", pairs.size());
+  SUPMR_COUNTER_ADD("spill.runs", 1);
 
   char name[64];
   std::snprintf(name, sizeof(name), "/supmr_agg_%p_%zu.run",
@@ -164,6 +168,7 @@ Status SpillingHashContainer::spill() {
   const std::string path = options_.spill_dir + name;
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return Status::IoError("cannot create spill " + path);
+  std::uint64_t written = 0;
   for (const auto& [key, count] : pairs) {
     const std::uint32_t len = static_cast<std::uint32_t>(key.size());
     if (std::fwrite(&len, 1, kHeaderBytes, f) != kHeaderBytes ||
@@ -172,8 +177,11 @@ Status SpillingHashContainer::spill() {
       std::fclose(f);
       return Status::IoError("short write to spill " + path);
     }
+    written += kHeaderBytes + len + kCountBytes;
   }
   if (std::fclose(f) != 0) return Status::IoError("spill close failed");
+  SUPMR_COUNTER_ADD("spill.bytes", written);
+  SUPMR_TRACE_SET_ARG2(span, "bytes", written);
   spill_paths_.push_back(path);
   return Status::Ok();
 }

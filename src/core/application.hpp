@@ -15,9 +15,13 @@
 //   reduce(pool, partitions)           once
 //   merge(pool, mode, stats)           once
 //
-// map_task contract: task indices within one round run concurrently;
-// thread_id == task index and is < the init() mapper count, so a task may
-// use thread_id to address a per-thread container stripe without locking.
+// map_task contract: the runtime runs a round's tasks in waves of at most
+// `num_map_threads`; tasks within one wave run concurrently with distinct
+// thread_ids < the init() mapper count, so a task may use thread_id to
+// address a per-thread container stripe without locking. When a round has at
+// most `num_map_threads` tasks (the common case), thread_id == task index;
+// rounds with more tasks run as successive waves (task = wave_base +
+// thread_id) instead of failing.
 #pragma once
 
 #include <cstdint>
@@ -39,16 +43,18 @@ class Application {
   virtual void init(std::size_t num_map_threads) = 0;
 
   // The runtime hands the application the current ingest chunk (set_data()).
-  // The application partitions it into at most `num_map_threads` splits and
-  // claims any container space the round needs. The chunk reference is only
-  // valid until the round's map tasks finish.
+  // The application partitions it into splits (normally at most
+  // `num_map_threads`) and claims any container space the round needs. The
+  // chunk reference is only valid until the round's map tasks finish.
   virtual Status prepare_round(const ingest::IngestChunk& chunk) = 0;
 
-  // Number of map tasks for the prepared round (<= init()'s mapper count).
+  // Number of map tasks for the prepared round. Rounds larger than the
+  // mapper count are legal; the runtime batches them into successive waves.
   virtual std::size_t round_tasks() const = 0;
 
   // Maps split `task` on `thread_id`. Must be safe to run concurrently with
-  // other tasks of the same round (distinct task indices).
+  // the other tasks of the same wave (distinct task indices, distinct
+  // thread_ids).
   virtual void map_task(std::size_t task, std::size_t thread_id) = 0;
 
   // Coalesces intermediate pairs after all rounds (parallel over partitions).

@@ -4,6 +4,8 @@
 
 #include "common/logging.hpp"
 #include "common/units.hpp"
+#include "obs/macros.hpp"
+#include "obs/trace.hpp"
 
 namespace supmr::core {
 
@@ -21,31 +23,55 @@ MapReduceJob::~MapReduceJob() = default;
 Status MapReduceJob::map_round(const ingest::IngestChunk& chunk) {
   SUPMR_RETURN_IF_ERROR(app_.prepare_round(chunk));
   const std::size_t tasks = app_.round_tasks();
-  if (tasks > config_.num_map_threads) {
-    return Status::FailedPrecondition(
-        "application produced more splits than mapper threads");
+  const std::size_t width = config_.num_map_threads;
+  // Applications normally split a round into at most `num_map_threads`
+  // tasks, but nothing forces them to (MultiFileSource packing, or a future
+  // app with input-derived splits, can produce more). Instead of failing the
+  // job, run the round as successive waves of `width` tasks; within a batch
+  // each task still gets a distinct thread slot in [0, width).
+  if (tasks > width) {
+    SUPMR_COUNTER_ADD("map.oversubscribed_waves", 1);
+    SUPMR_LOG_INFO("map_round: %zu tasks over %zu mapper threads; running in "
+                   "%zu waves",
+                   tasks, width, (tasks + width - 1) / width);
   }
-  std::vector<std::function<void(std::size_t)>> wave;
-  wave.reserve(tasks);
-  for (std::size_t t = 0; t < tasks; ++t)
-    wave.push_back([this, t](std::size_t) { app_.map_task(t, t); });
-  if (config_.unpooled_map_waves) {
-    ThreadPool::run_wave_unpooled(wave);
-  } else {
-    pool_->run_wave(wave);
+  SUPMR_TRACE_SCOPE_VAR(span, "map", "map.round");
+  SUPMR_TRACE_SET_ARG(span, "tasks", tasks);
+  SUPMR_TRACE_SET_ARG2(span, "bytes", chunk.data.size());
+  for (std::size_t base = 0; base < tasks; base += width) {
+    const std::size_t batch = std::min(width, tasks - base);
+    std::vector<std::function<void(std::size_t)>> wave;
+    wave.reserve(batch);
+    for (std::size_t t = 0; t < batch; ++t) {
+      wave.push_back(
+          [this, base, t](std::size_t) { app_.map_task(base + t, t); });
+    }
+    if (config_.unpooled_map_waves) {
+      ThreadPool::run_wave_unpooled(wave);
+    } else {
+      pool_->run_wave(wave);
+    }
   }
+  SUPMR_COUNTER_ADD("map.rounds", 1);
+  SUPMR_COUNTER_ADD("map.tasks", tasks);
   ++rounds_;
   return Status::Ok();
 }
 
 Status MapReduceJob::finish(JobResult& result, PhaseClock& clock) {
   clock.start(Phase::kReduce);
-  SUPMR_RETURN_IF_ERROR(app_.reduce(*pool_, config_.reduce_partitions()));
+  {
+    SUPMR_TRACE_SCOPE("phase", "reduce");
+    SUPMR_RETURN_IF_ERROR(app_.reduce(*pool_, config_.reduce_partitions()));
+  }
   clock.stop(Phase::kReduce);
 
   clock.start(Phase::kMerge);
-  SUPMR_RETURN_IF_ERROR(
-      app_.merge(*pool_, config_.merge_mode, &merge_stats_));
+  {
+    SUPMR_TRACE_SCOPE("phase", "merge");
+    SUPMR_RETURN_IF_ERROR(
+        app_.merge(*pool_, config_.merge_mode, &merge_stats_));
+  }
   clock.stop(Phase::kMerge);
 
   result.merge_stats = merge_stats_;
@@ -54,10 +80,49 @@ Status MapReduceJob::finish(JobResult& result, PhaseClock& clock) {
   return Status::Ok();
 }
 
+void MapReduceJob::begin_obs() {
+  if (!config_.trace_out_path.empty()) {
+    obs::TraceRecorder::global().enable();
+  }
+  if (obs::TraceRecorder::global().enabled()) {
+    obs::TraceRecorder::global().set_thread_name("job.coordinator");
+  }
+  SUPMR_COUNTER_ADD("job.runs", 1);
+}
+
+void MapReduceJob::finish_obs(JobResult& result) {
+  result.metrics = obs::MetricsRegistry::global().snapshot();
+  if (!config_.metrics_json_path.empty()) {
+    const std::string json = obs::metrics_to_json(result.metrics);
+    std::FILE* f = std::fopen(config_.metrics_json_path.c_str(), "wb");
+    bool ok = f != nullptr;
+    if (f != nullptr) {
+      ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+      ok = (std::fclose(f) == 0) && ok;
+    }
+    if (!ok) {
+      SUPMR_LOG_WARN("cannot write metrics json to %s",
+                     config_.metrics_json_path.c_str());
+    } else {
+      SUPMR_LOG_INFO("metrics json -> %s", config_.metrics_json_path.c_str());
+    }
+  }
+  if (!config_.trace_out_path.empty()) {
+    Status st =
+        obs::TraceRecorder::global().write_json(config_.trace_out_path);
+    if (!st.ok()) {
+      SUPMR_LOG_WARN("cannot write trace: %s", st.to_string().c_str());
+    } else {
+      SUPMR_LOG_INFO("chrome trace -> %s", config_.trace_out_path.c_str());
+    }
+  }
+}
+
 StatusOr<JobResult> MapReduceJob::run() {
   JobResult result;
   PhaseClock clock;
   rounds_ = 0;
+  begin_obs();
   clock.start_total();
 
   clock.start(Phase::kSetup);
@@ -71,16 +136,22 @@ StatusOr<JobResult> MapReduceJob::run() {
   // are read before any map work, preserving the read-then-compute shape.
   clock.start(Phase::kRead);
   std::vector<ingest::IngestChunk> chunks(plan.size());
-  for (std::size_t i = 0; i < plan.size(); ++i) {
-    SUPMR_RETURN_IF_ERROR(source_.read_chunk(plan[i], chunks[i]));
+  {
+    SUPMR_TRACE_SCOPE("phase", "read");
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      SUPMR_RETURN_IF_ERROR(source_.read_chunk(plan[i], chunks[i]));
+    }
   }
   clock.stop(Phase::kRead);
 
   clock.start(Phase::kMap);
-  for (auto& chunk : chunks) {
-    SUPMR_RETURN_IF_ERROR(map_round(chunk));
-    chunk.data.clear();
-    chunk.data.shrink_to_fit();
+  {
+    SUPMR_TRACE_SCOPE("phase", "map");
+    for (auto& chunk : chunks) {
+      SUPMR_RETURN_IF_ERROR(map_round(chunk));
+      chunk.data.clear();
+      chunk.data.shrink_to_fit();
+    }
   }
   clock.stop(Phase::kMap);
 
@@ -91,7 +162,12 @@ StatusOr<JobResult> MapReduceJob::run() {
   result.phases.map_rounds = rounds_;
   result.phases.merge_rounds = merge_stats_.num_rounds();
   result.chunks = plan.size();
-  result.phases.num_chunks = 0;  // reported as unchunked
+  // The plan's real extent count, with the presentation mode carried
+  // separately — reporting num_chunks = 0 to mean "unchunked" made the JSON
+  // contradict result.chunks.
+  result.phases.num_chunks = plan.size();
+  result.phases.chunked = false;
+  finish_obs(result);
   SUPMR_LOG_INFO("run(): total=%.3fs read=%.3fs map=%.3fs", clock.total(),
                  clock.elapsed(Phase::kRead), clock.elapsed(Phase::kMap));
   return result;
@@ -101,6 +177,7 @@ StatusOr<JobResult> MapReduceJob::run_ingestMR() {
   JobResult result;
   PhaseClock clock;
   rounds_ = 0;
+  begin_obs();
   clock.start_total();
 
   clock.start(Phase::kSetup);
@@ -116,8 +193,11 @@ StatusOr<JobResult> MapReduceJob::run_ingestMR() {
   // c_{i+1} while this (consumer) thread runs the map wave on c_i.
   clock.start(Phase::kRead);  // measures total pipeline wall time
   ingest::IngestPipeline pipeline(source_);
-  auto pipeline_result = pipeline.run_planned(
-      plan, [this](ingest::IngestChunk& chunk) { return map_round(chunk); });
+  auto pipeline_result = [&] {
+    SUPMR_TRACE_SCOPE("phase", "readmap");
+    return pipeline.run_planned(
+        plan, [this](ingest::IngestChunk& chunk) { return map_round(chunk); });
+  }();
   clock.stop(Phase::kRead);
   if (!pipeline_result.ok()) return pipeline_result.status();
   result.pipeline = std::move(pipeline_result).value();
@@ -134,9 +214,11 @@ StatusOr<JobResult> MapReduceJob::run_ingestMR() {
   result.phases.map_s = result.pipeline.process_busy_s;
   result.phases.input_bytes = source_.total_bytes();
   result.phases.num_chunks = plan.size();
+  result.phases.chunked = true;
   result.phases.map_rounds = rounds_;
   result.phases.merge_rounds = merge_stats_.num_rounds();
   result.chunks = plan.size();
+  finish_obs(result);
   return result;
 }
 
@@ -146,6 +228,7 @@ StatusOr<JobResult> MapReduceJob::run_ingestMR_adaptive(
   JobResult result;
   PhaseClock clock;
   rounds_ = 0;
+  begin_obs();
   clock.start_total();
 
   clock.start(Phase::kSetup);
@@ -154,8 +237,11 @@ StatusOr<JobResult> MapReduceJob::run_ingestMR_adaptive(
 
   clock.start(Phase::kRead);
   ingest::AdaptivePipeline pipeline(device, format, controller);
-  auto pipeline_result = pipeline.run(
-      [this](ingest::IngestChunk& chunk) { return map_round(chunk); });
+  auto pipeline_result = [&] {
+    SUPMR_TRACE_SCOPE("phase", "readmap");
+    return pipeline.run(
+        [this](ingest::IngestChunk& chunk) { return map_round(chunk); });
+  }();
   clock.stop(Phase::kRead);
   if (!pipeline_result.ok()) return pipeline_result.status();
   result.pipeline = std::move(pipeline_result).value();
@@ -169,9 +255,11 @@ StatusOr<JobResult> MapReduceJob::run_ingestMR_adaptive(
   result.phases.map_s = result.pipeline.process_busy_s;
   result.phases.input_bytes = device.size();
   result.phases.num_chunks = result.pipeline.chunks.size();
+  result.phases.chunked = true;
   result.phases.map_rounds = rounds_;
   result.phases.merge_rounds = merge_stats_.num_rounds();
   result.chunks = result.pipeline.chunks.size();
+  finish_obs(result);
   return result;
 }
 

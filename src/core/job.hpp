@@ -20,6 +20,7 @@
 #include "ingest/adaptive.hpp"
 #include "ingest/pipeline.hpp"
 #include "ingest/source.hpp"
+#include "obs/metrics.hpp"
 
 namespace supmr::core {
 
@@ -27,6 +28,7 @@ struct JobResult {
   PhaseBreakdown phases;
   ingest::PipelineStats pipeline;   // populated by run_ingestMR()
   merge::MergeStats merge_stats;
+  obs::MetricsSnapshot metrics;     // registry snapshot taken at run end
   std::uint64_t result_count = 0;
   std::uint64_t map_rounds = 0;
   std::uint64_t chunks = 0;
@@ -68,6 +70,8 @@ class MapReduceJob {
  private:
   Status map_round(const ingest::IngestChunk& chunk);
   Status finish(JobResult& result, PhaseClock& clock);
+  void begin_obs();
+  void finish_obs(JobResult& result);
 
   Application& app_;
   const ingest::IngestSource& source_;

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <thread>
 
 namespace supmr::core {
@@ -26,6 +27,13 @@ struct JobConfig {
   // workers — the paper's per-round thread lifecycle, measurable as overhead
   // with small chunks (§VI.C.1).
   bool unpooled_map_waves = false;
+
+  // Observability outputs (--metrics-json / --trace-out). When non-empty the
+  // job writes an aggregated metrics snapshot / a Chrome-trace (Perfetto)
+  // JSON to the path when the run finishes; a non-empty trace path also
+  // enables the global trace recorder at run start. See docs/observability.md.
+  std::string metrics_json_path;
+  std::string trace_out_path;
 
   std::size_t reduce_partitions() const {
     return num_reduce_partitions ? num_reduce_partitions

@@ -1,6 +1,7 @@
 #include "core/report.hpp"
 
 #include "common/json.hpp"
+#include "obs/metrics.hpp"
 
 namespace supmr::core {
 
@@ -22,7 +23,12 @@ void write_phases(JsonWriter& w, const PhaseBreakdown& p) {
   w.kv("setup_s", p.setup_s);
   w.kv("cleanup_s", p.cleanup_s);
   w.kv("input_bytes", p.input_bytes);
+  // num_chunks is the plan's real extent count in every mode; `chunked`
+  // carries the presentation (the original runtime reads all chunks up
+  // front). Keeping both makes the phases block self-consistent with the
+  // top-level "chunks" field instead of zeroing one to imply the other.
   w.kv("num_chunks", p.num_chunks);
+  w.kv("chunked", p.chunked);
   w.kv("map_rounds", p.map_rounds);
   w.kv("merge_rounds", p.merge_rounds);
   w.end_object();
@@ -76,6 +82,9 @@ std::string job_result_to_json(const JobResult& result) {
     w.end_object();
   }
   w.end_array();
+
+  w.key("metrics");
+  obs::write_metrics(w, result.metrics);
   w.end_object();
   return w.str();
 }

@@ -8,6 +8,7 @@
 
 #include "common/logging.hpp"
 #include "ingest/producer_guard.hpp"
+#include "obs/macros.hpp"
 #include "threading/double_buffer.hpp"
 
 namespace supmr::ingest {
@@ -94,11 +95,13 @@ StatusOr<PipelineStats> AdaptivePipeline::run(
   const auto run_start = std::chrono::steady_clock::now();
 
   std::thread producer([&] {
+    SUPMR_TRACE_THREAD_NAME("ingest.producer");
     std::uint64_t offset = 0;
     std::uint64_t index = 0;
     std::uint64_t want = std::max<std::uint64_t>(
         1, controller_.initial_chunk_bytes());
     while (offset < size && !cancel.load(std::memory_order_acquire)) {
+      SUPMR_GAUGE_SET("ingest.adaptive.chunk_bytes", want);
       auto end = format_.adjust_split(device_, offset + want);
       if (!end.ok()) {
         producer_status = end.status();
@@ -114,9 +117,15 @@ StatusOr<PipelineStats> AdaptivePipeline::run(
       chunk.offset = offset;
       chunk.data.resize(*end - offset);
       const auto t0 = std::chrono::steady_clock::now();
-      auto n = device_.read_at(
-          offset, std::span<char>(chunk.data.data(), chunk.data.size()));
+      StatusOr<std::size_t> n = [&] {
+        SUPMR_TRACE_SCOPE_VAR(span, "ingest", "ingest.read_chunk");
+        SUPMR_TRACE_SET_ARG(span, "chunk", index);
+        SUPMR_TRACE_SET_ARG2(span, "bytes", chunk.data.size());
+        return device_.read_at(
+            offset, std::span<char>(chunk.data.data(), chunk.data.size()));
+      }();
       const double ingest_s = seconds_since(t0);
+      SUPMR_HIST_OBSERVE("ingest.read_us", ingest_s * 1e6);
       if (!n.ok() || *n != chunk.data.size()) {
         producer_status = n.ok() ? Status::IoError("short adaptive read")
                                  : n.status();
@@ -132,6 +141,8 @@ StatusOr<PipelineStats> AdaptivePipeline::run(
       }
       controller_.observe(ChunkFeedback{index, chunk.data.size(), ingest_s,
                                         0.0});
+      SUPMR_COUNTER_ADD("ingest.chunks", 1);
+      SUPMR_COUNTER_ADD("ingest.bytes", chunk.data.size());
       SUPMR_LOG_DEBUG("adaptive: chunk %llu = %zu bytes (ingest %.4fs)",
                       static_cast<unsigned long long>(index),
                       chunk.data.size(), ingest_s);
@@ -152,11 +163,24 @@ StatusOr<PipelineStats> AdaptivePipeline::run(
     IngestChunk chunk;
     while (true) {
       const auto t_wait = std::chrono::steady_clock::now();
-      if (!buffer.consume(chunk)) break;
+      bool drained;
+      {
+        SUPMR_TRACE_SCOPE("ingest", "ingest.wait");
+        drained = !buffer.consume(chunk);
+      }
+      if (drained) break;
       const double waited = seconds_since(t_wait);
+      SUPMR_HIST_OBSERVE("ingest.wait_us", waited * 1e6);
       const auto t_proc = std::chrono::steady_clock::now();
-      Status st = process(chunk);
+      Status st;
+      {
+        SUPMR_TRACE_SCOPE_VAR(span, "ingest", "ingest.process_chunk");
+        SUPMR_TRACE_SET_ARG(span, "chunk", chunk.index);
+        SUPMR_TRACE_SET_ARG2(span, "bytes", chunk.data.size());
+        st = process(chunk);
+      }
       const double processed = seconds_since(t_proc);
+      SUPMR_HIST_OBSERVE("ingest.process_us", processed * 1e6);
       {
         std::lock_guard<std::mutex> lock(timings_mu);
         stats.chunks[chunk.index].wait_s = waited;

@@ -7,6 +7,7 @@
 
 #include "common/logging.hpp"
 #include "ingest/producer_guard.hpp"
+#include "obs/macros.hpp"
 #include "threading/double_buffer.hpp"
 
 namespace supmr::ingest {
@@ -41,16 +42,27 @@ StatusOr<PipelineStats> IngestPipeline::run_planned(
   const auto run_start = std::chrono::steady_clock::now();
 
   std::thread producer([&] {
+    SUPMR_TRACE_THREAD_NAME("ingest.producer");
     for (const ChunkExtent& extent : plan) {
       if (cancel.load(std::memory_order_acquire)) break;
       IngestChunk chunk;
       const auto t0 = std::chrono::steady_clock::now();
-      Status st = source_.read_chunk(extent, chunk);
-      stats.chunks[extent.index].ingest_s = seconds_since(t0);
+      Status st;
+      {
+        SUPMR_TRACE_SCOPE_VAR(span, "ingest", "ingest.read_chunk");
+        SUPMR_TRACE_SET_ARG(span, "chunk", extent.index);
+        SUPMR_TRACE_SET_ARG2(span, "bytes", extent.length);
+        st = source_.read_chunk(extent, chunk);
+      }
+      const double ingest_s = seconds_since(t0);
+      stats.chunks[extent.index].ingest_s = ingest_s;
+      SUPMR_HIST_OBSERVE("ingest.read_us", ingest_s * 1e6);
       if (!st.ok()) {
         producer_status = std::move(st);
         break;
       }
+      SUPMR_COUNTER_ADD("ingest.chunks", 1);
+      SUPMR_COUNTER_ADD("ingest.bytes", chunk.data.size());
       SUPMR_LOG_DEBUG("ingest: chunk %llu ready (%zu bytes)",
                       static_cast<unsigned long long>(chunk.index),
                       chunk.data.size());
@@ -68,17 +80,30 @@ StatusOr<PipelineStats> IngestPipeline::run_planned(
     IngestChunk chunk;
     while (true) {
       const auto t_wait = std::chrono::steady_clock::now();
-      if (!buffer.consume(chunk)) break;  // closed and drained
+      bool drained;
+      {
+        SUPMR_TRACE_SCOPE("ingest", "ingest.wait");
+        drained = !buffer.consume(chunk);
+      }
+      if (drained) break;  // closed and drained
       const double waited = seconds_since(t_wait);
       stats.chunks[chunk.index].wait_s = waited;
       stats.consumer_wait_s += waited;
+      SUPMR_HIST_OBSERVE("ingest.wait_us", waited * 1e6);
 
       const auto t_proc = std::chrono::steady_clock::now();
-      Status st = process(chunk);
+      Status st;
+      {
+        SUPMR_TRACE_SCOPE_VAR(span, "ingest", "ingest.process_chunk");
+        SUPMR_TRACE_SET_ARG(span, "chunk", chunk.index);
+        SUPMR_TRACE_SET_ARG2(span, "bytes", chunk.data.size());
+        st = process(chunk);
+      }
       const double processed = seconds_since(t_proc);
       stats.chunks[chunk.index].process_s = processed;
       stats.process_busy_s += processed;
       stats.total_bytes += chunk.data.size();
+      SUPMR_HIST_OBSERVE("ingest.process_us", processed * 1e6);
 
       if (!st.ok()) {
         consumer_status = std::move(st);

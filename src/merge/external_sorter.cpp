@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "merge/sample_sort.hpp"
+#include "obs/macros.hpp"
 
 namespace supmr::merge {
 
@@ -213,6 +214,11 @@ void ExternalSorter::sort_buffer(std::vector<std::uint64_t>& index) {
 
 Status ExternalSorter::spill_buffer() {
   if (buffered_records_ == 0) return Status::Ok();
+  SUPMR_TRACE_SCOPE_VAR(span, "merge", "merge.spill");
+  SUPMR_TRACE_SET_ARG(span, "records", buffered_records_);
+  SUPMR_TRACE_SET_ARG2(span, "bytes", buffer_.size());
+  SUPMR_COUNTER_ADD("merge.spills", 1);
+  SUPMR_COUNTER_ADD("merge.spill_bytes", buffer_.size());
   std::vector<std::uint64_t> index;
   sort_buffer(index);
 
@@ -276,6 +282,9 @@ StatusOr<MergeStats> ExternalSorter::finish(const Sink& sink) {
   }
   if (runs.empty()) return stats;
 
+  SUPMR_TRACE_SCOPE_VAR(span, "merge", "merge.external_merge");
+  SUPMR_TRACE_SET_ARG(span, "runs", runs.size());
+  SUPMR_TRACE_SET_ARG2(span, "records", records_added_);
   CursorLoserTree tree(runs, options_.key_bytes);
   std::vector<char> out(std::max<std::uint64_t>(rb, 1 << 20) / rb * rb);
   std::size_t fill = 0;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "merge/stats.hpp"
+#include "obs/macros.hpp"
 #include "threading/thread_pool.hpp"
 
 namespace supmr::merge {
@@ -45,6 +46,11 @@ MergeStats pairwise_merge(ThreadPool& pool, std::vector<std::span<T>> runs,
   bool result_in_scratch = false;
 
   while (runs.size() > 1) {
+    SUPMR_TRACE_SCOPE_VAR(span, "merge", "merge.pairwise_round");
+    SUPMR_TRACE_SET_ARG(span, "runs", runs.size());
+    SUPMR_TRACE_SET_ARG2(span, "items", buffer.size());
+    SUPMR_COUNTER_ADD("merge.rounds", 1);
+    SUPMR_COUNTER_ADD("merge.items_moved", buffer.size());
     const auto t0 = std::chrono::steady_clock::now();
     std::vector<std::span<T>> next;
     next.reserve((runs.size() + 1) / 2);

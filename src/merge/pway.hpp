@@ -18,6 +18,7 @@
 #include "common/rng.hpp"
 #include "merge/loser_tree.hpp"
 #include "merge/stats.hpp"
+#include "obs/macros.hpp"
 #include "threading/thread_pool.hpp"
 
 namespace supmr::merge {
@@ -35,6 +36,11 @@ MergeStats parallel_pway_merge(ThreadPool& pool,
   std::uint64_t total = 0;
   for (const auto& r : runs) total += r.size();
   if (total == 0) return stats;
+  SUPMR_TRACE_SCOPE_VAR(span, "merge", "merge.pway_round");
+  SUPMR_TRACE_SET_ARG(span, "runs", runs.size());
+  SUPMR_TRACE_SET_ARG2(span, "items", total);
+  SUPMR_COUNTER_ADD("merge.rounds", 1);
+  SUPMR_COUNTER_ADD("merge.items_moved", total);
   p = std::min<std::size_t>(p, std::max<std::uint64_t>(1, total));
 
   // 1. Sample: ~32 probes per worker, spread evenly over each run.

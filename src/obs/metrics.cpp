@@ -1,0 +1,175 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+
+#include "common/json.hpp"
+
+namespace supmr::obs {
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_registry_id{1};
+
+// Per-thread shard cache. A thread touching registries R1, R2, R1 in turn
+// re-registers a fresh shard on each switch; the abandoned shard stays owned
+// by its registry and keeps contributing its (now frozen) counts to
+// snapshots, so aggregation stays exact.
+struct TlsShardCache {
+  std::uint64_t registry_id = 0;
+  void* shard = nullptr;
+};
+thread_local TlsShardCache tls_shard;
+
+}  // namespace
+
+std::size_t histogram_bucket(std::uint64_t value) {
+  if (value == 0) return 0;
+  const std::size_t width = std::bit_width(value);
+  return width < kHistogramBuckets ? width : kHistogramBuckets - 1;
+}
+
+std::uint64_t histogram_bucket_bound(std::size_t bucket) {
+  if (bucket + 1 >= kHistogramBuckets) return UINT64_MAX;
+  return std::uint64_t{1} << bucket;
+}
+
+MetricsRegistry::MetricsRegistry()
+    : id_(g_next_registry_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+MetricsRegistry::Shard* MetricsRegistry::this_thread_shard() {
+  if (tls_shard.registry_id == id_)
+    return static_cast<Shard*>(tls_shard.shard);
+  std::lock_guard<std::mutex> lock(mu_);
+  shards_.push_back(std::make_unique<Shard>());
+  tls_shard.registry_id = id_;
+  tls_shard.shard = shards_.back().get();
+  return shards_.back().get();
+}
+
+CounterCell* MetricsRegistry::counter_cell(std::string_view name) {
+  Shard* shard = this_thread_shard();
+  std::lock_guard<std::mutex> lock(shard->mu);
+  auto it = shard->counters.find(name);
+  if (it == shard->counters.end()) {
+    it = shard->counters
+             .emplace(std::string(name), std::make_unique<CounterCell>())
+             .first;
+  }
+  return it->second.get();
+}
+
+HistogramCell* MetricsRegistry::histogram_cell(std::string_view name) {
+  Shard* shard = this_thread_shard();
+  std::lock_guard<std::mutex> lock(shard->mu);
+  auto it = shard->histograms.find(name);
+  if (it == shard->histograms.end()) {
+    it = shard->histograms
+             .emplace(std::string(name), std::make_unique<HistogramCell>())
+             .first;
+  }
+  return it->second.get();
+}
+
+GaugeCell* MetricsRegistry::gauge_cell(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<GaugeCell>())
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    for (const auto& [name, cell] : shard->counters) {
+      snap.counters[name] += cell->value.load(std::memory_order_relaxed);
+    }
+    for (const auto& [name, cell] : shard->histograms) {
+      HistogramSnapshot& h = snap.histograms[name];
+      for (std::size_t b = 0; b < kHistogramBuckets; ++b)
+        h.buckets[b] += cell->buckets[b].load(std::memory_order_relaxed);
+      const std::uint64_t cell_count =
+          cell->count.load(std::memory_order_relaxed);
+      h.sum += cell->sum.load(std::memory_order_relaxed);
+      const std::uint64_t cell_min = cell->min.load(std::memory_order_relaxed);
+      const std::uint64_t cell_max = cell->max.load(std::memory_order_relaxed);
+      if (cell_count > 0) {
+        if (h.count == 0 || cell_min < h.min) h.min = cell_min;
+        if (cell_max > h.max) h.max = cell_max;
+      }
+      h.count += cell_count;
+    }
+  }
+  for (const auto& [name, cell] : gauges_) {
+    snap.gauges[name] = cell->value.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    for (const auto& [name, cell] : shard->counters) {
+      cell->value.store(0, std::memory_order_relaxed);
+    }
+    for (const auto& [name, cell] : shard->histograms) {
+      for (auto& b : cell->buckets) b.store(0, std::memory_order_relaxed);
+      cell->count.store(0, std::memory_order_relaxed);
+      cell->sum.store(0, std::memory_order_relaxed);
+      cell->min.store(UINT64_MAX, std::memory_order_relaxed);
+      cell->max.store(0, std::memory_order_relaxed);
+    }
+  }
+  for (const auto& [name, cell] : gauges_) {
+    cell->value.store(0, std::memory_order_relaxed);
+  }
+}
+
+void write_metrics(JsonWriter& w, const MetricsSnapshot& snapshot) {
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, value] : snapshot.counters) w.kv(name, value);
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, value] : snapshot.gauges) w.kv(name, value);
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, h] : snapshot.histograms) {
+    w.key(name);
+    w.begin_object();
+    w.kv("count", h.count);
+    w.kv("sum", h.sum);
+    w.kv("min", h.count ? h.min : 0);
+    w.kv("max", h.max);
+    w.key("buckets");
+    w.begin_array();
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) w.value(h.buckets[b]);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+std::string metrics_to_json(const MetricsSnapshot& snapshot) {
+  JsonWriter w;
+  write_metrics(w, snapshot);
+  return w.str();
+}
+
+}  // namespace supmr::obs

@@ -1,0 +1,155 @@
+// Lock-cheap metrics registry: counters, gauges, fixed-bucket histograms.
+//
+// Design (per-thread sharding): every thread gets its own shard of cells, so
+// the hot path — bump a counter, observe a latency — is a relaxed atomic
+// store on a cache line no other thread writes. Cross-thread work happens
+// only at two cold points: the first touch of a metric name on a thread
+// (registers the cell under a mutex) and snapshot() (walks all shards and
+// sums). Cells have stable addresses for the registry's lifetime, which lets
+// call sites cache the cell pointer in a `static thread_local` (see
+// obs/macros.hpp) and skip even the map lookup after first use.
+//
+// Counters are monotonic uint64 sums; gauges are process-global last-write
+// int64 values (a gauge is a shared reading, so sharding would change its
+// meaning); histograms use fixed base-2 buckets — bucket i counts values in
+// [2^(i-1), 2^i) — sized for microsecond latencies up to ~35 minutes.
+//
+// Snapshots are relaxed and therefore approximate while writers run: each
+// cell's value is atomically read, but the set of reads is not a consistent
+// cut. That is the standard contract for monitoring counters.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace supmr {
+class JsonWriter;
+}
+
+namespace supmr::obs {
+
+inline constexpr std::size_t kHistogramBuckets = 32;
+
+// Bucket index for a value: 0 for v == 0, otherwise bit_width(v) capped to
+// the last bucket. Bucket i (1 <= i < 31) therefore spans [2^(i-1), 2^i);
+// bucket 31 is the overflow bucket.
+std::size_t histogram_bucket(std::uint64_t value);
+
+// Exclusive upper bound of bucket i (2^i), or UINT64_MAX for the overflow
+// bucket. Used by tests and downstream tooling to label buckets.
+std::uint64_t histogram_bucket_bound(std::size_t bucket);
+
+// One thread's slice of a counter. Single-writer (the owning thread);
+// snapshot() reads it with relaxed loads from other threads.
+struct CounterCell {
+  std::atomic<std::uint64_t> value{0};
+  void add(std::uint64_t delta) {
+    value.fetch_add(delta, std::memory_order_relaxed);
+  }
+};
+
+// Process-global gauge (not sharded: a gauge is one shared reading).
+struct GaugeCell {
+  std::atomic<std::int64_t> value{0};
+  void set(std::int64_t v) { value.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t delta) {
+    value.fetch_add(delta, std::memory_order_relaxed);
+  }
+};
+
+// One thread's slice of a histogram. Same single-writer discipline as
+// CounterCell, so min/max can be updated with plain load+store.
+struct HistogramCell {
+  std::atomic<std::uint64_t> buckets[kHistogramBuckets] = {};
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> sum{0};
+  std::atomic<std::uint64_t> min{UINT64_MAX};
+  std::atomic<std::uint64_t> max{0};
+
+  void observe(std::uint64_t v) {
+    buckets[histogram_bucket(v)].fetch_add(1, std::memory_order_relaxed);
+    count.fetch_add(1, std::memory_order_relaxed);
+    sum.fetch_add(v, std::memory_order_relaxed);
+    if (v < min.load(std::memory_order_relaxed))
+      min.store(v, std::memory_order_relaxed);
+    if (v > max.load(std::memory_order_relaxed))
+      max.store(v, std::memory_order_relaxed);
+  }
+};
+
+struct HistogramSnapshot {
+  std::uint64_t buckets[kHistogramBuckets] = {};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;  // 0 when count == 0
+  std::uint64_t max = 0;
+  double mean() const { return count ? double(sum) / double(count) : 0.0; }
+};
+
+// Aggregated view across all shards. Ordered maps so JSON output is
+// deterministic.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // The process-wide registry the SUPMR_COUNTER_* macros use.
+  static MetricsRegistry& global();
+
+  // Returns the calling thread's cell for `name`, creating shard and cell on
+  // first touch. The pointer is stable for the registry's lifetime (reset()
+  // zeroes cells in place; it never frees them), so call sites may cache it.
+  CounterCell* counter_cell(std::string_view name);
+  HistogramCell* histogram_cell(std::string_view name);
+  GaugeCell* gauge_cell(std::string_view name);
+
+  // Sums every shard's cells per name. Relaxed — see file comment.
+  MetricsSnapshot snapshot() const;
+
+  // Zeroes all cells in place; cached cell pointers stay valid.
+  void reset();
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;  // guards the maps; cells themselves are atomic
+    std::map<std::string, std::unique_ptr<CounterCell>, std::less<>> counters;
+    std::map<std::string, std::unique_ptr<HistogramCell>, std::less<>>
+        histograms;
+  };
+
+  Shard* this_thread_shard();
+
+  const std::uint64_t id_;  // disambiguates thread-local shard caching
+  mutable std::mutex mu_;   // guards shards_ and gauges_
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::map<std::string, std::unique_ptr<GaugeCell>, std::less<>> gauges_;
+};
+
+// {"counters":{...},"gauges":{...},"histograms":{name:{"count":..,"sum":..,
+// "min":..,"max":..,"buckets":[32 counts]}}} — bucket i's bound is
+// histogram_bucket_bound(i).
+std::string metrics_to_json(const MetricsSnapshot& snapshot);
+
+// Same object written into an enclosing document (report.cpp folds the
+// snapshot into job_result_to_json with this).
+void write_metrics(JsonWriter& w, const MetricsSnapshot& snapshot);
+
+}  // namespace supmr::obs

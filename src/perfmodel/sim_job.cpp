@@ -208,7 +208,8 @@ class JobSim {
     if (chunks_.size() == 1 && spec_.chunk_bytes == 0) {
       p.read_s = t_ingest_end_;
       p.map_s = t_readmap_end_ - t_ingest_end_;
-      p.num_chunks = 0;
+      p.num_chunks = chunks_.size();
+      p.chunked = false;
     } else {
       p.has_combined_readmap = true;
       p.readmap_s = t_readmap_end_;
@@ -220,6 +221,7 @@ class JobSim {
       p.map_s = map_wall;
       p.read_s = std::max(0.0, t_readmap_end_ - map_wall);
       p.num_chunks = chunks_.size();
+      p.chunked = true;
     }
     return result;
   }

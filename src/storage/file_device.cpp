@@ -5,7 +5,10 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+
+#include "obs/macros.hpp"
 
 namespace supmr::storage {
 
@@ -35,6 +38,7 @@ StatusOr<std::size_t> FileDevice::read_at(std::uint64_t offset,
     return Status::OutOfRange("read at offset " + std::to_string(offset) +
                               " past end of " + path_);
   }
+  const auto t0 = std::chrono::steady_clock::now();
   std::size_t total = 0;
   while (total < out.size()) {
     const ssize_t n = ::pread(fd_, out.data() + total, out.size() - total,
@@ -46,6 +50,12 @@ StatusOr<std::size_t> FileDevice::read_at(std::uint64_t offset,
     if (n == 0) break;  // end of file
     total += static_cast<std::size_t>(n);
   }
+  SUPMR_COUNTER_ADD("storage.file.read_bytes", total);
+  SUPMR_HIST_OBSERVE(
+      "storage.file.read_us",
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
   return total;
 }
 

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <thread>
 
+#include "obs/macros.hpp"
+
 namespace supmr::storage {
 
 RateLimiter::RateLimiter(double rate_bps, std::uint64_t burst_bytes)
@@ -31,7 +33,16 @@ void RateLimiter::acquire(std::uint64_t bytes) {
     virtual_clock_ += duration;
     completes = virtual_clock_;
   }
-  std::this_thread::sleep_until(completes);
+  SUPMR_COUNTER_ADD("storage.throttle.bytes", bytes);
+  const auto wait = completes - clock::now();
+  if (wait > clock::duration::zero()) {
+    SUPMR_HIST_OBSERVE(
+        "storage.throttle.wait_us",
+        std::chrono::duration_cast<std::chrono::microseconds>(wait).count());
+    SUPMR_TRACE_SCOPE_VAR(span, "storage", "storage.throttle.wait");
+    SUPMR_TRACE_SET_ARG(span, "bytes", bytes);
+    std::this_thread::sleep_until(completes);
+  }
 }
 
 }  // namespace supmr::storage

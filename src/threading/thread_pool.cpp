@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/macros.hpp"
+
 namespace supmr {
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
@@ -43,8 +45,12 @@ void ThreadPool::wait_all() {
 }
 
 void ThreadPool::worker_loop() {
+  SUPMR_TRACE_THREAD_NAME("pool.worker");
   while (auto task = queue_.pop()) {
-    (*task)();
+    {
+      SUPMR_TRACE_SCOPE("pool", "pool.task");
+      (*task)();
+    }
     // The decrement and the notify both happen under pending_mu_: a notify
     // outside the lock could fire between a wait_all()'s predicate check and
     // its sleep, losing the wakeup.
@@ -56,6 +62,10 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::run_wave(
     const std::vector<std::function<void(std::size_t)>>& tasks) {
+  SUPMR_TRACE_SCOPE_VAR(span, "pool", "pool.wave");
+  SUPMR_TRACE_SET_ARG(span, "tasks", tasks.size());
+  SUPMR_COUNTER_ADD("pool.waves", 1);
+  SUPMR_COUNTER_ADD("pool.tasks", tasks.size());
   for (std::size_t i = 0; i < tasks.size(); ++i)
     submit([&tasks, i] { tasks[i](i); });
   wait_all();
@@ -63,6 +73,10 @@ void ThreadPool::run_wave(
 
 void ThreadPool::run_wave_unpooled(
     const std::vector<std::function<void(std::size_t)>>& tasks) {
+  SUPMR_TRACE_SCOPE_VAR(span, "pool", "pool.wave_unpooled");
+  SUPMR_TRACE_SET_ARG(span, "tasks", tasks.size());
+  SUPMR_COUNTER_ADD("pool.waves", 1);
+  SUPMR_COUNTER_ADD("pool.tasks", tasks.size());
   std::vector<std::thread> threads;
   threads.reserve(tasks.size());
   for (std::size_t i = 0; i < tasks.size(); ++i)

@@ -284,6 +284,36 @@ TEST(PhaseClock, AccumulatesAcrossStartStop) {
   EXPECT_GE(clock.total(), clock.elapsed(Phase::kRead));
 }
 
+TEST(PhaseClock, MisuseIsALoggedNoOp) {
+  // Regression: misuse used to be an assert, so release builds silently
+  // corrupted accumulated timings. Now the first start wins, an unmatched
+  // stop adds nothing, and timings stay exact.
+  PhaseClock clock;
+  clock.stop(Phase::kMap);  // stop without start: no interval added
+  EXPECT_EQ(clock.elapsed(Phase::kMap), 0.0);
+
+  clock.start(Phase::kRead);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  clock.start(Phase::kRead);  // double start: ignored, first stamp kept
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  clock.stop(Phase::kRead);
+  EXPECT_GE(clock.elapsed(Phase::kRead), 0.015);  // spans BOTH sleeps
+  clock.stop(Phase::kRead);  // second stop unmatched: accumulates nothing
+  const double once = clock.elapsed(Phase::kRead);
+  EXPECT_EQ(clock.elapsed(Phase::kRead), once);
+
+  clock.stop_total();  // never started: total stays zero
+  EXPECT_EQ(clock.total(), 0.0);
+  EXPECT_EQ(clock.now_since_start(), 0.0);  // stopped: clamped to 0
+
+  clock.start_total();
+  clock.start_total();  // ignored
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GT(clock.now_since_start(), 0.0);
+  clock.stop_total();
+  EXPECT_GT(clock.total(), 0.0);
+}
+
 TEST(PhaseBreakdown, TableRowFormats) {
   PhaseBreakdown b;
   b.total_s = 471.75;

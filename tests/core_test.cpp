@@ -2,8 +2,10 @@
 // configuration validation, persistence requirement, /proc sampler.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <mutex>
 
 #include "apps/word_count.hpp"
 #include "core/job.hpp"
@@ -80,7 +82,11 @@ TEST(MapReduceJob, LifecycleOriginalRuntime) {
   EXPECT_EQ(app.reduces_, 1);
   EXPECT_EQ(app.merges_, 1);
   EXPECT_EQ(result->map_rounds, 1u);
-  EXPECT_EQ(result->phases.num_chunks, 0u);
+  // num_chunks is the plan's real extent count in every mode (here one
+  // whole-input chunk); `chunked` carries the presentation.
+  EXPECT_EQ(result->phases.num_chunks, 1u);
+  EXPECT_EQ(result->chunks, 1u);
+  EXPECT_FALSE(result->phases.chunked);
   EXPECT_FALSE(result->phases.has_combined_readmap);
 }
 
@@ -119,21 +125,39 @@ TEST(MapReduceJob, PhaseTimesArePopulated) {
   EXPECT_LE(result->phases.readmap_s, result->phases.total_s + 1e-9);
 }
 
-TEST(MapReduceJob, TooManySplitsRejected) {
+// Regression: rounds with more tasks than mapper threads used to hard-fail
+// with FailedPrecondition. They now run as successive waves of
+// `num_map_threads`; every task runs exactly once and every thread_id stays
+// inside the init() mapper count (the per-thread-stripe safety contract).
+TEST(MapReduceJob, OversubscribedRoundRunsInWaves) {
   class OverSubscribingApp final : public ProbeApp {
    public:
     Status prepare_round(const ingest::IngestChunk& chunk) override {
       ProbeApp::prepare_round(chunk);
-      tasks_this_round_ = mappers_ + 1;  // violate the contract
+      tasks_this_round_ = 7;  // 2 mappers -> 4 waves
       return Status::Ok();
     }
+    void map_task(std::size_t task, std::size_t thread_id) override {
+      ProbeApp::map_task(task, thread_id);
+      std::lock_guard<std::mutex> lock(mu_);
+      tasks_seen_.push_back(task);
+      max_thread_id_ = std::max(max_thread_id_, thread_id);
+    }
+    std::mutex mu_;
+    std::vector<std::size_t> tasks_seen_;
+    std::size_t max_thread_id_ = 0;
   };
   OverSubscribingApp app;
   SingleDeviceSource src(mem("x\n"), std::make_shared<LineFormat>(), 0);
-  MapReduceJob job(app, src, cfg());
+  MapReduceJob job(app, src, cfg(/*mappers=*/2));
   auto result = job.run();
-  ASSERT_FALSE(result.ok());
-  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(app.map_tasks_.load(), 7);
+  EXPECT_LT(app.max_thread_id_, 2u);  // never outside the mapper count
+  std::sort(app.tasks_seen_.begin(), app.tasks_seen_.end());
+  for (std::size_t i = 0; i < app.tasks_seen_.size(); ++i) {
+    EXPECT_EQ(app.tasks_seen_[i], i);  // each task index exactly once
+  }
 }
 
 TEST(MapReduceJob, PrepareRoundErrorAborts) {

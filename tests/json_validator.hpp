@@ -1,0 +1,202 @@
+// Strict recursive-descent JSON validator for tests.
+//
+// The repo deliberately ships a JSON *writer* only, so tests have no parser
+// to round-trip emitter output through. This validator closes that hole:
+// validate_json() accepts exactly the RFC 8259 grammar (no trailing commas,
+// no comments, no bare NaN/Infinity, \uXXXX escapes fully checked) and
+// returns an error string pinpointing the first offending byte, or empty for
+// a valid document. Validation-only — it builds no DOM, so it is safe to run
+// over multi-megabyte trace files in a unit test.
+#pragma once
+
+#include <cctype>
+#include <string>
+#include <string_view>
+
+namespace supmr::test {
+
+namespace json_detail {
+
+class Validator {
+ public:
+  explicit Validator(std::string_view text) : text_(text) {}
+
+  // Empty string on success, "offset N: message" on the first error.
+  std::string run() {
+    skip_ws();
+    if (!value()) return error_;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing data after document");
+    return {};
+  }
+
+ private:
+  bool fail_bool(const std::string& msg) {
+    if (error_.empty()) {
+      error_ = "offset " + std::to_string(pos_) + ": " + msg;
+    }
+    return false;
+  }
+  std::string fail(const std::string& msg) {
+    fail_bool(msg);
+    return error_;
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  void skip_ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                      peek() == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) {
+      return fail_bool("expected '" + std::string(lit) + "'");
+    }
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool value() {
+    if (eof()) return fail_bool("unexpected end of input");
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (eof() || peek() != '"') return fail_bool("expected object key");
+      if (!string()) return false;
+      skip_ws();
+      if (eof() || peek() != ':') return fail_bool("expected ':'");
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (eof()) return fail_bool("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail_bool("expected ',' or '}'");
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (eof()) return fail_bool("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail_bool("expected ',' or ']'");
+    }
+  }
+
+  bool string() {
+    ++pos_;  // opening '"'
+    while (true) {
+      if (eof()) return fail_bool("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return fail_bool("raw control character in string");
+      if (c == '\\') {
+        ++pos_;
+        if (eof()) return fail_bool("dangling escape");
+        const char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (eof() || !std::isxdigit(static_cast<unsigned char>(peek()))) {
+              return fail_bool("bad \\u escape");
+            }
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return fail_bool("bad escape character");
+        }
+      }
+      ++pos_;
+    }
+  }
+
+  bool digits() {
+    if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+      return fail_bool("expected digit");
+    }
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    return true;
+  }
+
+  bool number() {
+    if (peek() == '-') ++pos_;
+    if (eof()) return fail_bool("truncated number");
+    if (peek() == '0') {
+      ++pos_;  // leading zero must stand alone
+    } else if (std::isdigit(static_cast<unsigned char>(peek()))) {
+      if (!digits()) return false;
+    } else {
+      return fail_bool("invalid value");
+    }
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      if (!digits()) return false;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (!digits()) return false;
+    }
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace json_detail
+
+// Returns "" if `text` is one valid JSON document, else a diagnostic.
+inline std::string validate_json(std::string_view text) {
+  return json_detail::Validator(text).run();
+}
+
+}  // namespace supmr::test

@@ -10,6 +10,7 @@
 #include "core/report.hpp"
 #include "ingest/record_format.hpp"
 #include "ingest/source.hpp"
+#include "json_validator.hpp"
 #include "storage/mem_device.hpp"
 
 namespace supmr {
@@ -92,7 +93,8 @@ TEST(Report, JobResultJsonShape) {
   auto result = job.run_ingestMR();
   ASSERT_TRUE(result.ok());
   const std::string json = core::job_result_to_json(*result);
-  // Spot-check structure (no parser in the repo by design).
+  EXPECT_EQ(test::validate_json(json), "");
+  // Spot-check structure (no DOM parser in the repo by design).
   EXPECT_NE(json.find("\"phases\":{"), std::string::npos);
   EXPECT_NE(json.find("\"readmap_s\":"), std::string::npos);
   EXPECT_NE(json.find("\"pipeline\":{"), std::string::npos);
@@ -124,6 +126,7 @@ TEST(Report, PhasesJsonDistinguishesModes) {
   plain.read_s = 1.0;
   plain.map_s = 2.0;
   const std::string a = core::phases_to_json(plain);
+  EXPECT_EQ(test::validate_json(a), "");
   EXPECT_NE(a.find("\"read_s\":1"), std::string::npos);
   EXPECT_EQ(a.find("readmap_s"), std::string::npos);
 
@@ -131,7 +134,67 @@ TEST(Report, PhasesJsonDistinguishesModes) {
   combined.has_combined_readmap = true;
   combined.readmap_s = 3.0;
   const std::string b = core::phases_to_json(combined);
+  EXPECT_EQ(test::validate_json(b), "");
   EXPECT_NE(b.find("\"readmap_s\":3"), std::string::npos);
+}
+
+// Regression: run() used to emit phases.num_chunks = 0 while the top-level
+// "chunks" field carried the real plan size. num_chunks is now the real
+// count in every mode and "chunked" carries the presentation.
+TEST(Report, UnchunkedRunPhasesAreSelfConsistent) {
+  apps::WordCountApp app;
+  ingest::SingleDeviceSource src(
+      std::make_shared<storage::MemDevice>("a b c\na b\nc d\n", "m"),
+      std::make_shared<ingest::LineFormat>(), 6);
+  core::JobConfig jc;
+  jc.num_map_threads = 2;
+  jc.num_reduce_threads = 1;
+  core::MapReduceJob job(app, src, jc);
+  auto result = job.run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->chunks, 1u);
+  EXPECT_EQ(result->phases.num_chunks, result->chunks);
+  EXPECT_FALSE(result->phases.chunked);
+  const std::string json = core::job_result_to_json(*result);
+  EXPECT_EQ(test::validate_json(json), "");
+  EXPECT_NE(json.find("\"chunked\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"num_chunks\":" +
+                      std::to_string(result->chunks)),
+            std::string::npos);
+}
+
+TEST(Report, ChunkedRunPhasesFlagChunked) {
+  apps::WordCountApp app;
+  ingest::SingleDeviceSource src(
+      std::make_shared<storage::MemDevice>("a b c\na b\nc d\n", "m"),
+      std::make_shared<ingest::LineFormat>(), 6);
+  core::JobConfig jc;
+  jc.num_map_threads = 2;
+  jc.num_reduce_threads = 1;
+  core::MapReduceJob job(app, src, jc);
+  auto result = job.run_ingestMR();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->phases.num_chunks, result->chunks);
+  EXPECT_TRUE(result->phases.chunked);
+  const std::string json = core::job_result_to_json(*result);
+  EXPECT_EQ(test::validate_json(json), "");
+  EXPECT_NE(json.find("\"chunked\":true"), std::string::npos);
+}
+
+TEST(Report, JobResultJsonCarriesMetricsObject) {
+  apps::WordCountApp app;
+  ingest::SingleDeviceSource src(
+      std::make_shared<storage::MemDevice>("a b\n", "m"),
+      std::make_shared<ingest::LineFormat>(), 0);
+  core::JobConfig jc;
+  jc.num_map_threads = 1;
+  jc.num_reduce_threads = 1;
+  core::MapReduceJob job(app, src, jc);
+  auto result = job.run();
+  ASSERT_TRUE(result.ok());
+  const std::string json = core::job_result_to_json(*result);
+  EXPECT_EQ(test::validate_json(json), "");
+  EXPECT_NE(json.find("\"metrics\":{\"counters\":{"), std::string::npos);
 }
 
 TEST(Report, TimeSeriesJson) {

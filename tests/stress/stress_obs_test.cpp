@@ -1,0 +1,159 @@
+// Stress: the observability layer under concurrent writers and readers.
+//
+// Hammers a private MetricsRegistry and TraceRecorder from many threads
+// under seeded schedule perturbation while a reader thread concurrently
+// snapshots / serializes. Mid-run snapshots are approximate by contract, but
+// after every writer joins the final totals must be exact — sharding loses
+// nothing — and every concurrently taken JSON document must stay
+// well-formed. Primary payload of the TSan build (`ctest -L sanitizer`).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sched_fuzz.hpp"
+
+namespace supmr::obs {
+namespace {
+
+class ObsStress : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ObsStress, CountersAndHistogramsAggregateExactly) {
+  test::SchedFuzz fuzz(GetParam());
+  MetricsRegistry reg;
+  constexpr int kWriters = 6;
+  constexpr std::uint64_t kOps = 4000;
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    test::SchedFuzz::Stream stream(fuzz, 1000);
+    while (!stop.load(std::memory_order_acquire)) {
+      const MetricsSnapshot snap = reg.snapshot();
+      // Mid-run cut: totals are monotone, never above the final count.
+      auto it = snap.counters.find("ops");
+      if (it != snap.counters.end()) {
+        EXPECT_LE(it->second, kWriters * kOps);
+      }
+      stream.yield_point();
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      test::SchedFuzz::Stream stream(fuzz, w);
+      CounterCell* ops = reg.counter_cell("ops");
+      HistogramCell* lat = reg.histogram_cell("lat");
+      for (std::uint64_t i = 0; i < kOps; ++i) {
+        ops->add(1);
+        lat->observe(stream.rand() % 100000);
+        if ((i & 255) == 0) stream.yield_point();
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("ops"), kWriters * kOps);
+  const HistogramSnapshot& h = snap.histograms.at("lat");
+  EXPECT_EQ(h.count, kWriters * kOps);
+  EXPECT_LT(h.max, 100000u);
+  std::uint64_t bucket_total = 0;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b)
+    bucket_total += h.buckets[b];
+  EXPECT_EQ(bucket_total, h.count);
+}
+
+TEST_P(ObsStress, TraceRecordWhileSerializing) {
+  test::SchedFuzz fuzz(GetParam());
+  TraceRecorder rec(/*max_events_per_thread=*/1 << 14);
+  rec.enable();
+  constexpr int kWriters = 4;
+  constexpr int kEvents = 2000;
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    test::SchedFuzz::Stream stream(fuzz, 2000);
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::string json = rec.to_json();
+      // Cheap well-formedness probe on every concurrent snapshot (the unit
+      // suite runs the strict validator; here shape beats thoroughness).
+      EXPECT_EQ(json.front(), '{');
+      EXPECT_EQ(json.back(), '}');
+      stream.yield_point();
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      test::SchedFuzz::Stream stream(fuzz, 100 + w);
+      rec.set_thread_name("writer");
+      for (int i = 0; i < kEvents; ++i) {
+        {
+          TraceScope scope("stress", "op", rec);
+          scope.set_arg("i", std::uint64_t(i));
+        }
+        if ((stream.rand() & 7) == 0) rec.instant("stress", "tick");
+        if ((i & 127) == 0) stream.yield_point();
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  // Nothing dropped (cap is far above the event count), so the final
+  // document must contain every span from every writer.
+  EXPECT_EQ(rec.dropped_events(), 0u);
+  const std::string json = rec.to_json();
+  std::size_t spans = 0, pos = 0;
+  while ((pos = json.find("\"name\":\"op\"", pos)) != std::string::npos) {
+    ++spans;
+    pos += 1;
+  }
+  EXPECT_EQ(spans, std::size_t{kWriters} * kEvents);
+}
+
+TEST_P(ObsStress, ResetRacesWithWriters) {
+  test::SchedFuzz fuzz(GetParam());
+  MetricsRegistry reg;
+  constexpr int kWriters = 4;
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      test::SchedFuzz::Stream stream(fuzz, w);
+      CounterCell* c = reg.counter_cell("racing");
+      while (!stop.load(std::memory_order_acquire)) {
+        c->add(1);
+        if ((stream.rand() & 63) == 0) stream.yield_point();
+      }
+    });
+  }
+  test::SchedFuzz::Stream stream(fuzz, 3000);
+  for (int i = 0; i < 50; ++i) {
+    reg.reset();
+    (void)reg.snapshot();
+    stream.yield_point();
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : writers) t.join();
+
+  // After the dust settles: one more reset gives an exactly-zero snapshot.
+  reg.reset();
+  EXPECT_EQ(reg.snapshot().counters.at("racing"), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ObsStress,
+                         ::testing::ValuesIn(test::kStressSeeds));
+
+}  // namespace
+}  // namespace supmr::obs

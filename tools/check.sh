@@ -2,12 +2,15 @@
 # SupMR correctness gate: plain tier-1 build + TSan + ASan+UBSan.
 #
 # Stages:
-#   plain — full build, full ctest (the tier-1 gate from ROADMAP.md)
-#   tsan  — -DSUPMR_SANITIZE=thread,           ctest -L sanitizer
-#   asan  — -DSUPMR_SANITIZE=address,undefined, ctest -L sanitizer
+#   plain     — full build, full ctest (the tier-1 gate from ROADMAP.md)
+#   tsan      — -DSUPMR_SANITIZE=thread,           ctest -L sanitizer
+#   asan      — -DSUPMR_SANITIZE=address,undefined, ctest -L sanitizer
+#   obs-smoke — run the quickstart with --metrics-json/--trace-out and
+#               validate both emitted files; then compile-check the
+#               -DSUPMR_OBS=OFF configuration (macros must vanish cleanly)
 #
 # Usage:
-#   tools/check.sh            # all three stages
+#   tools/check.sh            # all stages
 #   tools/check.sh tsan       # one stage
 #   JOBS=8 tools/check.sh     # override parallelism
 #
@@ -20,7 +23,25 @@ ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 JOBS="${JOBS:-$(nproc)}"
 SUPP="${ROOT}/tools/sanitizers"
 STAGES=("$@")
-[ ${#STAGES[@]} -eq 0 ] && STAGES=(plain tsan asan)
+[ ${#STAGES[@]} -eq 0 ] && STAGES=(plain tsan asan obs-smoke)
+
+# Validate that a file exists, is non-empty, and parses as JSON. Uses
+# python3's parser when present; otherwise falls back to a shape check so
+# the stage still catches empty/truncated output on minimal hosts.
+validate_json_file() {
+  local f="$1"
+  [ -s "${f}" ] || { echo "obs-smoke: ${f} missing or empty" >&2; return 1; }
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool "${f}" >/dev/null ||
+      { echo "obs-smoke: ${f} is not valid JSON" >&2; return 1; }
+  else
+    local first last
+    first="$(head -c1 "${f}")"
+    last="$(tail -c2 "${f}" | tr -d '\n')"
+    { [ "${first}" = "{" ] && [ "${last}" = "}" ]; } ||
+      { echo "obs-smoke: ${f} does not look like a JSON object" >&2; return 1; }
+  fi
+}
 
 configure_and_build() {
   local dir="$1"; shift
@@ -54,8 +75,24 @@ run_stage() {
         UBSAN_OPTIONS="suppressions=${SUPP}/ubsan.supp print_stacktrace=1" \
         ctest -L sanitizer --output-on-failure -j "${JOBS}")
       ;;
+    obs-smoke)
+      # End-to-end: the quickstart must emit valid metrics + trace JSON.
+      configure_and_build "${ROOT}/build-check-plain"
+      local out="${ROOT}/build-check-plain/obs-smoke"
+      mkdir -p "${out}"
+      "${ROOT}/build-check-plain/examples/quickstart" \
+        "--metrics-json=${out}/metrics.json" "--trace-out=${out}/trace.json"
+      validate_json_file "${out}/metrics.json"
+      validate_json_file "${out}/trace.json"
+      grep -q '"traceEvents"' "${out}/trace.json" ||
+        { echo "obs-smoke: trace.json lacks traceEvents" >&2; return 1; }
+      grep -q '"counters"' "${out}/metrics.json" ||
+        { echo "obs-smoke: metrics.json lacks counters" >&2; return 1; }
+      # The compiled-out configuration must still build everything.
+      configure_and_build "${ROOT}/build-check-obs-off" -DSUPMR_OBS=OFF
+      ;;
     *)
-      echo "unknown stage '${stage}' (want plain, tsan, or asan)" >&2
+      echo "unknown stage '${stage}' (want plain, tsan, asan, or obs-smoke)" >&2
       return 2
       ;;
   esac

@@ -16,6 +16,9 @@
 //   --chunk=SIZE                     ingest chunk size (0/none = original)
 //   --throttle=RATE                  emulate a slow device, e.g. 384MB
 //   --trace=out.csv                  dump a /proc/stat utilization trace
+//   --metrics-json=out.json          dump the runtime metrics snapshot
+//   --trace-out=trace.json           dump a Chrome-trace (chrome://tracing /
+//                                    Perfetto) event file
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -51,7 +54,7 @@ const std::set<std::string> kCommonFlags = {
     "trace",  "top",     "out",     "key-bytes",  "record-bytes",
     "lo",     "hi",      "bins",    "files-per-chunk", "size",
     "verbose", "json",    "budget",  "clusters",   "dim",
-    "iters"};
+    "iters",  "metrics-json", "trace-out"};
 
 void usage() {
   std::fprintf(stderr,
@@ -103,6 +106,8 @@ StatusOr<CommonConfig> common_config(const Flags& flags) {
     if (rate > 0) cfg.throttle_bps = double(rate);
   }
   cfg.trace_path = flags.get("trace");
+  cfg.job.metrics_json_path = flags.get_or("metrics-json", "");
+  cfg.job.trace_out_path = flags.get_or("trace-out", "");
   cfg.json = flags.get_bool("json");
   if (flags.get_bool("verbose")) Logger::set_level(LogLevel::kInfo);
   return cfg;
