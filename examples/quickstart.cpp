@@ -2,14 +2,18 @@
 //
 //   1. wrap your input in a storage::Device,
 //   2. pick a chunking strategy (SingleDeviceSource + chunk size),
-//   3. run an application through MapReduceJob::run_ingestMR().
+//   3. run an application through MapReduceJob::run(ExecMode).
 //
 // Build & run:  ./examples/quickstart [input.txt] [chunk-size]
 //                                     [--metrics-json=out.json]
 //                                     [--trace-out=trace.json]
-// Without arguments it generates a 8 MB synthetic corpus. The two optional
-// flags dump the observability outputs: a metrics snapshot and a
-// chrome://tracing / Perfetto-loadable event file.
+//                                     [--fault-plan=SPEC] [--retry-attempts=N]
+//                                     [--retry-deadline=DUR] [--degrade]
+// Without arguments it generates a 8 MB synthetic corpus. The fault flags
+// demonstrate the fault-tolerance layer (docs/fault-tolerance.md): the input
+// device is wrapped in a FaultDevice injecting the plan, and the retry
+// policy re-reads transiently failing chunks. On job failure a JSON error
+// object goes to stdout and the exit code is 1.
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -19,8 +23,12 @@
 #include "apps/word_count.hpp"
 #include "common/units.hpp"
 #include "core/job.hpp"
+#include "core/report.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/retrying_device.hpp"
 #include "ingest/record_format.hpp"
 #include "ingest/source.hpp"
+#include "storage/fault_device.hpp"
 #include "storage/file_device.hpp"
 #include "storage/mem_device.hpp"
 #include "wload/text_corpus.hpp"
@@ -30,6 +38,7 @@ using namespace supmr;
 int main(int argc, char** argv) {
   // Split --flags from positional arguments.
   core::JobConfig config;  // defaults: hardware-concurrency threads, p-way merge
+  std::string fault_plan_spec;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -37,6 +46,21 @@ int main(int argc, char** argv) {
       config.metrics_json_path = arg + 15;
     } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
       config.trace_out_path = arg + 12;
+    } else if (std::strncmp(arg, "--fault-plan=", 13) == 0) {
+      fault_plan_spec = arg + 13;
+    } else if (std::strncmp(arg, "--retry-attempts=", 17) == 0) {
+      config.recovery.policy.max_attempts =
+          static_cast<std::uint32_t>(std::strtoul(arg + 17, nullptr, 10));
+    } else if (std::strncmp(arg, "--retry-deadline=", 17) == 0) {
+      auto parsed = fault::parse_duration(arg + 17);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "bad --retry-deadline: %s\n",
+                     parsed.status().to_string().c_str());
+        return 2;
+      }
+      config.recovery.policy.read_deadline_s = *parsed;
+    } else if (std::strcmp(arg, "--degrade") == 0) {
+      config.recovery.degrade = true;
     } else {
       args.emplace_back(arg);
     }
@@ -59,6 +83,22 @@ int main(int argc, char** argv) {
                                                   "generated-corpus");
   }
 
+  // Optional fault layer: FaultDevice injects the plan underneath,
+  // RetryingDevice absorbs transient faults at the read seam.
+  if (!fault_plan_spec.empty()) {
+    auto plan = fault::FaultPlan::parse(fault_plan_spec);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "bad --fault-plan: %s\n",
+                   plan.status().to_string().c_str());
+      return 2;
+    }
+    device = std::make_shared<storage::FaultDevice>(device, *plan);
+  }
+  if (config.recovery.policy.enabled()) {
+    device = std::make_shared<fault::RetryingDevice>(device,
+                                                     config.recovery.policy);
+  }
+
   // 2. Chunking strategy: inter-file chunks at line boundaries.
   std::uint64_t chunk_bytes = 1 * kMB;
   if (args.size() > 1) {
@@ -70,10 +110,12 @@ int main(int argc, char** argv) {
   // 3. Run the job through the ingest chunk pipeline.
   apps::WordCountApp app;
   core::MapReduceJob job(app, source, config);
-  auto result = job.run_ingestMR();
+  auto result = job.run(config.mode);
   if (!result.ok()) {
+    // stderr gets the human-readable line, stdout a machine-readable report.
     std::fprintf(stderr, "job failed: %s\n",
                  result.status().to_string().c_str());
+    std::printf("%s\n", core::status_to_json(result.status()).c_str());
     return 1;
   }
 
@@ -86,6 +128,11 @@ int main(int argc, char** argv) {
               "total %.3fs\n",
               result->phases.readmap_s, result->phases.reduce_s,
               result->phases.merge_s, result->phases.total_s);
+  if (result->degraded()) {
+    std::printf("DEGRADED: %llu chunks skipped (%llu bytes lost)\n",
+                (unsigned long long)result->chunks_skipped,
+                (unsigned long long)result->bytes_skipped);
+  }
   std::printf("%llu distinct words, %llu words total\n\n",
               (unsigned long long)app.results().size(),
               (unsigned long long)app.words_mapped());

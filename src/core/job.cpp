@@ -118,7 +118,26 @@ void MapReduceJob::finish_obs(JobResult& result) {
   }
 }
 
-StatusOr<JobResult> MapReduceJob::run() {
+void MapReduceJob::set_adaptive(const storage::Device& device,
+                                const ingest::RecordFormat& format,
+                                ingest::ChunkSizeController& controller) {
+  adaptive_device_ = &device;
+  adaptive_format_ = &format;
+  adaptive_controller_ = &controller;
+}
+
+StatusOr<JobResult> MapReduceJob::run(ExecMode mode) {
+  switch (mode) {
+    case ExecMode::kOriginal:
+      return run_original();
+    case ExecMode::kIngestMR:
+    case ExecMode::kAdaptive:
+      return run_pipelined(mode);
+  }
+  return Status::InvalidArgument("unknown exec mode");
+}
+
+StatusOr<JobResult> MapReduceJob::run_original() {
   JobResult result;
   PhaseClock clock;
   rounds_ = 0;
@@ -173,30 +192,57 @@ StatusOr<JobResult> MapReduceJob::run() {
   return result;
 }
 
-StatusOr<JobResult> MapReduceJob::run_ingestMR() {
+StatusOr<JobResult> MapReduceJob::run_pipelined(ExecMode mode) {
   JobResult result;
   PhaseClock clock;
   rounds_ = 0;
   begin_obs();
   clock.start_total();
 
+  // Adaptive mode needs a device + record format. Honor set_adaptive() if it
+  // was called; otherwise derive both from a SingleDeviceSource and size
+  // chunks with an internally-owned rate-matching controller.
+  const storage::Device* adaptive_device = adaptive_device_;
+  const ingest::RecordFormat* adaptive_format = adaptive_format_;
+  ingest::ChunkSizeController* adaptive_controller = adaptive_controller_;
+  ingest::RateMatchingController owned_controller;
+  if (mode == ExecMode::kAdaptive && adaptive_device == nullptr) {
+    const auto* single =
+        dynamic_cast<const ingest::SingleDeviceSource*>(&source_);
+    if (single == nullptr) {
+      return Status::InvalidArgument(
+          "adaptive mode needs set_adaptive() or a SingleDeviceSource");
+    }
+    adaptive_device = &single->device();
+    adaptive_format = &single->format();
+    adaptive_controller = &owned_controller;
+  }
+
   clock.start(Phase::kSetup);
   app_.init(config_.num_map_threads);
-  SUPMR_ASSIGN_OR_RETURN(std::vector<ingest::ChunkExtent> plan,
-                         source_.plan());
+  std::vector<ingest::ChunkExtent> plan;
+  if (mode == ExecMode::kIngestMR) {
+    SUPMR_ASSIGN_OR_RETURN(plan, source_.plan());
+  }
   clock.stop(Phase::kSetup);
-
-  SUPMR_LOG_INFO("run_ingestMR(): %zu ingest chunks over %s", plan.size(),
-                 format_bytes(source_.total_bytes()).c_str());
 
   // The combined read+map phase: the pipeline's producer ingests chunk
   // c_{i+1} while this (consumer) thread runs the map wave on c_i.
   clock.start(Phase::kRead);  // measures total pipeline wall time
-  ingest::IngestPipeline pipeline(source_);
-  auto pipeline_result = [&] {
+  const auto process = [this](ingest::IngestChunk& chunk) {
+    return map_round(chunk);
+  };
+  auto pipeline_result = [&]() -> StatusOr<ingest::PipelineStats> {
     SUPMR_TRACE_SCOPE("phase", "readmap");
-    return pipeline.run_planned(
-        plan, [this](ingest::IngestChunk& chunk) { return map_round(chunk); });
+    if (mode == ExecMode::kIngestMR) {
+      SUPMR_LOG_INFO("run(supmr): %zu ingest chunks over %s", plan.size(),
+                     format_bytes(source_.total_bytes()).c_str());
+      ingest::IngestPipeline pipeline(source_, config_.recovery);
+      return pipeline.run_planned(plan, process);
+    }
+    ingest::AdaptivePipeline pipeline(*adaptive_device, *adaptive_format,
+                                      *adaptive_controller, config_.recovery);
+    return pipeline.run(process);
   }();
   clock.stop(Phase::kRead);
   if (!pipeline_result.ok()) return pipeline_result.status();
@@ -212,53 +258,22 @@ StatusOr<JobResult> MapReduceJob::run_ingestMR() {
   result.phases.readmap_s = result.phases.read_s;
   result.phases.read_s = result.pipeline.consumer_wait_s;
   result.phases.map_s = result.pipeline.process_busy_s;
-  result.phases.input_bytes = source_.total_bytes();
-  result.phases.num_chunks = plan.size();
-  result.phases.chunked = true;
-  result.phases.map_rounds = rounds_;
-  result.phases.merge_rounds = merge_stats_.num_rounds();
-  result.chunks = plan.size();
-  finish_obs(result);
-  return result;
-}
-
-StatusOr<JobResult> MapReduceJob::run_ingestMR_adaptive(
-    const storage::Device& device, const ingest::RecordFormat& format,
-    ingest::ChunkSizeController& controller) {
-  JobResult result;
-  PhaseClock clock;
-  rounds_ = 0;
-  begin_obs();
-  clock.start_total();
-
-  clock.start(Phase::kSetup);
-  app_.init(config_.num_map_threads);
-  clock.stop(Phase::kSetup);
-
-  clock.start(Phase::kRead);
-  ingest::AdaptivePipeline pipeline(device, format, controller);
-  auto pipeline_result = [&] {
-    SUPMR_TRACE_SCOPE("phase", "readmap");
-    return pipeline.run(
-        [this](ingest::IngestChunk& chunk) { return map_round(chunk); });
-  }();
-  clock.stop(Phase::kRead);
-  if (!pipeline_result.ok()) return pipeline_result.status();
-  result.pipeline = std::move(pipeline_result).value();
-
-  SUPMR_RETURN_IF_ERROR(finish(result, clock));
-  clock.stop_total();
-  result.phases = clock.snapshot();
-  result.phases.has_combined_readmap = true;
-  result.phases.readmap_s = result.phases.read_s;
-  result.phases.read_s = result.pipeline.consumer_wait_s;
-  result.phases.map_s = result.pipeline.process_busy_s;
-  result.phases.input_bytes = device.size();
+  result.phases.input_bytes = mode == ExecMode::kAdaptive
+                                  ? adaptive_device->size()
+                                  : source_.total_bytes();
   result.phases.num_chunks = result.pipeline.chunks.size();
   result.phases.chunked = true;
   result.phases.map_rounds = rounds_;
   result.phases.merge_rounds = merge_stats_.num_rounds();
   result.chunks = result.pipeline.chunks.size();
+  result.chunks_skipped = result.pipeline.chunks_skipped;
+  result.bytes_skipped = result.pipeline.bytes_skipped;
+  if (result.degraded()) {
+    SUPMR_LOG_WARN("run(%s): DEGRADED — %llu chunk(s) skipped, %s lost",
+                   std::string(exec_mode_name(mode)).c_str(),
+                   static_cast<unsigned long long>(result.chunks_skipped),
+                   format_bytes(result.bytes_skipped).c_str());
+  }
   finish_obs(result);
   return result;
 }

@@ -1,14 +1,28 @@
 // The SupMR runtime: scale-up MapReduce with an ingest chunk pipeline.
 //
-// Two entry points, matching the paper:
-//   * run()          — the ORIGINAL runtime: ingest the entire input (read
-//                      phase), one map wave over input splits (map phase),
-//                      reduce, merge. Fig. 1's structure.
-//   * run_ingestMR() — SupMR (paper Table I): the ingest chunk pipeline
-//                      overlaps reading chunk c_{i+1} with mapping c_i across
-//                      n+1 rounds; read+map become one combined phase.
-// Both share reduce/merge; the merge algorithm is selected by
-// JobConfig::merge_mode.
+// One entry point, keyed by ExecMode (typically JobConfig::mode):
+//
+//   run(ExecMode::kOriginal)  — the ORIGINAL runtime: ingest the entire
+//                               input (read phase), one map wave over input
+//                               splits (map phase), reduce, merge. Fig. 1.
+//   run(ExecMode::kIngestMR)  — SupMR (paper Table I): the ingest chunk
+//                               pipeline overlaps reading chunk c_{i+1} with
+//                               mapping c_i across n+1 rounds; read+map
+//                               become one combined phase.
+//   run(ExecMode::kAdaptive)  — SupMR with the adaptive chunk-size feedback
+//                               loop (paper future work, §VIII). Needs a
+//                               device + record format: either call
+//                               set_adaptive() first, or run over a
+//                               SingleDeviceSource and the job derives them
+//                               (with an internal RateMatchingController).
+//
+// All modes share reduce/merge (JobConfig::merge_mode selects the merge
+// algorithm) and the fault layer: JobConfig::recovery gives the ingest path
+// chunk-level retry/backoff and an optional degrade mode (skip poisoned
+// chunks with accounting). See docs/fault-tolerance.md.
+//
+// The per-mode methods run() / run_ingestMR() / run_ingestMR_adaptive() are
+// DEPRECATED thin wrappers kept for source compatibility.
 #pragma once
 
 #include <memory>
@@ -26,12 +40,20 @@ namespace supmr::core {
 
 struct JobResult {
   PhaseBreakdown phases;
-  ingest::PipelineStats pipeline;   // populated by run_ingestMR()
+  ingest::PipelineStats pipeline;   // populated by the pipelined modes
   merge::MergeStats merge_stats;
   obs::MetricsSnapshot metrics;     // registry snapshot taken at run end
   std::uint64_t result_count = 0;
   std::uint64_t map_rounds = 0;
   std::uint64_t chunks = 0;
+  // Degrade-mode accounting (JobConfig::recovery.degrade): poisoned chunks
+  // the run skipped, and the input bytes lost with them. A run with
+  // chunks_skipped > 0 completed but its output covers less than the full
+  // input — callers that need exactness must check this.
+  std::uint64_t chunks_skipped = 0;
+  std::uint64_t bytes_skipped = 0;
+
+  bool degraded() const { return chunks_skipped > 0; }
 
   // Speedup of another run's total time over this run's.
   double speedup_vs(const JobResult& other) const {
@@ -49,21 +71,33 @@ class MapReduceJob {
   MapReduceJob(const MapReduceJob&) = delete;
   MapReduceJob& operator=(const MapReduceJob&) = delete;
 
-  // Original runtime: one-shot ingest, then compute.
-  StatusOr<JobResult> run();
+  // Unified entry point; callers normally pass config().mode.
+  StatusOr<JobResult> run(ExecMode mode);
 
-  // SupMR: ingest chunk pipeline (the chunking strategy and chunk size live
-  // in the source, per the paper's API change).
-  StatusOr<JobResult> run_ingestMR();
+  // Adaptive-mode inputs. Optional: when unset and the job's source is a
+  // SingleDeviceSource, the device and record format derive from it and an
+  // internally-owned RateMatchingController sizes the chunks. All three
+  // referents must outlive the job.
+  void set_adaptive(const storage::Device& device,
+                    const ingest::RecordFormat& format,
+                    ingest::ChunkSizeController& controller);
 
-  // SupMR with the adaptive chunk-size feedback loop (the paper's future
-  // work, §VIII): the controller observes per-chunk ingest/map rates and
-  // sizes each next chunk. Reads `device` directly (incremental planning
-  // has no fixed chunk plan), splitting at `format` record boundaries; the
-  // job's IngestSource is not used by this entry point.
+  // ------------------------------------------------------------------
+  // DEPRECATED compatibility wrappers (use run(ExecMode)).
+
+  // DEPRECATED: use run(ExecMode::kOriginal).
+  StatusOr<JobResult> run() { return run(ExecMode::kOriginal); }
+
+  // DEPRECATED: use run(ExecMode::kIngestMR).
+  StatusOr<JobResult> run_ingestMR() { return run(ExecMode::kIngestMR); }
+
+  // DEPRECATED: use set_adaptive(...) + run(ExecMode::kAdaptive).
   StatusOr<JobResult> run_ingestMR_adaptive(
       const storage::Device& device, const ingest::RecordFormat& format,
-      ingest::ChunkSizeController& controller);
+      ingest::ChunkSizeController& controller) {
+    set_adaptive(device, format, controller);
+    return run(ExecMode::kAdaptive);
+  }
 
   const JobConfig& config() const { return config_; }
 
@@ -72,6 +106,8 @@ class MapReduceJob {
   Status finish(JobResult& result, PhaseClock& clock);
   void begin_obs();
   void finish_obs(JobResult& result);
+  StatusOr<JobResult> run_original();
+  StatusOr<JobResult> run_pipelined(ExecMode mode);
 
   Application& app_;
   const ingest::IngestSource& source_;
@@ -79,6 +115,11 @@ class MapReduceJob {
   std::unique_ptr<ThreadPool> pool_;
   std::uint64_t rounds_ = 0;
   merge::MergeStats merge_stats_;
+
+  // Adaptive-mode wiring (set_adaptive or derived from the source).
+  const storage::Device* adaptive_device_ = nullptr;
+  const ingest::RecordFormat* adaptive_format_ = nullptr;
+  ingest::ChunkSizeController* adaptive_controller_ = nullptr;
 };
 
 }  // namespace supmr::core

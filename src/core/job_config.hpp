@@ -3,7 +3,10 @@
 
 #include <cstddef>
 #include <string>
+#include <string_view>
 #include <thread>
+
+#include "fault/retry_policy.hpp"
 
 namespace supmr::core {
 
@@ -13,7 +16,21 @@ enum class MergeMode {
   kPWay,      // SupMR: single-round parallel p-way merge
 };
 
+// Which runtime MapReduceJob::run(ExecMode) executes.
+enum class ExecMode {
+  kOriginal,  // read ALL chunks, then map rounds (the paper's baseline)
+  kIngestMR,  // SupMR: the ingest chunk pipeline (combined read+map phase)
+  kAdaptive,  // SupMR with controller-driven chunk sizing (§VIII)
+};
+
+std::string_view exec_mode_name(ExecMode mode);
+
 struct JobConfig {
+  // Runtime selection; callers typically pass this to run():
+  //   MapReduceJob job(app, source, config);
+  //   auto result = job.run(config.mode);
+  ExecMode mode = ExecMode::kIngestMR;
+
   // Mapper threads per wave; also the maximum input splits per round.
   std::size_t num_map_threads = default_threads();
   // Reducer threads (each owns disjoint hash partitions).
@@ -27,6 +44,12 @@ struct JobConfig {
   // workers — the paper's per-round thread lifecycle, measurable as overhead
   // with small chunks (§VI.C.1).
   bool unpooled_map_waves = false;
+
+  // Fault tolerance (fault/retry_policy.hpp): chunk-level retry policy for
+  // the ingest pipelines, plus degrade mode (skip poisoned chunks with
+  // accounting instead of failing the job). Defaults are fail-fast — the
+  // pre-fault-layer behaviour. See docs/fault-tolerance.md.
+  fault::Recovery recovery;
 
   // Observability outputs (--metrics-json / --trace-out). When non-empty the
   // job writes an aggregated metrics snapshot / a Chrome-trace (Perfetto)
@@ -45,5 +68,14 @@ struct JobConfig {
     return hw == 0 ? 4 : hw;
   }
 };
+
+inline std::string_view exec_mode_name(ExecMode mode) {
+  switch (mode) {
+    case ExecMode::kOriginal: return "original";
+    case ExecMode::kIngestMR: return "supmr";
+    case ExecMode::kAdaptive: return "adaptive";
+  }
+  return "unknown";
+}
 
 }  // namespace supmr::core

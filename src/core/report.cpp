@@ -50,6 +50,12 @@ std::string job_result_to_json(const JobResult& result) {
   w.kv("result_count", result.result_count);
   w.kv("map_rounds", result.map_rounds);
   w.kv("chunks", result.chunks);
+  // Degrade-mode accounting (docs/fault-tolerance.md): a degraded run
+  // completed but skipped poisoned chunks, so its output covers less than
+  // the full input.
+  w.kv("chunks_skipped", result.chunks_skipped);
+  w.kv("bytes_skipped", result.bytes_skipped);
+  w.kv("degraded", result.degraded());
 
   w.key("pipeline");
   w.begin_object();
@@ -58,6 +64,9 @@ std::string job_result_to_json(const JobResult& result) {
   w.kv("process_busy_s", result.pipeline.process_busy_s);
   w.kv("consumer_wait_s", result.pipeline.consumer_wait_s);
   w.kv("total_bytes", result.pipeline.total_bytes);
+  w.kv("chunk_retries", result.pipeline.chunk_retries);
+  w.kv("chunks_skipped", result.pipeline.chunks_skipped);
+  w.kv("bytes_skipped", result.pipeline.bytes_skipped);
   w.key("chunks");
   w.begin_array();
   for (const auto& c : result.pipeline.chunks) {
@@ -67,6 +76,8 @@ std::string job_result_to_json(const JobResult& result) {
     w.kv("ingest_s", c.ingest_s);
     w.kv("wait_s", c.wait_s);
     w.kv("process_s", c.process_s);
+    w.kv("attempts", std::uint64_t{c.attempts});
+    w.kv("skipped", c.skipped);
     w.end_object();
   }
   w.end_array();
@@ -85,6 +96,16 @@ std::string job_result_to_json(const JobResult& result) {
 
   w.key("metrics");
   obs::write_metrics(w, result.metrics);
+  w.end_object();
+  return w.str();
+}
+
+std::string status_to_json(const Status& status) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("ok", status.ok());
+  w.kv("code", std::string(status_code_name(status.code())));
+  w.kv("message", status.message());
   w.end_object();
   return w.str();
 }

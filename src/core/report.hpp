@@ -14,6 +14,10 @@ std::string job_result_to_json(const JobResult& result);
 // Phase breakdown only (one Table II cell row).
 std::string phases_to_json(const PhaseBreakdown& phases);
 
+// Machine-readable error report: {"ok": false, "code": "...", "message":
+// "..."} — what the CLI/quickstart emit when a job fails under --json.
+std::string status_to_json(const Status& status);
+
 // Utilization trace as {"t":[...], "<channel>":[...], ...}.
 std::string timeseries_to_json(const TimeSeries& trace);
 

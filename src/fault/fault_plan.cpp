@@ -1,0 +1,157 @@
+#include "fault/fault_plan.hpp"
+
+#include <cstdlib>
+
+namespace supmr::fault {
+
+namespace {
+
+std::vector<std::string_view> split(std::string_view text, char sep) {
+  std::vector<std::string_view> parts;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t next = text.find(sep, pos);
+    parts.push_back(text.substr(
+        pos, next == std::string_view::npos ? std::string_view::npos
+                                            : next - pos));
+    if (next == std::string_view::npos) break;
+    pos = next + 1;
+  }
+  return parts;
+}
+
+StatusOr<std::uint64_t> parse_uint(std::string_view text,
+                                   std::string_view what) {
+  const std::string s(text);
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') {
+    return Status::InvalidArgument("fault plan: bad " + std::string(what) +
+                                   " '" + s + "'");
+  }
+  return v;
+}
+
+StatusOr<double> parse_prob(std::string_view text) {
+  const std::string s(text);
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0' || v < 0.0 || v > 1.0) {
+    return Status::InvalidArgument("fault plan: bad probability '" + s +
+                                   "' (want [0, 1])");
+  }
+  return v;
+}
+
+std::string format_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+StatusOr<double> parse_duration(std::string_view text) {
+  double scale = 1.0;
+  std::string_view num = text;
+  if (text.size() >= 2 && text.substr(text.size() - 2) == "ms") {
+    scale = 1e-3;
+    num = text.substr(0, text.size() - 2);
+  } else if (text.size() >= 2 && text.substr(text.size() - 2) == "us") {
+    scale = 1e-6;
+    num = text.substr(0, text.size() - 2);
+  } else if (!text.empty() && text.back() == 's') {
+    num = text.substr(0, text.size() - 1);
+  }
+  const std::string s(num);
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (s.empty() || end == s.c_str() || *end != '\0' || v < 0.0) {
+    return Status::InvalidArgument("bad duration '" + std::string(text) +
+                                   "' (want e.g. 0.5s, 5ms, 250us)");
+  }
+  return v * scale;
+}
+
+StatusOr<FaultPlan> FaultPlan::parse(std::string_view spec) {
+  FaultPlan plan;
+  for (std::string_view clause : split(spec, ';')) {
+    if (clause.empty()) continue;
+    const std::size_t eq = clause.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument("fault plan: clause '" +
+                                     std::string(clause) +
+                                     "' is not key=value");
+    }
+    const std::string_view key = clause.substr(0, eq);
+    const std::string_view value = clause.substr(eq + 1);
+    if (key == "seed") {
+      SUPMR_ASSIGN_OR_RETURN(plan.seed, parse_uint(value, "seed"));
+    } else if (key == "transient") {
+      const std::size_t at = value.find('@');
+      SUPMR_ASSIGN_OR_RETURN(
+          plan.transient_p,
+          parse_prob(value.substr(0, at)));
+      if (at != std::string_view::npos) {
+        SUPMR_ASSIGN_OR_RETURN(
+            plan.transient_after,
+            parse_uint(value.substr(at + 1), "transient '@' call index"));
+      }
+    } else if (key == "permanent") {
+      for (std::string_view range : split(value, ',')) {
+        const std::size_t dash = range.find('-');
+        if (dash == std::string_view::npos) {
+          return Status::InvalidArgument("fault plan: bad range '" +
+                                         std::string(range) +
+                                         "' (want LO-HI)");
+        }
+        SUPMR_ASSIGN_OR_RETURN(std::uint64_t lo,
+                               parse_uint(range.substr(0, dash), "range lo"));
+        SUPMR_ASSIGN_OR_RETURN(std::uint64_t hi,
+                               parse_uint(range.substr(dash + 1), "range hi"));
+        if (hi <= lo) {
+          return Status::InvalidArgument("fault plan: empty range '" +
+                                         std::string(range) + "'");
+        }
+        plan.permanent.emplace_back(lo, hi);
+      }
+    } else if (key == "slow") {
+      const std::size_t colon = value.find(':');
+      if (colon == std::string_view::npos) {
+        return Status::InvalidArgument(
+            "fault plan: slow wants PROB:DURATION, got '" +
+            std::string(value) + "'");
+      }
+      SUPMR_ASSIGN_OR_RETURN(plan.slow_p, parse_prob(value.substr(0, colon)));
+      SUPMR_ASSIGN_OR_RETURN(plan.slow_delay_s,
+                             parse_duration(value.substr(colon + 1)));
+    } else {
+      return Status::InvalidArgument("fault plan: unknown clause '" +
+                                     std::string(key) + "'");
+    }
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::string out = "seed=" + std::to_string(seed);
+  if (transient_p > 0.0) {
+    out += ";transient=" + format_double(transient_p);
+    if (transient_after > 0) out += "@" + std::to_string(transient_after);
+  }
+  if (!permanent.empty()) {
+    out += ";permanent=";
+    for (std::size_t i = 0; i < permanent.size(); ++i) {
+      if (i != 0) out += ",";
+      out += std::to_string(permanent[i].first) + "-" +
+             std::to_string(permanent[i].second);
+    }
+  }
+  if (slow_p > 0.0) {
+    out += ";slow=" + format_double(slow_p) + ":" +
+           format_double(slow_delay_s) + "s";
+  }
+  return out;
+}
+
+}  // namespace supmr::fault

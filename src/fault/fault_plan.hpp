@@ -1,0 +1,82 @@
+// FaultPlan: declarative, seeded, probabilistic fault specification.
+//
+// Replaces storage::FaultDevice's ad-hoc setters (fail_on_call /
+// fail_on_range) with one composable value that a CLI flag, a test, or a
+// stress harness can construct and hand to any fault-injecting wrapper.
+// Three fault classes, matching what a real degraded device does:
+//
+//   * transient — a read fails once with an I/O error; the identical retry
+//     succeeds (command timeout, remote hiccup). Probabilistic per read,
+//     optionally gated to start only after N reads.
+//   * permanent — byte ranges that fail every read overlapping them
+//     (a dead stripe / lost block). Deterministic.
+//   * slow      — a read completes but only after an injected delay
+//     (a degraded disk or an overloaded remote). Probabilistic.
+//
+// All randomness flows from one seed through common/rng's xoshiro256**, so
+// a failing run replays exactly from its seed (single-threaded read order;
+// concurrent readers share the stream under a mutex, which keeps the
+// aggregate fault rate exact even when interleaving varies).
+//
+// Text grammar (the CLI's --fault-plan=SPEC; see docs/fault-tolerance.md):
+//
+//   spec    := clause (';' clause)*
+//   clause  := 'seed=' UINT
+//            | 'transient=' PROB ['@' UINT]     e.g. transient=0.05@12
+//            | 'permanent=' RANGE (',' RANGE)*  e.g. permanent=4096-8192
+//            | 'slow=' PROB ':' DURATION        e.g. slow=0.01:5ms
+//   RANGE   := LO '-' HI        (bytes, half-open [LO, HI))
+//   DURATION:= FLOAT ('s'|'ms'|'us')
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace supmr::fault {
+
+struct FaultPlan {
+  std::uint64_t seed = 0x5eedfa17ULL;
+
+  // Transient faults: each accounted read fails with probability
+  // transient_p, but only once — the retry re-samples.
+  double transient_p = 0.0;
+  // Inject transients only from the Nth accounted read on (lets a plan
+  // spare the planning reads and hit the data path).
+  std::uint64_t transient_after = 0;
+
+  // Permanent faults: every read overlapping a poisoned [lo, hi) fails.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> permanent;
+
+  // Slow reads: with probability slow_p a read sleeps slow_delay_s first.
+  double slow_p = 0.0;
+  double slow_delay_s = 0.0;
+
+  bool empty() const {
+    return transient_p <= 0.0 && permanent.empty() && slow_p <= 0.0;
+  }
+
+  bool poisons(std::uint64_t offset, std::uint64_t length) const {
+    for (const auto& [lo, hi] : permanent) {
+      if (offset < hi && offset + length > lo) return true;
+    }
+    return false;
+  }
+
+  // Parses the grammar above. Rejects probabilities outside [0, 1],
+  // inverted ranges, and unknown clauses (typos fail loudly).
+  static StatusOr<FaultPlan> parse(std::string_view spec);
+
+  // Canonical spec string; parse(to_string()) round-trips.
+  std::string to_string() const;
+};
+
+// "0.5s" / "5ms" / "250us" / bare seconds -> seconds. Shared by the plan
+// grammar and the CLI's --retry-backoff/--retry-deadline flags.
+StatusOr<double> parse_duration(std::string_view text);
+
+}  // namespace supmr::fault

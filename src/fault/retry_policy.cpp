@@ -1,0 +1,25 @@
+#include "fault/retry_policy.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace supmr::fault {
+
+void backoff_sleep(double seconds, const std::atomic<bool>* cancel) {
+  using clock = std::chrono::steady_clock;
+  const auto until =
+      clock::now() + std::chrono::duration_cast<clock::duration>(
+                         std::chrono::duration<double>(seconds));
+  constexpr auto kSlice = std::chrono::milliseconds(5);
+  while (true) {
+    if (cancel != nullptr && cancel->load(std::memory_order_acquire)) return;
+    const auto now = clock::now();
+    if (now >= until) return;
+    const auto remaining = until - now;
+    std::this_thread::sleep_for(
+        remaining < clock::duration(kSlice) ? remaining
+                                            : clock::duration(kSlice));
+  }
+}
+
+}  // namespace supmr::fault

@@ -117,20 +117,38 @@ StatusOr<PipelineStats> AdaptivePipeline::run(
       chunk.offset = offset;
       chunk.data.resize(*end - offset);
       const auto t0 = std::chrono::steady_clock::now();
-      StatusOr<std::size_t> n = [&] {
-        SUPMR_TRACE_SCOPE_VAR(span, "ingest", "ingest.read_chunk");
-        SUPMR_TRACE_SET_ARG(span, "chunk", index);
-        SUPMR_TRACE_SET_ARG2(span, "bytes", chunk.data.size());
-        return device_.read_at(
-            offset, std::span<char>(chunk.data.data(), chunk.data.size()));
-      }();
+      // Chunk-level recovery: same retry/degrade discipline as
+      // IngestPipeline::run_planned.
+      fault::RetrySession session(recovery_.policy, index);
+      std::uint32_t attempts = 1;
+      Status read_status;
+      while (true) {
+        StatusOr<std::size_t> n = [&] {
+          SUPMR_TRACE_SCOPE_VAR(span, "ingest", "ingest.read_chunk");
+          SUPMR_TRACE_SET_ARG(span, "chunk", index);
+          SUPMR_TRACE_SET_ARG2(span, "bytes", chunk.data.size());
+          return device_.read_at(
+              offset, std::span<char>(chunk.data.data(), chunk.data.size()));
+        }();
+        read_status = n.ok() && *n != chunk.data.size()
+                          ? Status::IoError("short adaptive read")
+                          : n.status();
+        if (read_status.ok() || cancel.load(std::memory_order_acquire)) break;
+        const std::optional<double> wait = session.next_backoff(read_status);
+        if (!wait.has_value()) {
+          read_status = session.annotate(read_status);
+          break;
+        }
+        ++attempts;
+        ++stats.chunk_retries;
+        SUPMR_COUNTER_ADD("ingest.chunk_retries", 1);
+        SUPMR_HIST_OBSERVE("ingest.backoff_wait_us", *wait * 1e6);
+        SUPMR_TRACE_INSTANT_ARG("fault", "ingest.chunk_retry", "chunk",
+                                index);
+        fault::backoff_sleep(*wait, &cancel);
+      }
       const double ingest_s = seconds_since(t0);
       SUPMR_HIST_OBSERVE("ingest.read_us", ingest_s * 1e6);
-      if (!n.ok() || *n != chunk.data.size()) {
-        producer_status = n.ok() ? Status::IoError("short adaptive read")
-                                 : n.status();
-        break;
-      }
       {
         std::lock_guard<std::mutex> lock(timings_mu);
         stats.chunks.resize(
@@ -138,6 +156,32 @@ StatusOr<PipelineStats> AdaptivePipeline::run(
         stats.chunks[index].index = index;
         stats.chunks[index].bytes = chunk.data.size();
         stats.chunks[index].ingest_s = ingest_s;
+        stats.chunks[index].attempts = attempts;
+      }
+      if (!read_status.ok()) {
+        if (recovery_.degrade && fault::retryable(read_status) &&
+            !cancel.load(std::memory_order_acquire)) {
+          const std::uint64_t lost = chunk.data.size();
+          {
+            std::lock_guard<std::mutex> lock(timings_mu);
+            stats.chunks[index].skipped = true;
+          }
+          ++stats.chunks_skipped;
+          stats.bytes_skipped += lost;
+          SUPMR_COUNTER_ADD("ingest.chunks_skipped", 1);
+          SUPMR_COUNTER_ADD("ingest.bytes_skipped", lost);
+          SUPMR_LOG_WARN("adaptive: skipping poisoned chunk %llu "
+                         "(%llu bytes): %s",
+                         static_cast<unsigned long long>(index),
+                         static_cast<unsigned long long>(lost),
+                         read_status.to_string().c_str());
+          offset = *end;
+          ++index;
+          want = std::max<std::uint64_t>(1, controller_.next_chunk_bytes());
+          continue;
+        }
+        producer_status = std::move(read_status);
+        break;
       }
       controller_.observe(ChunkFeedback{index, chunk.data.size(), ingest_s,
                                         0.0});

@@ -96,12 +96,17 @@ class RateMatchingController final : public ChunkSizeController {
 };
 
 // Double-buffered pipeline with controller-driven incremental planning over
-// one device. Produces the same PipelineStats as IngestPipeline.
+// one device. Produces the same PipelineStats as IngestPipeline, and honors
+// the same chunk-level Recovery (retry with backoff; degrade-mode skip).
 class AdaptivePipeline {
  public:
   AdaptivePipeline(const storage::Device& device, const RecordFormat& format,
-                   ChunkSizeController& controller)
-      : device_(device), format_(format), controller_(controller) {}
+                   ChunkSizeController& controller,
+                   fault::Recovery recovery = {})
+      : device_(device),
+        format_(format),
+        controller_(controller),
+        recovery_(recovery) {}
 
   StatusOr<PipelineStats> run(
       const std::function<Status(IngestChunk&)>& process);
@@ -110,6 +115,7 @@ class AdaptivePipeline {
   const storage::Device& device_;
   const RecordFormat& format_;
   ChunkSizeController& controller_;
+  fault::Recovery recovery_;
 };
 
 }  // namespace supmr::ingest

@@ -47,17 +47,50 @@ StatusOr<PipelineStats> IngestPipeline::run_planned(
       if (cancel.load(std::memory_order_acquire)) break;
       IngestChunk chunk;
       const auto t0 = std::chrono::steady_clock::now();
+      // Chunk-level recovery: re-read a transiently failing chunk under the
+      // retry policy instead of killing the pipeline on the first IoError.
+      fault::RetrySession session(recovery_.policy, extent.index);
       Status st;
-      {
-        SUPMR_TRACE_SCOPE_VAR(span, "ingest", "ingest.read_chunk");
-        SUPMR_TRACE_SET_ARG(span, "chunk", extent.index);
-        SUPMR_TRACE_SET_ARG2(span, "bytes", extent.length);
-        st = source_.read_chunk(extent, chunk);
+      while (true) {
+        {
+          SUPMR_TRACE_SCOPE_VAR(span, "ingest", "ingest.read_chunk");
+          SUPMR_TRACE_SET_ARG(span, "chunk", extent.index);
+          SUPMR_TRACE_SET_ARG2(span, "bytes", extent.length);
+          st = source_.read_chunk(extent, chunk);
+        }
+        if (st.ok() || cancel.load(std::memory_order_acquire)) break;
+        const std::optional<double> wait = session.next_backoff(st);
+        if (!wait.has_value()) {
+          st = session.annotate(st);
+          break;
+        }
+        stats.chunks[extent.index].attempts += 1;
+        ++stats.chunk_retries;
+        SUPMR_COUNTER_ADD("ingest.chunk_retries", 1);
+        SUPMR_HIST_OBSERVE("ingest.backoff_wait_us", *wait * 1e6);
+        SUPMR_TRACE_INSTANT_ARG("fault", "ingest.chunk_retry", "chunk",
+                                extent.index);
+        fault::backoff_sleep(*wait, &cancel);
       }
       const double ingest_s = seconds_since(t0);
       stats.chunks[extent.index].ingest_s = ingest_s;
       SUPMR_HIST_OBSERVE("ingest.read_us", ingest_s * 1e6);
       if (!st.ok()) {
+        if (recovery_.degrade && fault::retryable(st) &&
+            !cancel.load(std::memory_order_acquire)) {
+          // Degrade mode: account for the poisoned chunk and move on.
+          stats.chunks[extent.index].skipped = true;
+          ++stats.chunks_skipped;
+          stats.bytes_skipped += extent.length;
+          SUPMR_COUNTER_ADD("ingest.chunks_skipped", 1);
+          SUPMR_COUNTER_ADD("ingest.bytes_skipped", extent.length);
+          SUPMR_LOG_WARN("ingest: skipping poisoned chunk %llu (%llu bytes): "
+                         "%s",
+                         static_cast<unsigned long long>(extent.index),
+                         static_cast<unsigned long long>(extent.length),
+                         st.to_string().c_str());
+          continue;
+        }
         producer_status = std::move(st);
         break;
       }

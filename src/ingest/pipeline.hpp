@@ -11,6 +11,12 @@
 //
 // Error handling: an ingest error closes the buffer and surfaces after the
 // already-buffered chunks drain; a processing error cancels the producer.
+//
+// Fault tolerance (fault/retry_policy.hpp): under a Recovery config the
+// producer re-reads a transiently failing chunk with bounded seeded
+// backoff instead of wedging the double buffer; in degrade mode a chunk
+// whose retries exhaust is skipped and accounted (chunks_skipped /
+// bytes_skipped) rather than failing the job.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +24,7 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "fault/retry_policy.hpp"
 #include "ingest/chunk.hpp"
 #include "ingest/source.hpp"
 
@@ -29,6 +36,8 @@ struct ChunkTiming {
   double ingest_s = 0.0;   // producer: time reading this chunk
   double wait_s = 0.0;     // consumer: time blocked waiting for this chunk
   double process_s = 0.0;  // consumer: time inside the process callback
+  std::uint32_t attempts = 1;  // read attempts (1 = first try succeeded)
+  bool skipped = false;        // degrade mode dropped this chunk
 };
 
 struct PipelineStats {
@@ -38,12 +47,19 @@ struct PipelineStats {
   double consumer_wait_s = 0.0;  // consumer time starved for chunks;
                                  // the non-overlapped ingest time
   std::uint64_t total_bytes = 0;
+  std::uint64_t chunk_retries = 0;   // re-read attempts beyond each first
+  std::uint64_t chunks_skipped = 0;  // degrade mode: poisoned chunks dropped
+  std::uint64_t bytes_skipped = 0;   // input bytes lost to skipped chunks
   std::vector<ChunkTiming> chunks;
+
+  bool degraded() const { return chunks_skipped > 0; }
 };
 
 class IngestPipeline {
  public:
-  explicit IngestPipeline(const IngestSource& source) : source_(source) {}
+  explicit IngestPipeline(const IngestSource& source,
+                          fault::Recovery recovery = {})
+      : source_(source), recovery_(recovery) {}
 
   // Runs the full pipeline. `process` is invoked on the caller's thread for
   // each chunk, in stream order. Returns pipeline stats on success, or the
@@ -59,6 +75,7 @@ class IngestPipeline {
 
  private:
   const IngestSource& source_;
+  fault::Recovery recovery_;
 };
 
 }  // namespace supmr::ingest

@@ -50,6 +50,7 @@ class SingleDeviceSource final : public IngestSource {
   storage::DeviceModel model() const override { return device_->model(); }
 
   const storage::Device& device() const { return *device_; }
+  const RecordFormat& format() const { return *format_; }
   std::uint64_t chunk_bytes() const { return chunk_bytes_; }
 
  private:

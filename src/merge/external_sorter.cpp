@@ -4,23 +4,26 @@
 #include <chrono>
 #include <cstring>
 
+#include "fault/retrying_device.hpp"
 #include "merge/sample_sort.hpp"
 #include "obs/macros.hpp"
+#include "storage/file_device.hpp"
 
 namespace supmr::merge {
 
 namespace {
 
-// A sequential cursor over one sorted run: either a spill file (read in
-// slabs) or the in-memory residue.
+// A sequential cursor over one sorted run: either a spill device (positional
+// reads in slabs through the retrying seam) or the in-memory residue.
 class RunCursor {
  public:
-  Status open_file(const std::string& path, std::uint32_t record_bytes,
-                   std::uint64_t slab_bytes) {
+  Status open_device(std::shared_ptr<const storage::Device> device,
+                     std::uint32_t record_bytes, std::uint64_t slab_bytes,
+                     const fault::RetryPolicy& retry) {
     rb_ = record_bytes;
-    file_ = std::fopen(path.c_str(), "rb");
-    if (file_ == nullptr) {
-      return Status::IoError("cannot reopen spill file " + path);
+    device_ = std::move(device);
+    if (retry.enabled()) {
+      device_ = std::make_shared<fault::RetryingDevice>(device_, retry);
     }
     // Slab holds whole records.
     const std::uint64_t records =
@@ -34,10 +37,7 @@ class RunCursor {
     slab_ = std::move(data);
     slab_len_ = slab_.size();
     pos_ = 0;
-  }
-
-  ~RunCursor() {
-    if (file_ != nullptr) std::fclose(file_);
+    eof_ = true;
   }
 
   bool exhausted() const { return pos_ >= slab_len_ && eof_; }
@@ -51,21 +51,34 @@ class RunCursor {
 
  private:
   Status refill() {
-    if (file_ == nullptr) {
+    if (device_ == nullptr) {
       eof_ = true;
       return Status::Ok();
     }
-    const std::size_t n = std::fread(slab_.data(), 1, slab_.size(), file_);
-    if (n % rb_ != 0) {
+    const std::uint64_t remaining = device_->size() - offset_;
+    const std::uint64_t want =
+        std::min<std::uint64_t>(slab_.size(), remaining);
+    if (want == 0) {
+      slab_len_ = 0;
+      pos_ = 0;
+      eof_ = true;
+      return Status::Ok();
+    }
+    auto n = device_->read_at(offset_,
+                              std::span<char>(slab_.data(), want));
+    if (!n.ok()) return n.status();
+    if (*n == 0 || *n % rb_ != 0) {
       return Status::IoError("spill file truncated mid-record");
     }
-    slab_len_ = n;
+    offset_ += *n;
+    slab_len_ = *n;
     pos_ = 0;
-    if (n < slab_.size()) eof_ = true;
+    if (offset_ >= device_->size()) eof_ = true;
     return Status::Ok();
   }
 
-  std::FILE* file_ = nullptr;
+  std::shared_ptr<const storage::Device> device_;
+  std::uint64_t offset_ = 0;
   std::vector<char> slab_;
   std::size_t slab_len_ = 0;
   std::size_t pos_ = 0;
@@ -274,8 +287,16 @@ StatusOr<MergeStats> ExternalSorter::finish(const Sink& sink) {
 
   std::vector<RunCursor> runs(spill_paths_.size() + (residue.empty() ? 0 : 1));
   for (std::size_t r = 0; r < spill_paths_.size(); ++r) {
-    SUPMR_RETURN_IF_ERROR(
-        runs[r].open_file(spill_paths_[r], rb, options_.merge_read_bytes));
+    std::shared_ptr<const storage::Device> dev;
+    if (options_.open_spill) {
+      SUPMR_ASSIGN_OR_RETURN(dev, options_.open_spill(spill_paths_[r]));
+    } else {
+      SUPMR_ASSIGN_OR_RETURN(auto file,
+                             storage::FileDevice::open(spill_paths_[r]));
+      dev = std::move(file);
+    }
+    SUPMR_RETURN_IF_ERROR(runs[r].open_device(
+        std::move(dev), rb, options_.merge_read_bytes, options_.retry));
   }
   if (!residue.empty()) {
     runs.back().open_memory(std::move(residue), rb);

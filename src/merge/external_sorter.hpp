@@ -20,12 +20,15 @@
 #include <cstdint>
 #include <cstdio>
 #include <functional>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "common/status.hpp"
+#include "fault/retry_policy.hpp"
 #include "merge/stats.hpp"
+#include "storage/device.hpp"
 #include "threading/thread_pool.hpp"
 
 namespace supmr::merge {
@@ -39,6 +42,15 @@ struct ExternalSorterOptions {
   std::string spill_dir = "/tmp";
   // Read-ahead per run during the final merge.
   std::uint64_t merge_read_bytes = 1 << 20;
+  // Spill reads go through the same retrying seam as ingest: each run is
+  // reopened as a storage::Device and, when `retry` is enabled, wrapped in a
+  // fault::RetryingDevice so transient read faults are absorbed here too.
+  fault::RetryPolicy retry;
+  // Device factory for reopening spill files during the final merge
+  // (tests substitute fault-injecting stacks). Null = FileDevice::open.
+  std::function<StatusOr<std::shared_ptr<const storage::Device>>(
+      const std::string&)>
+      open_spill;
 };
 
 class ExternalSorter {

@@ -1,0 +1,60 @@
+#include "storage/fault_device.hpp"
+
+#include <string>
+#include <thread>
+
+#include "obs/macros.hpp"
+
+namespace supmr::storage {
+
+FaultDevice::FaultDevice(std::shared_ptr<const Device> base,
+                         fault::FaultPlan plan)
+    : base_(std::move(base)), plan_(std::move(plan)), rng_(plan_.seed) {}
+
+StatusOr<std::size_t> FaultDevice::read_at(std::uint64_t offset,
+                                           std::span<char> out) const {
+  // Permanent faults first, without consuming a call index: a poisoned
+  // range kills the read no matter how often it is retried, and call
+  // accounting (fail_on_call / transient '@' gates) must not drift when a
+  // range is added to the plan.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (plan_.poisons(offset, out.size())) {
+      range_hits_.fetch_add(1, std::memory_order_relaxed);
+      SUPMR_COUNTER_ADD("fault.injected_permanent", 1);
+      return Status::IoError(
+          "injected permanent fault: poisoned range overlaps offset " +
+          std::to_string(offset));
+    }
+  }
+
+  const std::uint64_t call = calls_.fetch_add(1, std::memory_order_relaxed);
+  if (call == fail_call_) {
+    transients_.fetch_add(1, std::memory_order_relaxed);
+    SUPMR_COUNTER_ADD("fault.injected_transient", 1);
+    return Status::IoError("injected fault on call " + std::to_string(call));
+  }
+
+  double slow_delay = 0.0;
+  if (plan_.transient_p > 0.0 || plan_.slow_p > 0.0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (plan_.transient_p > 0.0 && call >= plan_.transient_after &&
+        rng_.uniform_double() < plan_.transient_p) {
+      transients_.fetch_add(1, std::memory_order_relaxed);
+      SUPMR_COUNTER_ADD("fault.injected_transient", 1);
+      return Status::IoError("injected transient fault on call " +
+                             std::to_string(call));
+    }
+    if (plan_.slow_p > 0.0 && rng_.uniform_double() < plan_.slow_p) {
+      slow_delay = plan_.slow_delay_s;
+    }
+  }
+  if (slow_delay > 0.0) {
+    slow_.fetch_add(1, std::memory_order_relaxed);
+    SUPMR_COUNTER_ADD("fault.injected_slow", 1);
+    std::this_thread::sleep_for(std::chrono::duration<double>(slow_delay));
+  }
+  return base_->read_at(offset, out);
+}
+
+}  // namespace supmr::storage

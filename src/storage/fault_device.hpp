@@ -1,56 +1,89 @@
 // Fault-injection device wrapper for failure testing.
 //
-// Wraps any device and fails reads according to a policy: the Nth read call,
-// or any read overlapping a poisoned byte range. Used by the test suite to
-// verify that ingest errors propagate cleanly out of the pipeline instead of
-// wedging the double buffer.
+// Wraps any device and injects faults according to a declarative, seeded
+// fault::FaultPlan (transient / permanent / slow reads — see
+// fault/fault_plan.hpp for semantics and the text grammar). Used by the
+// test suite and the CLI's --fault-plan flag to verify that ingest errors
+// propagate cleanly out of the pipeline — and, with the fault layer's
+// RetryPolicy stacked on top, that transient faults are absorbed instead
+// of killing the job.
+//
+// Accounting contract: permanent (poisoned-range) failures are checked
+// FIRST and do not consume a call index — calls() counts only reads that
+// reach the transient/pass-through path. This keeps call-indexed faults
+// (fail_on_call, transient '@' gates) composable with poisoned ranges:
+// adding a range to a plan never shifts which call a transient lands on.
+//
+// The legacy setter API (fail_on_call / fail_on_range) survives as a thin
+// compat shim over the plan for tests slated for migration.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <limits>
+#include <memory>
+#include <mutex>
 
+#include "common/rng.hpp"
+#include "fault/fault_plan.hpp"
 #include "storage/device.hpp"
 
 namespace supmr::storage {
 
 class FaultDevice final : public Device {
  public:
-  explicit FaultDevice(const Device* base) : base_(base) {}
+  // Fault-free until a plan (or legacy setter) is applied.
+  explicit FaultDevice(const Device* base)
+      : FaultDevice(base, fault::FaultPlan{}) {}
+  FaultDevice(const Device* base, fault::FaultPlan plan)
+      : FaultDevice(std::shared_ptr<const Device>(base, [](const Device*) {}),
+                    std::move(plan)) {}
+  FaultDevice(std::shared_ptr<const Device> base, fault::FaultPlan plan);
 
-  // Fail the `n`-th read_at call (0-based).
+  // Legacy compat shims (DEPRECATED — build a FaultPlan instead).
+  // Fail the `n`-th accounted read_at call (0-based), once.
   void fail_on_call(std::uint64_t n) { fail_call_ = n; }
-  // Fail any read overlapping [lo, hi).
+  // Fail any read overlapping [lo, hi) — folds into plan().permanent.
   void fail_on_range(std::uint64_t lo, std::uint64_t hi) {
-    range_lo_ = lo;
-    range_hi_ = hi;
+    std::lock_guard<std::mutex> lock(mu_);
+    plan_.permanent.emplace_back(lo, hi);
   }
 
-  std::uint64_t calls() const { return calls_.load(); }
+  const fault::FaultPlan& plan() const { return plan_; }
+
+  // Reads that reached call accounting (everything except poisoned-range
+  // hits). Planning probes and data reads both count.
+  std::uint64_t calls() const {
+    return calls_.load(std::memory_order_relaxed);
+  }
+  // Reads killed by a poisoned range (independent of calls()).
+  std::uint64_t range_hits() const {
+    return range_hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t transients_injected() const {
+    return transients_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t slow_injected() const {
+    return slow_.load(std::memory_order_relaxed);
+  }
 
   StatusOr<std::size_t> read_at(std::uint64_t offset,
-                                std::span<char> out) const override {
-    const std::uint64_t call = calls_.fetch_add(1);
-    if (call == fail_call_) {
-      return Status::IoError("injected fault on call " + std::to_string(call));
-    }
-    const std::uint64_t end = offset + out.size();
-    if (offset < range_hi_ && end > range_lo_) {
-      return Status::IoError("injected fault in poisoned range");
-    }
-    return base_->read_at(offset, out);
-  }
+                                std::span<char> out) const override;
 
   std::uint64_t size() const override { return base_->size(); }
   std::string_view name() const override { return base_->name(); }
   DeviceModel model() const override { return base_->model(); }
 
  private:
-  const Device* base_;
+  std::shared_ptr<const Device> base_;
+  fault::FaultPlan plan_;
   std::uint64_t fail_call_ = std::numeric_limits<std::uint64_t>::max();
-  std::uint64_t range_lo_ = std::numeric_limits<std::uint64_t>::max();
-  std::uint64_t range_hi_ = std::numeric_limits<std::uint64_t>::max();
+  mutable std::mutex mu_;  // guards rng_ and plan_.permanent growth
+  mutable Xoshiro256 rng_;
   mutable std::atomic<std::uint64_t> calls_{0};
+  mutable std::atomic<std::uint64_t> range_hits_{0};
+  mutable std::atomic<std::uint64_t> transients_{0};
+  mutable std::atomic<std::uint64_t> slow_{0};
 };
 
 }  // namespace supmr::storage

@@ -8,6 +8,10 @@
 #   obs-smoke — run the quickstart with --metrics-json/--trace-out and
 #               validate both emitted files; then compile-check the
 #               -DSUPMR_OBS=OFF configuration (macros must vanish cleanly)
+#   fault-smoke — quickstart under a seeded transient FaultPlan must
+#               succeed with storage.retries > 0 in the metrics; under a
+#               permanent plan it must exit non-zero with a clean JSON
+#               error report on stdout
 #
 # Usage:
 #   tools/check.sh            # all stages
@@ -23,23 +27,23 @@ ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 JOBS="${JOBS:-$(nproc)}"
 SUPP="${ROOT}/tools/sanitizers"
 STAGES=("$@")
-[ ${#STAGES[@]} -eq 0 ] && STAGES=(plain tsan asan obs-smoke)
+[ ${#STAGES[@]} -eq 0 ] && STAGES=(plain tsan asan obs-smoke fault-smoke)
 
 # Validate that a file exists, is non-empty, and parses as JSON. Uses
 # python3's parser when present; otherwise falls back to a shape check so
 # the stage still catches empty/truncated output on minimal hosts.
 validate_json_file() {
   local f="$1"
-  [ -s "${f}" ] || { echo "obs-smoke: ${f} missing or empty" >&2; return 1; }
+  [ -s "${f}" ] || { echo "check: ${f} missing or empty" >&2; return 1; }
   if command -v python3 >/dev/null 2>&1; then
     python3 -m json.tool "${f}" >/dev/null ||
-      { echo "obs-smoke: ${f} is not valid JSON" >&2; return 1; }
+      { echo "check: ${f} is not valid JSON" >&2; return 1; }
   else
     local first last
     first="$(head -c1 "${f}")"
     last="$(tail -c2 "${f}" | tr -d '\n')"
     { [ "${first}" = "{" ] && [ "${last}" = "}" ]; } ||
-      { echo "obs-smoke: ${f} does not look like a JSON object" >&2; return 1; }
+      { echo "check: ${f} does not look like a JSON object" >&2; return 1; }
   fi
 }
 
@@ -91,8 +95,35 @@ run_stage() {
       # The compiled-out configuration must still build everything.
       configure_and_build "${ROOT}/build-check-obs-off" -DSUPMR_OBS=OFF
       ;;
+    fault-smoke)
+      # End-to-end fault tolerance (docs/fault-tolerance.md). The fault
+      # plan is seeded, so both runs are reproducible.
+      configure_and_build "${ROOT}/build-check-plain"
+      local out="${ROOT}/build-check-plain/fault-smoke"
+      mkdir -p "${out}"
+      # 1. Transient faults within the retry budget: the job must succeed
+      #    and the retry layer must have actually fired.
+      "${ROOT}/build-check-plain/examples/quickstart" \
+        "--fault-plan=seed=7;transient=0.25" --retry-attempts=6 \
+        "--metrics-json=${out}/metrics.json" > "${out}/transient.out"
+      validate_json_file "${out}/metrics.json"
+      grep -q '"storage.retries":[1-9]' "${out}/metrics.json" ||
+        { echo "fault-smoke: no retries recorded in metrics.json" >&2
+          return 1; }
+      # 2. A permanent fault must fail the job: non-zero exit, and stdout
+      #    carries a machine-readable error report.
+      if "${ROOT}/build-check-plain/examples/quickstart" \
+        --fault-plan=permanent=0-999999999 --retry-attempts=2 \
+        > "${out}/permanent.json" 2>/dev/null; then
+        echo "fault-smoke: permanent fault did not fail the job" >&2
+        return 1
+      fi
+      validate_json_file "${out}/permanent.json"
+      grep -q '"ok":false' "${out}/permanent.json" ||
+        { echo "fault-smoke: error report lacks \"ok\":false" >&2; return 1; }
+      ;;
     *)
-      echo "unknown stage '${stage}' (want plain, tsan, asan, or obs-smoke)" >&2
+      echo "unknown stage '${stage}' (want plain, tsan, asan, obs-smoke, or fault-smoke)" >&2
       return 2
       ;;
   esac

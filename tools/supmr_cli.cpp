@@ -19,6 +19,19 @@
 //   --metrics-json=out.json          dump the runtime metrics snapshot
 //   --trace-out=trace.json           dump a Chrome-trace (chrome://tracing /
 //                                    Perfetto) event file
+//
+// Fault tolerance (docs/fault-tolerance.md):
+//   --retry-attempts=N               max read attempts per chunk (default 1
+//                                    = fail fast; >1 enables retry)
+//   --retry-backoff=DUR              initial backoff, e.g. 1ms (doubles each
+//                                    retry)
+//   --retry-backoff-max=DUR          backoff cap, e.g. 250ms
+//   --retry-deadline=DUR             per-read wall-clock budget, e.g. 2s
+//   --retry-seed=N                   jitter RNG seed
+//   --fault-plan=SPEC                inject faults, e.g.
+//                                    'seed=7;transient=0.05' (quote the ';')
+//   --degrade                        skip poisoned chunks (with accounting)
+//                                    instead of failing the job
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -34,10 +47,13 @@
 #include "core/job.hpp"
 #include "core/proc_sampler.hpp"
 #include "core/report.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/retrying_device.hpp"
 #include "ingest/adaptive.hpp"
 #include "ingest/hybrid_source.hpp"
 #include "ingest/record_format.hpp"
 #include "ingest/source.hpp"
+#include "storage/fault_device.hpp"
 #include "storage/file_device.hpp"
 #include "storage/rate_limiter.hpp"
 #include "storage/throttled_device.hpp"
@@ -54,7 +70,9 @@ const std::set<std::string> kCommonFlags = {
     "trace",  "top",     "out",     "key-bytes",  "record-bytes",
     "lo",     "hi",      "bins",    "files-per-chunk", "size",
     "verbose", "json",    "budget",  "clusters",   "dim",
-    "iters",  "metrics-json", "trace-out"};
+    "iters",  "metrics-json", "trace-out",
+    "retry-attempts", "retry-backoff", "retry-backoff-max",
+    "retry-deadline", "retry-seed", "fault-plan", "degrade"};
 
 void usage() {
   std::fprintf(stderr,
@@ -69,14 +87,32 @@ struct CommonConfig {
   std::string mode = "supmr";
   std::optional<double> throttle_bps;
   std::optional<std::string> trace_path;
+  std::optional<fault::FaultPlan> fault_plan;  // --fault-plan injection spec
   bool json = false;
 };
+
+// Parses a --flag whose value is a duration (e.g. 1ms, 2s) into seconds.
+StatusOr<double> get_duration(const Flags& flags, const std::string& name,
+                              double def) {
+  auto v = flags.get(name);
+  if (!v) return def;
+  auto parsed = fault::parse_duration(*v);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("bad duration for --" + name + ": " + *v);
+  }
+  return *parsed;
+}
 
 StatusOr<CommonConfig> common_config(const Flags& flags) {
   CommonConfig cfg;
   cfg.mode = flags.get_or("mode", "supmr");
-  if (cfg.mode != "supmr" && cfg.mode != "original" &&
-      cfg.mode != "adaptive") {
+  if (cfg.mode == "supmr") {
+    cfg.job.mode = core::ExecMode::kIngestMR;
+  } else if (cfg.mode == "original") {
+    cfg.job.mode = core::ExecMode::kOriginal;
+  } else if (cfg.mode == "adaptive") {
+    cfg.job.mode = core::ExecMode::kAdaptive;
+  } else {
     return Status::InvalidArgument("bad --mode: " + cfg.mode);
   }
   const std::string merge = flags.get_or("merge", "pway");
@@ -110,9 +146,38 @@ StatusOr<CommonConfig> common_config(const Flags& flags) {
   cfg.job.trace_out_path = flags.get_or("trace-out", "");
   cfg.json = flags.get_bool("json");
   if (flags.get_bool("verbose")) Logger::set_level(LogLevel::kInfo);
+
+  // Fault tolerance: retry policy + degrade mode + injection plan.
+  fault::RetryPolicy& policy = cfg.job.recovery.policy;
+  SUPMR_ASSIGN_OR_RETURN(std::uint64_t attempts,
+                         flags.get_int("retry-attempts", policy.max_attempts));
+  if (attempts == 0) {
+    return Status::InvalidArgument("--retry-attempts must be >= 1");
+  }
+  policy.max_attempts = static_cast<std::uint32_t>(attempts);
+  SUPMR_ASSIGN_OR_RETURN(
+      policy.backoff_base_s,
+      get_duration(flags, "retry-backoff", policy.backoff_base_s));
+  SUPMR_ASSIGN_OR_RETURN(
+      policy.backoff_max_s,
+      get_duration(flags, "retry-backoff-max", policy.backoff_max_s));
+  SUPMR_ASSIGN_OR_RETURN(
+      policy.read_deadline_s,
+      get_duration(flags, "retry-deadline", policy.read_deadline_s));
+  SUPMR_ASSIGN_OR_RETURN(policy.seed,
+                         flags.get_int("retry-seed", policy.seed));
+  cfg.job.recovery.degrade = flags.get_bool("degrade");
+  if (auto spec = flags.get("fault-plan")) {
+    SUPMR_ASSIGN_OR_RETURN(cfg.fault_plan, fault::FaultPlan::parse(*spec));
+  }
   return cfg;
 }
 
+// Builds the input device stack:
+//   FileDevice -> [ThrottledDevice] -> [FaultDevice] -> [RetryingDevice]
+// FaultDevice injects the --fault-plan; RetryingDevice (when the retry
+// policy is enabled) absorbs transient faults at the read_at seam, so every
+// byte source — pipeline chunks and spill reads alike — retries the same way.
 StatusOr<std::shared_ptr<const storage::Device>> open_input(
     const std::string& path, const CommonConfig& cfg) {
   SUPMR_ASSIGN_OR_RETURN(auto file, storage::FileDevice::open(path));
@@ -120,6 +185,13 @@ StatusOr<std::shared_ptr<const storage::Device>> open_input(
   if (cfg.throttle_bps) {
     auto limiter = std::make_shared<storage::RateLimiter>(*cfg.throttle_bps);
     dev = std::make_shared<storage::ThrottledDevice>(dev, limiter);
+  }
+  if (cfg.fault_plan) {
+    dev = std::make_shared<storage::FaultDevice>(dev, *cfg.fault_plan);
+  }
+  if (cfg.job.recovery.policy.enabled()) {
+    dev = std::make_shared<fault::RetryingDevice>(dev,
+                                                  cfg.job.recovery.policy);
   }
   return dev;
 }
@@ -136,26 +208,33 @@ StatusOr<core::JobResult> run_app(core::Application& app,
       cfg.trace_path.has_value() && core::ProcStatSampler::available();
   if (tracing) sampler.start();
 
-  StatusOr<core::JobResult> result = Status::Internal("unreachable");
-  if (cfg.mode == "original" || cfg.chunk_bytes == 0) {
-    result = job.run();
-  } else if (cfg.mode == "adaptive") {
+  // --chunk=none/0 degenerates to the original one-shot ingest even when
+  // --mode asked for a pipelined runtime (there is nothing to pipeline).
+  core::ExecMode mode = cfg.job.mode;
+  if (cfg.chunk_bytes == 0) mode = core::ExecMode::kOriginal;
+  ingest::RateMatchingController controller;
+  if (mode == core::ExecMode::kAdaptive) {
     if (device == nullptr || format == nullptr) {
       return Status::InvalidArgument(
           "--mode=adaptive requires a single-device input");
     }
-    ingest::RateMatchingController controller;
-    result = job.run_ingestMR_adaptive(*device, *format, controller);
-  } else {
-    result = job.run_ingestMR();
+    job.set_adaptive(*device, *format, controller);
   }
+  StatusOr<core::JobResult> result = job.run(mode);
   if (tracing) {
     TimeSeries trace = sampler.stop();
     trace.write_csv(*cfg.trace_path);
     std::printf("utilization trace (%zu samples) -> %s\n", trace.samples(),
                 cfg.trace_path->c_str());
   }
-  if (!result.ok()) return result.status();
+  if (!result.ok()) {
+    // Machine-readable failure report: with --json, stdout carries a
+    // well-formed error object instead of half a result.
+    if (cfg.json) {
+      std::printf("%s\n", core::status_to_json(result.status()).c_str());
+    }
+    return result.status();
+  }
   if (cfg.json) {
     std::printf("%s\n", core::job_result_to_json(*result).c_str());
     return result;
