@@ -61,7 +61,7 @@ class HashSortApp final : public core::Application {
     pool.run_wave(tasks);
     return Status::Ok();
   }
-  Status merge(ThreadPool&, core::MergeMode,
+  Status merge(ThreadPool&, const core::MergePlan&,
                merge::MergeStats* stats) override {
     std::vector<std::pair<std::string, std::vector<std::string>>> all;
     for (auto& p : partitions_)

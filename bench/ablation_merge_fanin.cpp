@@ -6,9 +6,9 @@
 // ("the benefit of the sort modification depends on the number of merge
 // rounds it avoids").
 #include "bench/bench_util.hpp"
-#include "common/rng.hpp"
 #include "merge/fway.hpp"
 #include "perfmodel/experiments.hpp"
+#include "tests/testdata.hpp"
 
 using namespace supmr;
 using namespace supmr::perfmodel;
@@ -20,9 +20,7 @@ namespace {
 void real_fway_sweep() {
   std::printf("\nreal wall-clock f-way sweep (2M keys, 64 runs, 4 threads):\n");
   std::printf("  %6s %8s %12s\n", "fanin", "rounds", "merge time");
-  Xoshiro256 rng(17);
-  std::vector<std::uint64_t> base(2'000'000);
-  for (auto& x : base) x = rng();
+  const auto base = testdata::random_u64(2'000'000, 17);
   ThreadPool pool(4);
   for (std::size_t fanin : {2u, 4u, 8u, 64u}) {
     auto data = base;

@@ -5,6 +5,7 @@
 #include "containers/array_container.hpp"
 #include "containers/combiners.hpp"
 #include "containers/hash_container.hpp"
+#include "tests/testdata.hpp"
 
 namespace supmr::containers {
 namespace {
@@ -41,13 +42,13 @@ void BM_ArenaMapHitLookup(benchmark::State& state) {
 BENCHMARK(BM_ArenaMapHitLookup);
 
 void BM_HashContainerEmit_WordCountMix(benchmark::State& state) {
-  // Zipf-weighted key mix, like real text: mostly combines, few inserts.
-  Xoshiro256 rng(1);
-  ZipfSampler zipf(1.0, 10000);
+  // Zipf-weighted key mix, like real text: mostly combines, few inserts
+  // (shared generator: tests/testdata.hpp).
   const auto keys = make_keys(10000);
   std::vector<const std::string*> stream;
   stream.reserve(1 << 16);
-  for (int i = 0; i < (1 << 16); ++i) stream.push_back(&keys[zipf(rng)]);
+  for (std::size_t i : testdata::zipf_stream(1 << 16, 10000, 1))
+    stream.push_back(&keys[i]);
   for (auto _ : state) {
     HashContainer<SumCombiner<std::uint64_t>> c;
     c.init(1, 1 << 14);

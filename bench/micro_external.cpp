@@ -5,6 +5,7 @@
 #include "common/rng.hpp"
 #include "containers/spilling_hash.hpp"
 #include "merge/external_sorter.hpp"
+#include "tests/testdata.hpp"
 #include "wload/teragen.hpp"
 
 namespace supmr {
@@ -45,12 +46,12 @@ BENCHMARK(BM_ExternalSort)
     ->Unit(benchmark::kMillisecond);
 
 void BM_SpillingHashEmit(benchmark::State& state) {
-  Xoshiro256 rng(1);
-  ZipfSampler zipf(1.0, 20000);
-  std::vector<std::string> keys;
-  for (int i = 0; i < 20000; ++i) keys.push_back("w" + std::to_string(i));
+  // Shared generators (tests/testdata.hpp): same Zipf mix as the container
+  // microbenches and any differential test that replays it.
+  const auto keys = testdata::key_pool(20000);
   std::vector<const std::string*> stream;
-  for (int i = 0; i < (1 << 15); ++i) stream.push_back(&keys[zipf(rng)]);
+  for (std::size_t i : testdata::zipf_stream(1 << 15, 20000, 1))
+    stream.push_back(&keys[i]);
   for (auto _ : state) {
     containers::SpillingHashContainer c;
     containers::SpillingHashContainer::Options opt;

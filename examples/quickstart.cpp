@@ -7,8 +7,12 @@
 // Build & run:  ./examples/quickstart [input.txt] [chunk-size]
 //                                     [--metrics-json=out.json]
 //                                     [--trace-out=trace.json]
+//                                     [--partitions=N]
 //                                     [--fault-plan=SPEC] [--retry-attempts=N]
 //                                     [--retry-deadline=DUR] [--degrade]
+// --partitions=N switches the final merge to the key-range partitioned path
+// (docs/merge.md): N independent per-partition merges instead of one global
+// round (0 = auto: one per hardware context).
 // Without arguments it generates a 8 MB synthetic corpus. The fault flags
 // demonstrate the fault-tolerance layer (docs/fault-tolerance.md): the input
 // device is wrapped in a FaultDevice injecting the plan, and the retry
@@ -46,6 +50,10 @@ int main(int argc, char** argv) {
       config.metrics_json_path = arg + 15;
     } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
       config.trace_out_path = arg + 12;
+    } else if (std::strncmp(arg, "--partitions=", 13) == 0) {
+      config.merge_mode = core::MergeMode::kPartitioned;
+      config.num_merge_partitions =
+          static_cast<std::size_t>(std::strtoul(arg + 13, nullptr, 10));
     } else if (std::strncmp(arg, "--fault-plan=", 13) == 0) {
       fault_plan_spec = arg + 13;
     } else if (std::strncmp(arg, "--retry-attempts=", 17) == 0) {

@@ -34,7 +34,7 @@ Status ExternalWordCountApp::reduce(ThreadPool&, std::size_t) {
       });
 }
 
-Status ExternalWordCountApp::merge(ThreadPool&, core::MergeMode,
+Status ExternalWordCountApp::merge(ThreadPool&, const core::MergePlan&,
                                    merge::MergeStats* stats) {
   // merge_reduce already emitted in key order.
   if (stats != nullptr) *stats = merge::MergeStats{};

@@ -91,10 +91,10 @@ Status GrepApp::reduce(ThreadPool& pool, std::size_t num_partitions) {
   return Status::Ok();
 }
 
-Status GrepApp::merge(ThreadPool& pool, core::MergeMode mode,
+Status GrepApp::merge(ThreadPool& pool, const core::MergePlan& plan,
                       merge::MergeStats* stats) {
   (void)pool;
-  (void)mode;  // a handful of patterns: a single sequential sort suffices
+  (void)plan;  // a handful of patterns: a single sequential sort suffices
   results_.clear();
   for (auto& part : partitions_)
     results_.insert(results_.end(), part.begin(), part.end());

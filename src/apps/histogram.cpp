@@ -100,7 +100,7 @@ Status HistogramApp::reduce(ThreadPool& pool, std::size_t num_partitions) {
   return Status::Ok();
 }
 
-Status HistogramApp::merge(ThreadPool&, core::MergeMode,
+Status HistogramApp::merge(ThreadPool&, const core::MergePlan&,
                            merge::MergeStats* stats) {
   // Bins are already in key order: nothing to merge.
   if (stats != nullptr) *stats = merge::MergeStats{};

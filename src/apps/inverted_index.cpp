@@ -62,7 +62,7 @@ Status InvertedIndexApp::reduce(ThreadPool& pool,
   return Status::Ok();
 }
 
-Status InvertedIndexApp::merge(ThreadPool& pool, core::MergeMode mode,
+Status InvertedIndexApp::merge(ThreadPool& pool, const core::MergePlan& plan,
                                merge::MergeStats* stats) {
   auto by_word = [](const Posting& a, const Posting& b) {
     return a.word < b.word;
@@ -80,12 +80,18 @@ Status InvertedIndexApp::merge(ThreadPool& pool, core::MergeMode mode,
   index_.resize(total);
 
   merge::MergeStats local;
-  if (mode == core::MergeMode::kPWay) {
+  if (plan.mode != core::MergeMode::kPairwise) {
+    // kPWay and kPartitioned both take the single-round p-way kernel; under
+    // kPartitioned the plan's partition count sets the key-space split (the
+    // hash-sharded reduce partitions carry no key ordering to exploit).
     std::vector<std::span<const Posting>> runs;
     for (const auto& part : partitions_)
       runs.push_back(std::span<const Posting>(part.data(), part.size()));
+    const std::size_t p = plan.mode == core::MergeMode::kPartitioned
+                              ? plan.partitions
+                              : 0;  // 0 = pool-sized
     local = merge::parallel_pway_merge(pool, std::move(runs), index_.data(),
-                                       by_word);
+                                       by_word, p);
   } else {
     // Pairwise mode: sequential k-way concatenation + sort is acceptable for
     // the dictionary-sized output; keep the baseline honest by re-sorting.

@@ -145,7 +145,7 @@ Status KMeansApp::reduce(ThreadPool& pool, std::size_t num_partitions) {
   return Status::Ok();
 }
 
-Status KMeansApp::merge(ThreadPool&, core::MergeMode,
+Status KMeansApp::merge(ThreadPool&, const core::MergePlan&,
                         merge::MergeStats* stats) {
   if (stats != nullptr) *stats = merge::MergeStats{};
   return Status::Ok();

@@ -55,7 +55,7 @@ class KMeansApp final : public core::Application {
   std::size_t round_tasks() const override { return splits_.size(); }
   void map_task(std::size_t task, std::size_t thread_id) override;
   Status reduce(ThreadPool& pool, std::size_t num_partitions) override;
-  Status merge(ThreadPool& pool, core::MergeMode mode,
+  Status merge(ThreadPool& pool, const core::MergePlan& plan,
                merge::MergeStats* stats) override;
   std::uint64_t result_count() const override { return new_centroids_.size(); }
 

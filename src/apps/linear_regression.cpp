@@ -95,7 +95,7 @@ Status LinearRegressionApp::reduce(ThreadPool&, std::size_t) {
   return Status::Ok();
 }
 
-Status LinearRegressionApp::merge(ThreadPool&, core::MergeMode,
+Status LinearRegressionApp::merge(ThreadPool&, const core::MergePlan&,
                                   merge::MergeStats* stats) {
   if (stats != nullptr) *stats = merge::MergeStats{};
   return Status::Ok();

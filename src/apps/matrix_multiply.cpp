@@ -82,7 +82,7 @@ Status MatrixMultiplyApp::reduce(ThreadPool& pool,
   return Status::Ok();
 }
 
-Status MatrixMultiplyApp::merge(ThreadPool&, core::MergeMode,
+Status MatrixMultiplyApp::merge(ThreadPool&, const core::MergePlan&,
                                 merge::MergeStats* stats) {
   if (stats != nullptr) *stats = merge::MergeStats{};
   return Status::Ok();

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "merge/pairwise.hpp"
+#include "merge/partitioned.hpp"
 #include "merge/pway.hpp"
 #include "merge/sample_sort.hpp"
 
@@ -12,7 +13,12 @@ namespace supmr::apps {
 
 void TeraSortApp::init(std::size_t num_map_threads) {
   num_mappers_ = num_map_threads;
-  container_.init(options_.record_bytes);
+  if (partitioned()) {
+    pcontainer_.init(options_.record_bytes, options_.key_bytes,
+                     options_.partitions, num_map_threads);
+  } else {
+    container_.init(options_.record_bytes);
+  }
   checksum_ = 0;
   malformed_ = 0;
   sorted_.clear();
@@ -26,9 +32,19 @@ Status TeraSortApp::prepare_round(const ingest::IngestChunk& chunk) {
         " is not a whole number of " + std::to_string(rb) + "-byte records");
   }
   const std::uint64_t records = chunk.data.size() / rb;
-  // One atomic extend for the whole round (may reallocate — no mappers are
-  // running yet), then each mapper fills a disjoint slot range.
-  const std::uint64_t base = container_.claim(records);
+  std::uint64_t base = 0;
+  if (partitioned()) {
+    // Splitters come from the first non-empty chunk (sample-sort style);
+    // later chunks route through the same cuts, so partitions stay
+    // key-coherent across the whole ingest stream.
+    if (records > 0 && pcontainer_.num_splitters() == 0) {
+      pcontainer_.sample_splitters(chunk.data);
+    }
+  } else {
+    // One atomic extend for the whole round (may reallocate — no mappers are
+    // running yet), then each mapper fills a disjoint slot range.
+    base = container_.claim(records);
+  }
   tasks_.clear();
   if (records == 0) return Status::Ok();
   const std::uint64_t per =
@@ -42,7 +58,9 @@ Status TeraSortApp::prepare_round(const ingest::IngestChunk& chunk) {
 }
 
 void TeraSortApp::map_task(std::size_t task, std::size_t thread_id) {
-  (void)thread_id;  // unlocked storage: the slot range is the isolation
+  // Flat container: the claimed slot range is the isolation. Partitioned
+  // container: the (partition, thread_id) stripe is — wave scheduling
+  // guarantees distinct thread_ids within a wave (application.hpp).
   assert(task < tasks_.size());
   const RoundTask& t = tasks_[task];
   const std::uint64_t rb = options_.record_bytes;
@@ -53,8 +71,12 @@ void TeraSortApp::map_task(std::size_t task, std::size_t thread_id) {
         (rec[rb - 2] != '\r' || rec[rb - 1] != '\n')) {
       ++bad;
     }
-    container_.write_record(t.first_slot + r,
-                            std::span<const char>(rec, rb));
+    if (partitioned()) {
+      pcontainer_.append(thread_id, std::span<const char>(rec, rb));
+    } else {
+      container_.write_record(t.first_slot + r,
+                              std::span<const char>(rec, rb));
+    }
   }
   if (bad > 0) malformed_.fetch_add(bad, std::memory_order_relaxed);
 }
@@ -63,6 +85,33 @@ Status TeraSortApp::reduce(ThreadPool& pool, std::size_t num_partitions) {
   // Sort's reduce touches every key once (identity coalescing with unique
   // keys): we fold the first 8 key bytes of every record into an
   // order-invariant checksum, partitioned across the pool.
+  if (partitioned()) {
+    // One task per key-space partition; each walks its own stripes.
+    const std::size_t P = pcontainer_.partitions();
+    const std::uint64_t rb = options_.record_bytes;
+    const std::size_t key8 = std::min<std::size_t>(8, options_.key_bytes);
+    std::vector<std::uint64_t> partial(P, 0);
+    std::vector<std::function<void(std::size_t)>> tasks;
+    for (std::size_t p = 0; p < P; ++p) {
+      tasks.push_back([this, &partial, p, rb, key8](std::size_t) {
+        std::uint64_t sum = 0;
+        for (std::size_t t = 0; t < pcontainer_.threads(); ++t) {
+          const std::span<const char> s = pcontainer_.stripe(p, t);
+          for (std::size_t off = 0; off + rb <= s.size(); off += rb) {
+            std::uint64_t k = 0;
+            std::memcpy(&k, s.data() + off, key8);
+            sum += k;
+          }
+        }
+        partial[p] = sum;
+      });
+    }
+    pool.run_wave(tasks);
+    checksum_ = 0;
+    for (auto s : partial) checksum_ += s;
+    return Status::Ok();
+  }
+
   const std::uint64_t n = container_.size();
   std::vector<std::uint64_t> partial(num_partitions, 0);
   std::vector<std::function<void(std::size_t)>> tasks;
@@ -88,8 +137,59 @@ Status TeraSortApp::reduce(ThreadPool& pool, std::size_t num_partitions) {
   return Status::Ok();
 }
 
-Status TeraSortApp::merge(ThreadPool& pool, core::MergeMode mode,
+Status TeraSortApp::merge_partitioned(ThreadPool& pool,
+                                      merge::MergeStats* stats) {
+  // The shuffle already happened at map time: partition p's stripes hold
+  // exactly p's key range. Merge = one pointer-sort + loser-tree merge per
+  // partition (merge/partitioned.hpp waves), then one materialization pass —
+  // no global round, no scratch copy-back.
+  const std::uint64_t rb = options_.record_bytes;
+  const std::uint32_t kb = options_.key_bytes;
+  const std::size_t P = pcontainer_.partitions();
+  const std::uint64_t n = pcontainer_.total_records();
+
+  auto cmp = [kb](const char* a, const char* b) {
+    return std::memcmp(a, b, kb) < 0;
+  };
+
+  // One pointer run per non-empty (partition, thread) stripe. The pointer
+  // vectors outlive the merge; partitioned_merge sorts each run in place.
+  std::vector<std::vector<std::vector<const char*>>> ptrs(P);
+  std::vector<std::vector<std::span<const char*>>> partitions(P);
+  for (std::size_t p = 0; p < P; ++p) {
+    for (std::size_t t = 0; t < pcontainer_.threads(); ++t) {
+      const std::span<const char> s = pcontainer_.stripe(p, t);
+      if (s.empty()) continue;
+      std::vector<const char*> run;
+      run.reserve(s.size() / rb);
+      for (std::size_t off = 0; off + rb <= s.size(); off += rb)
+        run.push_back(s.data() + off);
+      ptrs[p].push_back(std::move(run));
+    }
+    for (auto& run : ptrs[p])
+      partitions[p].push_back(std::span<const char*>(run.data(), run.size()));
+  }
+
+  std::vector<const char*> order(n);
+  merge::MergeStats local =
+      merge::partitioned_merge(pool, std::move(partitions), order.data(), cmp);
+
+  sorted_.resize(n * rb);
+  parallel_for(pool, n, [&](std::size_t first, std::size_t last,
+                            std::size_t) {
+    for (std::size_t i = first; i < last; ++i) {
+      std::memcpy(sorted_.data() + i * rb, order[i], rb);
+    }
+  });
+
+  if (stats != nullptr) *stats = std::move(local);
+  return Status::Ok();
+}
+
+Status TeraSortApp::merge(ThreadPool& pool, const core::MergePlan& plan,
                           merge::MergeStats* stats) {
+  if (partitioned()) return merge_partitioned(pool, stats);
+
   const std::uint64_t n = container_.size();
   const std::uint64_t rb = options_.record_bytes;
   const std::uint32_t kb = options_.key_bytes;
@@ -105,7 +205,14 @@ Status TeraSortApp::merge(ThreadPool& pool, core::MergeMode mode,
 
   merge::MergeStats local;
   const std::size_t num_runs = std::max<std::size_t>(2, pool.size() * 2);
-  if (mode == core::MergeMode::kPWay) {
+  if (plan.mode == core::MergeMode::kPartitioned) {
+    // Flat container but a partitioned plan: bucket the index array by
+    // sampled splitters at merge time (merge-time fallback — map-time
+    // sharding needs options.partitions > 0).
+    local = merge::partitioned_sort(
+        pool, std::span<std::uint64_t>(index.data(), index.size()), cmp,
+        plan.partitions);
+  } else if (plan.mode == core::MergeMode::kPWay) {
     local = merge::parallel_sample_sort(
         pool, std::span<std::uint64_t>(index.data(), index.size()), cmp,
         num_runs);

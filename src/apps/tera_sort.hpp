@@ -7,9 +7,13 @@
 // synchronization; sort's map is cheap, which is why its ingest overlap gains
 // are modest). Reduce checksums partitions (touching every key, as the
 // paper's reduce does). Merge is where the runtimes differ:
-//   * kPairwise — iterative pairwise merging, log2(R) rounds (Fig. 1), or
-//   * kPWay     — run formation + single parallel p-way merge (Fig. 6).
-// Both sort an index array by key then materialize the permuted records.
+//   * kPairwise    — iterative pairwise merging, log2(R) rounds (Fig. 1),
+//   * kPWay        — run formation + single parallel p-way merge (Fig. 6), or
+//   * kPartitioned — key-range sharded shuffle (docs/merge.md): with
+//     options.partitions > 0 map copies records into a PartitionedContainer
+//     (splitters sampled from the first chunk), so the merge phase is P
+//     independent per-partition merges with no global round at all.
+// All modes sort indices/pointers by key then materialize permuted records.
 #pragma once
 
 #include <atomic>
@@ -17,6 +21,7 @@
 #include <vector>
 
 #include "containers/array_container.hpp"
+#include "containers/partitioned.hpp"
 #include "core/application.hpp"
 
 namespace supmr::apps {
@@ -25,6 +30,10 @@ struct TeraSortOptions {
   std::uint32_t key_bytes = 10;
   std::uint32_t record_bytes = 100;  // includes the trailing "\r\n"
   bool validate_terminators = true;
+  // > 0 enables the map-time partitioned shuffle with this many key-space
+  // partitions (pair with MergeMode::kPartitioned; typically
+  // JobConfig::merge_partitions()). 0 keeps the flat array container.
+  std::size_t partitions = 0;
 };
 
 class TeraSortApp final : public core::Application {
@@ -36,9 +45,11 @@ class TeraSortApp final : public core::Application {
   std::size_t round_tasks() const override { return tasks_.size(); }
   void map_task(std::size_t task, std::size_t thread_id) override;
   Status reduce(ThreadPool& pool, std::size_t num_partitions) override;
-  Status merge(ThreadPool& pool, core::MergeMode mode,
+  Status merge(ThreadPool& pool, const core::MergePlan& plan,
                merge::MergeStats* stats) override;
-  std::uint64_t result_count() const override { return container_.size(); }
+  std::uint64_t result_count() const override {
+    return partitioned() ? pcontainer_.total_records() : container_.size();
+  }
 
   // Sorted output (result_count() * record_bytes bytes), valid after merge.
   const std::vector<char>& sorted_data() const { return sorted_; }
@@ -53,6 +64,13 @@ class TeraSortApp final : public core::Application {
 
   const TeraSortOptions& options() const { return options_; }
 
+  // Map-time partitioned container (options.partitions > 0), read-only view
+  // for tests and the partition property suite.
+  bool partitioned() const { return options_.partitions > 0; }
+  const containers::PartitionedContainer& partitioned_container() const {
+    return pcontainer_;
+  }
+
  private:
   struct RoundTask {
     const char* src = nullptr;       // first record's bytes in the chunk
@@ -60,9 +78,12 @@ class TeraSortApp final : public core::Application {
     std::uint64_t num_records = 0;
   };
 
+  Status merge_partitioned(ThreadPool& pool, merge::MergeStats* stats);
+
   TeraSortOptions options_;
   std::size_t num_mappers_ = 0;
   containers::ArrayContainer container_;
+  containers::PartitionedContainer pcontainer_;
   std::vector<RoundTask> tasks_;
   std::uint64_t checksum_ = 0;
   std::atomic<std::uint64_t> malformed_{0};

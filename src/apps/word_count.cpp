@@ -67,7 +67,7 @@ Status WordCountApp::reduce(ThreadPool& pool, std::size_t num_partitions) {
   return Status::Ok();
 }
 
-Status WordCountApp::merge(ThreadPool& pool, core::MergeMode mode,
+Status WordCountApp::merge(ThreadPool& pool, const core::MergePlan& plan,
                            merge::MergeStats* stats) {
   auto by_key = [](const Result& a, const Result& b) {
     return a.first < b.first;
@@ -88,13 +88,21 @@ Status WordCountApp::merge(ThreadPool& pool, core::MergeMode mode,
   results_.resize(total);
 
   merge::MergeStats local;
-  if (mode == core::MergeMode::kPWay) {
+  if (plan.mode != core::MergeMode::kPairwise) {
+    // kPWay and kPartitioned share the single-round p-way kernel: the hash
+    // partitions are the sorted runs, and the key-space split happens inside
+    // parallel_pway_merge. kPartitioned pins the worker count to the plan's
+    // partition count (its reduce partitions are hash-sharded, not
+    // key-range-sharded, so merge-time splitting is the partitioned path).
     std::vector<std::span<const Result>> runs;
     runs.reserve(partitions_.size());
     for (const auto& part : partitions_)
       runs.push_back(std::span<const Result>(part.data(), part.size()));
+    const std::size_t p = plan.mode == core::MergeMode::kPartitioned
+                              ? plan.partitions
+                              : 0;  // 0 = pool-sized
     local = merge::parallel_pway_merge(pool, std::move(runs),
-                                       results_.data(), by_key);
+                                       results_.data(), by_key, p);
   } else {
     // Pairwise baseline: pack runs back-to-back into results_, then merge.
     std::vector<std::span<Result>> runs;

@@ -13,7 +13,7 @@
 //     prepare_round(chunk)             multiple  (split; claim container space)
 //     map_task(t, thread) x tasks      multiple  (parallel wave, t < mappers)
 //   reduce(pool, partitions)           once
-//   merge(pool, mode, stats)           once
+//   merge(pool, plan, stats)           once
 //
 // map_task contract: the runtime runs a round's tasks in waves of at most
 // `num_map_threads`; tasks within one wave run concurrently with distinct
@@ -61,7 +61,9 @@ class Application {
   virtual Status reduce(ThreadPool& pool, std::size_t num_partitions) = 0;
 
   // Produces the final sorted output with the configured merge algorithm.
-  virtual Status merge(ThreadPool& pool, MergeMode mode,
+  // `plan.partitions` is the resolved partition count for
+  // MergeMode::kPartitioned (a parallelism hint otherwise).
+  virtual Status merge(ThreadPool& pool, const MergePlan& plan,
                        merge::MergeStats* stats) = 0;
 
   // Number of output records/pairs — used for result validation.

@@ -70,7 +70,7 @@ Status MapReduceJob::finish(JobResult& result, PhaseClock& clock) {
   {
     SUPMR_TRACE_SCOPE("phase", "merge");
     SUPMR_RETURN_IF_ERROR(
-        app_.merge(*pool_, config_.merge_mode, &merge_stats_));
+        app_.merge(*pool_, config_.merge_plan(), &merge_stats_));
   }
   clock.stop(Phase::kMerge);
 

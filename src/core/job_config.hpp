@@ -12,8 +12,19 @@ namespace supmr::core {
 
 // Final-merge algorithm (paper §IV).
 enum class MergeMode {
-  kPairwise,  // original runtime: iterative pairwise merging, halving threads
-  kPWay,      // SupMR: single-round parallel p-way merge
+  kPairwise,     // original runtime: iterative pairwise merging, halving threads
+  kPWay,         // SupMR: single-round parallel p-way merge
+  kPartitioned,  // key-range partitioned shuffle: one merge per partition
+                 // (docs/merge.md) — partitioning done at map time
+};
+
+// What the runtime hands Application::merge: the algorithm plus the
+// partition count for MergeMode::kPartitioned (already resolved — never 0).
+// Applications that do not shard by key range treat `partitions` as the
+// parallelism hint it degenerates to.
+struct MergePlan {
+  MergeMode mode = MergeMode::kPWay;
+  std::size_t partitions = 1;
 };
 
 // Which runtime MapReduceJob::run(ExecMode) executes.
@@ -40,6 +51,11 @@ struct JobConfig {
 
   MergeMode merge_mode = MergeMode::kPWay;
 
+  // Key-space partitions for MergeMode::kPartitioned (--partitions).
+  // 0 = auto: one partition per hardware context, so the per-partition
+  // merges exactly fill the machine (docs/merge.md).
+  std::size_t num_merge_partitions = 0;
+
   // Spawn-and-join raw threads for every map wave instead of reusing pooled
   // workers — the paper's per-round thread lifecycle, measurable as overhead
   // with small chunks (§VI.C.1).
@@ -62,6 +78,13 @@ struct JobConfig {
     return num_reduce_partitions ? num_reduce_partitions
                                  : num_reduce_threads * 4;
   }
+
+  std::size_t merge_partitions() const {
+    return num_merge_partitions ? num_merge_partitions : default_threads();
+  }
+
+  // The resolved plan run() hands to Application::merge.
+  MergePlan merge_plan() const { return {merge_mode, merge_partitions()}; }
 
   static std::size_t default_threads() {
     const unsigned hw = std::thread::hardware_concurrency();

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "fault/retrying_device.hpp"
+#include "merge/partitioned.hpp"
 #include "merge/sample_sort.hpp"
 #include "obs/macros.hpp"
 #include "storage/file_device.hpp"
@@ -179,10 +180,12 @@ ExternalSorter::ExternalSorter(ThreadPool& pool,
   options_.memory_budget_bytes = std::max<std::uint64_t>(
       options_.memory_budget_bytes, 16ULL * options_.record_bytes);
   buffer_.reserve(options_.memory_budget_bytes);
+  spills_.assign(std::max<std::size_t>(1, options_.partitions), {});
 }
 
 ExternalSorter::~ExternalSorter() {
-  for (const auto& path : spill_paths_) std::remove(path.c_str());
+  for (const auto& part : spills_)
+    for (const auto& path : part) std::remove(path.c_str());
 }
 
 Status ExternalSorter::add(std::span<const char> records) {
@@ -225,6 +228,45 @@ void ExternalSorter::sort_buffer(std::vector<std::uint64_t>& index) {
                        cmp);
 }
 
+// Cuts partitions() - 1 splitter keys from the current (sorted) buffer at
+// evenly spaced quantiles, dropping duplicate cuts — the external twin of
+// PartitionedContainer::sample_splitters. Runs once, on the first spill, so
+// every later spill splits at identical keys.
+void ExternalSorter::select_splitters(
+    const std::vector<std::uint64_t>& index) {
+  const std::uint32_t rb = options_.record_bytes;
+  const std::uint32_t kb = options_.key_bytes;
+  const std::size_t P = spills_.size();
+  splitters_.clear();
+  if (P < 2 || buffered_records_ < 2) return;
+  for (std::size_t p = 1; p < P; ++p) {
+    const char* cut =
+        buffer_.data() + index[p * buffered_records_ / P] * rb;
+    if (!splitters_.empty() &&
+        std::memcmp(splitters_.data() + splitters_.size() - kb, cut, kb) >=
+            0) {
+      continue;  // duplicate quantile — this key range needs fewer cuts
+    }
+    splitters_.insert(splitters_.end(), cut, cut + kb);
+  }
+}
+
+// Number of splitters <= key: equal keys share a partition, so partition
+// p's keys all sort strictly before partition p+1's.
+std::size_t ExternalSorter::partition_of(const char* key) const {
+  const std::uint32_t kb = options_.key_bytes;
+  std::size_t lo = 0, hi = splitters_.size() / kb;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (std::memcmp(splitters_.data() + mid * kb, key, kb) <= 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
 Status ExternalSorter::spill_buffer() {
   if (buffered_records_ == 0) return Status::Ok();
   SUPMR_TRACE_SCOPE_VAR(span, "merge", "merge.spill");
@@ -235,30 +277,50 @@ Status ExternalSorter::spill_buffer() {
   std::vector<std::uint64_t> index;
   sort_buffer(index);
 
-  char name[64];
-  std::snprintf(name, sizeof(name), "/supmr_spill_%p_%zu.run",
-                static_cast<void*>(this), spill_paths_.size());
-  const std::string path = options_.spill_dir + name;
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return Status::IoError("cannot create spill " + path);
-
-  // Write permuted records through a staging slab.
   const std::uint32_t rb = options_.record_bytes;
-  std::vector<char> slab(std::max<std::uint64_t>(rb, 1 << 20) / rb * rb);
-  std::size_t fill = 0;
-  for (std::uint64_t i = 0; i < buffered_records_; ++i) {
-    std::memcpy(slab.data() + fill, buffer_.data() + index[i] * rb, rb);
-    fill += rb;
-    if (fill == slab.size() || i + 1 == buffered_records_) {
-      if (std::fwrite(slab.data(), 1, fill, f) != fill) {
-        std::fclose(f);
-        return Status::IoError("short write to spill " + path);
-      }
-      fill = 0;
-    }
+  const std::size_t P = spills_.size();
+  if (P > 1 && splitters_.empty() && runs_spilled() == 0) {
+    select_splitters(index);
   }
-  if (std::fclose(f) != 0) return Status::IoError("spill close failed");
-  spill_paths_.push_back(path);
+
+  // The sorted permutation splits into contiguous per-partition ranges;
+  // each non-empty range becomes one spill run for its partition.
+  std::vector<std::uint64_t> bounds(P + 1, buffered_records_);
+  bounds[0] = 0;
+  std::size_t cur = 0;
+  for (std::uint64_t i = 0; i < buffered_records_; ++i) {
+    const std::size_t p = partition_of(buffer_.data() + index[i] * rb);
+    while (cur < p) bounds[++cur] = i;
+  }
+  while (cur + 1 < P) bounds[++cur] = buffered_records_;
+
+  std::vector<char> slab(std::max<std::uint64_t>(rb, 1 << 20) / rb * rb);
+  for (std::size_t p = 0; p < P; ++p) {
+    const std::uint64_t first = bounds[p], last = bounds[p + 1];
+    if (first == last) continue;
+    char name[80];
+    std::snprintf(name, sizeof(name), "/supmr_spill_%p_%zu_p%zu.run",
+                  static_cast<void*>(this), runs_spilled(), p);
+    const std::string path = options_.spill_dir + name;
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) return Status::IoError("cannot create spill " + path);
+
+    // Write permuted records through a staging slab.
+    std::size_t fill = 0;
+    for (std::uint64_t i = first; i < last; ++i) {
+      std::memcpy(slab.data() + fill, buffer_.data() + index[i] * rb, rb);
+      fill += rb;
+      if (fill == slab.size() || i + 1 == last) {
+        if (std::fwrite(slab.data(), 1, fill, f) != fill) {
+          std::fclose(f);
+          return Status::IoError("short write to spill " + path);
+        }
+        fill = 0;
+      }
+    }
+    if (std::fclose(f) != 0) return Status::IoError("spill close failed");
+    spills_[p].push_back(path);
+  }
   buffer_.clear();
   buffered_records_ = 0;
   return Status::Ok();
@@ -285,40 +347,73 @@ StatusOr<MergeStats> ExternalSorter::finish(const Sink& sink) {
     buffered_records_ = 0;
   }
 
-  std::vector<RunCursor> runs(spill_paths_.size() + (residue.empty() ? 0 : 1));
-  for (std::size_t r = 0; r < spill_paths_.size(); ++r) {
-    std::shared_ptr<const storage::Device> dev;
-    if (options_.open_spill) {
-      SUPMR_ASSIGN_OR_RETURN(dev, options_.open_spill(spill_paths_[r]));
-    } else {
-      SUPMR_ASSIGN_OR_RETURN(auto file,
-                             storage::FileDevice::open(spill_paths_[r]));
-      dev = std::move(file);
+  // Residue slices per partition: the residue is sorted, so each
+  // partition's records are one contiguous range.
+  const std::size_t P = spills_.size();
+  const std::uint64_t res_records = residue.size() / rb;
+  std::vector<std::uint64_t> res_bounds(P + 1, res_records);
+  res_bounds[0] = 0;
+  {
+    std::size_t cur = 0;
+    for (std::uint64_t i = 0; i < res_records; ++i) {
+      const std::size_t p = partition_of(residue.data() + i * rb);
+      while (cur < p) res_bounds[++cur] = i;
     }
-    SUPMR_RETURN_IF_ERROR(runs[r].open_device(
-        std::move(dev), rb, options_.merge_read_bytes, options_.retry));
+    while (cur + 1 < P) res_bounds[++cur] = res_records;
   }
-  if (!residue.empty()) {
-    runs.back().open_memory(std::move(residue), rb);
-  }
-  if (runs.empty()) return stats;
+
+  if (runs_spilled() == 0 && res_records == 0) return stats;
 
   SUPMR_TRACE_SCOPE_VAR(span, "merge", "merge.external_merge");
-  SUPMR_TRACE_SET_ARG(span, "runs", runs.size());
+  SUPMR_TRACE_SET_ARG(span, "runs", runs_spilled() + (res_records ? 1 : 0));
   SUPMR_TRACE_SET_ARG2(span, "records", records_added_);
-  CursorLoserTree tree(runs, options_.key_bytes);
+
+  // One loser-tree merge per partition, in partition (= key) order, so the
+  // concatenated sink stream is globally sorted. Sequential across
+  // partitions: the sink contract is ordered delivery, and per-partition
+  // trees keep peak memory at merge_read_bytes * runs-in-one-partition.
   std::vector<char> out(std::max<std::uint64_t>(rb, 1 << 20) / rb * rb);
-  std::size_t fill = 0;
   std::uint64_t emitted = 0;
-  while (!tree.empty()) {
-    std::memcpy(out.data() + fill, runs[tree.winner()].head(), rb);
-    fill += rb;
-    ++emitted;
-    SUPMR_RETURN_IF_ERROR(tree.pop_advance());
-    if (fill == out.size() || tree.empty()) {
-      SUPMR_RETURN_IF_ERROR(
-          sink(std::span<const char>(out.data(), fill)));
-      fill = 0;
+  std::vector<std::uint64_t> per_part(P, 0);
+  for (std::size_t p = 0; p < P; ++p) {
+    const std::uint64_t res_n = res_bounds[p + 1] - res_bounds[p];
+    std::vector<RunCursor> runs(spills_[p].size() + (res_n ? 1 : 0));
+    for (std::size_t r = 0; r < spills_[p].size(); ++r) {
+      std::shared_ptr<const storage::Device> dev;
+      if (options_.open_spill) {
+        SUPMR_ASSIGN_OR_RETURN(dev, options_.open_spill(spills_[p][r]));
+      } else {
+        SUPMR_ASSIGN_OR_RETURN(auto file,
+                               storage::FileDevice::open(spills_[p][r]));
+        dev = std::move(file);
+      }
+      SUPMR_RETURN_IF_ERROR(runs[r].open_device(
+          std::move(dev), rb, options_.merge_read_bytes, options_.retry));
+    }
+    if (res_n > 0) {
+      runs.back().open_memory(
+          std::vector<char>(residue.begin() + res_bounds[p] * rb,
+                            residue.begin() + res_bounds[p + 1] * rb),
+          rb);
+    }
+    if (runs.empty()) continue;
+
+    SUPMR_TRACE_SCOPE_VAR(pspan, "merge", "merge.partition");
+    SUPMR_TRACE_SET_ARG(pspan, "partition", p);
+    SUPMR_TRACE_SET_ARG2(pspan, "runs", runs.size());
+    CursorLoserTree tree(runs, options_.key_bytes);
+    std::size_t fill = 0;
+    while (!tree.empty()) {
+      std::memcpy(out.data() + fill, runs[tree.winner()].head(), rb);
+      fill += rb;
+      ++emitted;
+      ++per_part[p];
+      SUPMR_RETURN_IF_ERROR(tree.pop_advance());
+      if (fill == out.size() || tree.empty()) {
+        SUPMR_RETURN_IF_ERROR(
+            sink(std::span<const char>(out.data(), fill)));
+        fill = 0;
+      }
     }
   }
   if (emitted != records_added_) {
@@ -327,9 +422,9 @@ StatusOr<MergeStats> ExternalSorter::finish(const Sink& sink) {
                             std::to_string(records_added_));
   }
 
-  for (const auto& path : spill_paths_) std::remove(path.c_str());
-  const std::size_t sources = runs.size();
-  spill_paths_.clear();
+  for (const auto& part : spills_)
+    for (const auto& path : part) std::remove(path.c_str());
+  for (auto& part : spills_) part.clear();
 
   MergeStats::Round round;
   round.active_workers = 1;
@@ -338,7 +433,7 @@ StatusOr<MergeStats> ExternalSorter::finish(const Sink& sink) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   stats.rounds.push_back(round);
-  (void)sources;
+  if (P > 1) detail::record_partition_stats(stats, per_part);
   return stats;
 }
 

@@ -42,6 +42,12 @@ struct ExternalSorterOptions {
   std::string spill_dir = "/tmp";
   // Read-ahead per run during the final merge.
   std::uint64_t merge_read_bytes = 1 << 20;
+  // > 1 spills each sorted buffer as per-partition runs instead of one
+  // global run: splitters are cut from the first spill (sample-sort style,
+  // docs/merge.md), every later spill splits at the same keys, and finish()
+  // merges partition by partition — each loser tree spans only one
+  // partition's runs, and partition outputs concatenate in key order.
+  std::size_t partitions = 1;
   // Spill reads go through the same retrying seam as ingest: each run is
   // reopened as a storage::Device and, when `retry` is enabled, wrapped in a
   // fault::RetryingDevice so transient read faults are absorbed here too.
@@ -72,18 +78,28 @@ class ExternalSorter {
   StatusOr<MergeStats> finish(const Sink& sink);
 
   std::uint64_t records_added() const { return records_added_; }
-  std::size_t runs_spilled() const { return spill_paths_.size(); }
+  std::size_t runs_spilled() const {
+    std::size_t n = 0;
+    for (const auto& p : spills_) n += p.size();
+    return n;
+  }
+  std::size_t partitions() const { return spills_.size(); }
 
  private:
   Status spill_buffer();
   void sort_buffer(std::vector<std::uint64_t>& index);
+  void select_splitters(const std::vector<std::uint64_t>& index);
+  std::size_t partition_of(const char* key) const;
 
   ThreadPool& pool_;
   ExternalSorterOptions options_;
   std::vector<char> buffer_;
   std::uint64_t buffered_records_ = 0;
   std::uint64_t records_added_ = 0;
-  std::vector<std::string> spill_paths_;
+  // spills_[partition] = spill run paths for that key range; size is
+  // max(1, options.partitions), so the flat single-run layout is the 1 case.
+  std::vector<std::vector<std::string>> spills_;
+  std::vector<char> splitters_;  // num_splitters * key_bytes, sorted
   bool finished_ = false;
 };
 

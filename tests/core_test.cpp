@@ -56,7 +56,7 @@ class ProbeApp : public Application {
     ++reduces_;
     return Status::Ok();
   }
-  Status merge(ThreadPool&, MergeMode, merge::MergeStats*) override {
+  Status merge(ThreadPool&, const MergePlan&, merge::MergeStats*) override {
     ++merges_;
     return Status::Ok();
   }

@@ -1,0 +1,127 @@
+// Empty-input / zero-chunk regression suite.
+//
+// A 0-byte source is the degenerate plan every mode must survive: no chunk
+// is ever produced, so the read/map/reduce/merge phases all run over
+// nothing. The contract pinned here, for every ExecMode, in normal AND
+// degrade mode:
+//   * run() succeeds (empty input is not an error);
+//   * num_chunks == 0 and chunks_skipped == 0 (nothing read, nothing
+//     "recovered" — degrade mode must not count phantom chunks);
+//   * the report is one valid JSON document (tests/json_validator.hpp);
+//   * the merge produces a sorted empty output (TeraSort's sorted_data()
+//     is empty, word count's results() is empty) in every merge mode,
+//     including the partitioned shuffle.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "apps/tera_sort.hpp"
+#include "apps/word_count.hpp"
+#include "core/job.hpp"
+#include "core/report.hpp"
+#include "ingest/record_format.hpp"
+#include "ingest/source.hpp"
+#include "json_validator.hpp"
+#include "storage/mem_device.hpp"
+
+namespace supmr {
+namespace {
+
+using core::ExecMode;
+using core::JobConfig;
+using core::MapReduceJob;
+using core::MergeMode;
+
+constexpr ExecMode kModes[] = {ExecMode::kOriginal, ExecMode::kIngestMR,
+                               ExecMode::kAdaptive};
+constexpr MergeMode kMergeModes[] = {MergeMode::kPairwise, MergeMode::kPWay,
+                                     MergeMode::kPartitioned};
+
+JobConfig empty_config(MergeMode merge, bool degrade) {
+  JobConfig jc;
+  jc.num_map_threads = 2;
+  jc.num_reduce_threads = 2;
+  jc.merge_mode = merge;
+  if (merge == MergeMode::kPartitioned) jc.num_merge_partitions = 3;
+  jc.recovery.degrade = degrade;
+  return jc;
+}
+
+void check_empty_result(const core::JobResult& result, const char* what) {
+  SCOPED_TRACE(what);
+  EXPECT_EQ(result.phases.num_chunks, 0u);
+  EXPECT_EQ(result.chunks_skipped, 0u);
+  EXPECT_FALSE(result.degraded());
+  EXPECT_EQ(result.result_count, 0u);
+  const std::string json = core::job_result_to_json(result);
+  EXPECT_EQ(test::validate_json(json), "") << json;
+}
+
+TEST(EmptyInput, WordCountAllModesAllMergesNormalAndDegrade) {
+  for (ExecMode mode : kModes) {
+    for (MergeMode merge : kMergeModes) {
+      for (bool degrade : {false, true}) {
+        apps::WordCountApp app;
+        ingest::SingleDeviceSource src(
+            std::make_shared<storage::MemDevice>("", "empty"),
+            std::make_shared<ingest::LineFormat>(), /*chunk_bytes=*/6);
+        MapReduceJob job(app, src, empty_config(merge, degrade));
+        auto result = job.run(mode);
+        ASSERT_TRUE(result.ok())
+            << core::exec_mode_name(mode) << " degrade=" << degrade << ": "
+            << result.status().to_string();
+        const std::string label = std::string(core::exec_mode_name(mode)) +
+                                  (degrade ? "/degrade" : "/normal");
+        check_empty_result(*result, label.c_str());
+        EXPECT_TRUE(app.results().empty());
+      }
+    }
+  }
+}
+
+// Sorted-empty merge through the partitioned shuffle path specifically:
+// the PartitionedContainer never sees a record, no splitters are ever
+// sampled, and the per-partition merge must hand back an empty (trivially
+// sorted) output without touching a stripe.
+TEST(EmptyInput, TeraSortPartitionedShuffleSortedEmpty) {
+  for (ExecMode mode : kModes) {
+    for (bool degrade : {false, true}) {
+      apps::TeraSortOptions opt;
+      opt.key_bytes = 10;
+      opt.record_bytes = 100;
+      opt.partitions = 4;
+      apps::TeraSortApp app(opt);
+      ingest::SingleDeviceSource src(
+          std::make_shared<storage::MemDevice>("", "empty"),
+          std::make_shared<ingest::FixedFormat>(opt.record_bytes),
+          /*chunk_bytes=*/10 * opt.record_bytes);
+      MapReduceJob job(app, src,
+                       empty_config(MergeMode::kPartitioned, degrade));
+      auto result = job.run(mode);
+      ASSERT_TRUE(result.ok())
+          << core::exec_mode_name(mode) << " degrade=" << degrade << ": "
+          << result.status().to_string();
+      check_empty_result(*result, core::exec_mode_name(mode).data());
+      EXPECT_TRUE(app.sorted_data().empty());
+      EXPECT_EQ(app.key_checksum(), 0u);
+    }
+  }
+}
+
+// The flat (non-partitioned) TeraSort container through the kPartitioned
+// merge fallback (partitioned_sort over zero records) stays empty too.
+TEST(EmptyInput, TeraSortFlatContainerPartitionedMergeFallback) {
+  apps::TeraSortApp app;  // partitions = 0: flat ArrayContainer
+  ingest::SingleDeviceSource src(
+      std::make_shared<storage::MemDevice>("", "empty"),
+      std::make_shared<ingest::FixedFormat>(100), /*chunk_bytes=*/0);
+  MapReduceJob job(app, src, empty_config(MergeMode::kPartitioned, false));
+  auto result = job.run(ExecMode::kOriginal);
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  check_empty_result(*result, "flat/kPartitioned");
+  EXPECT_TRUE(app.sorted_data().empty());
+}
+
+}  // namespace
+}  // namespace supmr

@@ -13,17 +13,12 @@
 #include "merge/pairwise.hpp"
 #include "merge/pway.hpp"
 #include "merge/sample_sort.hpp"
+#include "tests/testdata.hpp"
 
 namespace supmr::merge {
 namespace {
 
-std::vector<int> random_ints(std::size_t n, std::uint64_t seed,
-                             std::uint64_t range = 1000000) {
-  Xoshiro256 rng(seed);
-  std::vector<int> v(n);
-  for (auto& x : v) x = static_cast<int>(rng.uniform(range));
-  return v;
-}
+using testdata::random_ints;  // shared seeded generator (tests/testdata.hpp)
 
 // Checks sortedness and that `sorted` is a permutation of `original`.
 void expect_sorted_permutation(std::vector<int> original,
@@ -76,9 +71,7 @@ TEST(Introsort, FewDistinctValues) {
 
 TEST(Introsort, OrganPipe) {
   // Adversarial for naive quicksort pivots.
-  std::vector<int> v;
-  for (int i = 0; i < 5000; ++i) v.push_back(i);
-  for (int i = 5000; i > 0; --i) v.push_back(i);
+  auto v = testdata::organ_pipe(10000);
   auto orig = v;
   introsort(v.begin(), v.end());
   expect_sorted_permutation(orig, v);

@@ -55,9 +55,10 @@ TEST(Table2WordCount, RoundCountsMatchChunkPlan) {
 }
 
 TEST(Table2Sort, BaselineMatchesPaperClosely) {
-  // Paper: 397.31 / 182.78 / 6.33 / 7.72 / 191.23.
+  // Paper: 397.31 / 182.78 / 6.33 / 7.72 / 191.23. Rows: none (pairwise),
+  // 1GB (p-way), 1GB+part (partitioned shuffle).
   auto rows = table2_sort();
-  ASSERT_EQ(rows.size(), 2u);
+  ASSERT_EQ(rows.size(), 3u);
   const auto& none = rows[0].result.phases;
   EXPECT_NEAR(none.total_s, 397.31, 4.0);
   EXPECT_NEAR(none.read_s, 182.78, 2.0);
@@ -77,6 +78,19 @@ TEST(Table2Sort, SupMRSpeedupInPaperBand) {
   // The p-way merge is a single round vs 6 pairwise rounds.
   EXPECT_EQ(rows[0].result.merge_rounds, 6u);
   EXPECT_EQ(rows[1].result.merge_rounds, 1u);
+}
+
+TEST(Table2Sort, PartitionedMergeSingleRoundNoStreamPenalty) {
+  auto rows = table2_sort();
+  ASSERT_EQ(rows.size(), 3u);
+  const auto& pway = rows[1].result;
+  const auto& part = rows[2].result;
+  // Partitioned shuffle is also a single round over all contexts, but each
+  // worker streams ONE partition instead of interleaving reads across every
+  // run, so its modeled merge time drops below the global p-way merge's.
+  EXPECT_EQ(part.merge_rounds, 1u);
+  EXPECT_LT(part.phases.merge_s, pway.phases.merge_s);
+  EXPECT_LE(part.phases.total_s, pway.phases.total_s);
 }
 
 TEST(Table2Sort, IngestOverlapGainSmallForSort) {

@@ -12,6 +12,11 @@
 #               succeed with storage.retries > 0 in the metrics; under a
 #               permanent plan it must exit non-zero with a clean JSON
 #               error report on stdout
+#   coverage  — --coverage build + unit/sanitizer-labeled ctest, then line
+#               coverage for the merge (src/merge/) and container
+#               (src/containers/) layers via gcovr when installed, else
+#               tools/coverage_summary.py (plain gcov). Fails if either
+#               layer drops below its branch-point floor (COVERAGE_FLOOR_*)
 #
 # Usage:
 #   tools/check.sh            # all stages
@@ -27,7 +32,12 @@ ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 JOBS="${JOBS:-$(nproc)}"
 SUPP="${ROOT}/tools/sanitizers"
 STAGES=("$@")
-[ ${#STAGES[@]} -eq 0 ] && STAGES=(plain tsan asan obs-smoke fault-smoke)
+[ ${#STAGES[@]} -eq 0 ] && STAGES=(plain tsan asan obs-smoke fault-smoke coverage)
+
+# Branch-point line-coverage floors for the merge-critical layers (the
+# coverage stage fails if a change lets these regress).
+COVERAGE_FLOOR_MERGE="${COVERAGE_FLOOR_MERGE:-97.5}"
+COVERAGE_FLOOR_CONTAINERS="${COVERAGE_FLOOR_CONTAINERS:-97.5}"
 
 # Validate that a file exists, is non-empty, and parses as JSON. Uses
 # python3's parser when present; otherwise falls back to a shape check so
@@ -122,8 +132,35 @@ run_stage() {
       grep -q '"ok":false' "${out}/permanent.json" ||
         { echo "fault-smoke: error report lacks \"ok\":false" >&2; return 1; }
       ;;
+    coverage)
+      # Line coverage for the merge-critical layers. gcovr when installed;
+      # otherwise tools/coverage_summary.py aggregates plain `gcov
+      # --json-format` output (header-only code is attributed to the header
+      # across every TU that instantiated it).
+      configure_and_build "${ROOT}/build-check-coverage" \
+        -DCMAKE_BUILD_TYPE=Debug \
+        -DCMAKE_CXX_FLAGS=--coverage -DCMAKE_EXE_LINKER_FLAGS=--coverage \
+        -DSUPMR_BUILD_BENCH=OFF -DSUPMR_BUILD_EXAMPLES=OFF
+      (cd "${ROOT}/build-check-coverage" &&
+        ctest -L 'unit|stress' --output-on-failure -j "${JOBS}")
+      if command -v gcovr >/dev/null 2>&1; then
+        gcovr --root "${ROOT}" --object-directory "${ROOT}/build-check-coverage" \
+          --filter 'src/merge/.*' \
+          --fail-under-line "${COVERAGE_FLOOR_MERGE}"
+        gcovr --root "${ROOT}" --object-directory "${ROOT}/build-check-coverage" \
+          --filter 'src/containers/.*' \
+          --fail-under-line "${COVERAGE_FLOOR_CONTAINERS}"
+      else
+        python3 "${ROOT}/tools/coverage_summary.py" \
+          "${ROOT}/build-check-coverage" --filter src/merge \
+          --fail-under "${COVERAGE_FLOOR_MERGE}"
+        python3 "${ROOT}/tools/coverage_summary.py" \
+          "${ROOT}/build-check-coverage" --filter src/containers \
+          --fail-under "${COVERAGE_FLOOR_CONTAINERS}"
+      fi
+      ;;
     *)
-      echo "unknown stage '${stage}' (want plain, tsan, asan, obs-smoke, or fault-smoke)" >&2
+      echo "unknown stage '${stage}' (want plain, tsan, asan, obs-smoke, fault-smoke, or coverage)" >&2
       return 2
       ;;
   esac

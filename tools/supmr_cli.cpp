@@ -11,7 +11,10 @@
 //
 // Common flags:
 //   --mode=supmr|original|adaptive   runtime (default supmr)
-//   --merge=pway|pairwise            final merge algorithm (default pway)
+//   --merge=pway|pairwise|partitioned  final merge algorithm (default pway)
+//   --partitions=N                   key-space partitions for
+//                                    --merge=partitioned (default 0 = auto:
+//                                    one per hardware context; docs/merge.md)
 //   --threads=N                      mapper/reducer threads
 //   --chunk=SIZE                     ingest chunk size (0/none = original)
 //   --throttle=RATE                  emulate a slow device, e.g. 384MB
@@ -66,7 +69,7 @@ namespace supmr::tools {
 namespace {
 
 const std::set<std::string> kCommonFlags = {
-    "mode",   "merge",   "threads", "chunk",      "throttle",
+    "mode",   "merge",   "partitions", "threads", "chunk", "throttle",
     "trace",  "top",     "out",     "key-bytes",  "record-bytes",
     "lo",     "hi",      "bins",    "files-per-chunk", "size",
     "verbose", "json",    "budget",  "clusters",   "dim",
@@ -120,8 +123,17 @@ StatusOr<CommonConfig> common_config(const Flags& flags) {
     cfg.job.merge_mode = core::MergeMode::kPWay;
   } else if (merge == "pairwise") {
     cfg.job.merge_mode = core::MergeMode::kPairwise;
+  } else if (merge == "partitioned") {
+    cfg.job.merge_mode = core::MergeMode::kPartitioned;
   } else {
     return Status::InvalidArgument("bad --merge: " + merge);
+  }
+  SUPMR_ASSIGN_OR_RETURN(std::uint64_t partitions,
+                         flags.get_int("partitions", 0));
+  cfg.job.num_merge_partitions = partitions;
+  if (partitions > 0 && merge != "partitioned") {
+    return Status::InvalidArgument(
+        "--partitions requires --merge=partitioned");
   }
   SUPMR_ASSIGN_OR_RETURN(std::uint64_t threads,
                          flags.get_int("threads", 0));
@@ -306,6 +318,11 @@ Status cmd_sort(const Flags& flags) {
   apps::TeraSortOptions opt;
   opt.key_bytes = static_cast<std::uint32_t>(key_bytes);
   opt.record_bytes = static_cast<std::uint32_t>(record_bytes);
+  if (cfg.job.merge_mode == core::MergeMode::kPartitioned) {
+    // Map-time partitioned shuffle: records land in key-range stripes as
+    // they are mapped, so the merge phase is P independent merges.
+    opt.partitions = cfg.job.merge_partitions();
+  }
   auto format = std::make_shared<ingest::CrlfFormat>();
   ingest::SingleDeviceSource source(dev, format, cfg.chunk_bytes);
   apps::TeraSortApp app(opt);
