@@ -1,0 +1,124 @@
+// Reference-runtime baseline: the sequential oracle (src/ref/) vs the
+// parallel SupMR pipeline on the same seeded corpora. This is the honest
+// floor for every speedup claim — the oracle has no pipeline, no p-way
+// merge, no partitioning, one thread — and doubles as a sanity check that
+// the two runtimes agree on result counts while disagreeing on time.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "apps/tera_sort.hpp"
+#include "apps/word_count.hpp"
+#include "bench/bench_util.hpp"
+#include "common/units.hpp"
+#include "core/job.hpp"
+#include "ingest/record_format.hpp"
+#include "ingest/source.hpp"
+#include "ref/ref_job.hpp"
+#include "storage/mem_device.hpp"
+#include "wload/teragen.hpp"
+#include "wload/text_corpus.hpp"
+
+using namespace supmr;
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Row {
+  double ref_s = 0;
+  double sut_s = 0;
+  std::uint64_t ref_bytes = 0;
+  std::uint64_t ref_results = 0;
+  std::uint64_t sut_results = 0;
+};
+
+core::JobConfig config(int threads) {
+  core::JobConfig jc;
+  jc.num_map_threads = threads;
+  jc.num_reduce_threads = threads;
+  jc.merge_mode = core::MergeMode::kPWay;
+  return jc;
+}
+
+template <typename MakeApp>
+Row run_pair(MakeApp make_app, const std::string& data,
+             std::shared_ptr<ingest::RecordFormat> format, int threads,
+             std::uint64_t chunk) {
+  Row row;
+  {
+    auto dev = std::make_shared<storage::MemDevice>(data, "bench");
+    ingest::SingleDeviceSource src(dev, format, /*chunk_bytes=*/0);
+    auto app = make_app();
+    const double t0 = now_s();
+    auto r = ref::run_ref(*app, src);
+    row.ref_s = now_s() - t0;
+    if (r.ok()) {
+      row.ref_bytes = r->canonical.size();
+      row.ref_results = r->result_count;
+    }
+  }
+  {
+    auto dev = std::make_shared<storage::MemDevice>(data, "bench");
+    ingest::SingleDeviceSource src(dev, format, chunk);
+    auto app = make_app();
+    core::MapReduceJob job(*app, src, config(threads));
+    const double t0 = now_s();
+    auto r = job.run_ingestMR();
+    row.sut_s = now_s() - t0;
+    if (r.ok()) row.sut_results = r->result_count;
+  }
+  return row;
+}
+
+void print_pair(const char* label, const Row& row) {
+  std::printf("%-12s ref %8.3fs  supmr %8.3fs  speedup %5.2fx  "
+              "(oracle %llu bytes / %llu results, sut %llu results%s)\n",
+              label, row.ref_s, row.sut_s,
+              row.sut_s > 0 ? row.ref_s / row.sut_s : 0.0,
+              (unsigned long long)row.ref_bytes,
+              (unsigned long long)row.ref_results,
+              (unsigned long long)row.sut_results,
+              row.ref_results == row.sut_results ? "" : "  ** MISMATCH **");
+}
+
+}  // namespace
+
+int main() {
+  const int threads = 4;
+  const std::uint64_t chunk = 4 * kMB;
+  bench::print_banner(
+      "ref_baseline: sequential reference runtime vs SupMR pipeline",
+      "conformance oracle as bench floor (docs/testing.md)");
+  std::printf("%d threads, %llu-byte chunks\n\n", threads,
+              (unsigned long long)chunk);
+
+  {
+    wload::TextCorpusConfig cfg;
+    cfg.total_bytes = 64 * kMB;
+    cfg.seed = 42;
+    const std::string text = wload::generate_text(cfg);
+    Row row = run_pair([] { return std::make_unique<apps::WordCountApp>(); },
+                       text, std::make_shared<ingest::LineFormat>(), threads,
+                       chunk);
+    print_pair("wordcount", row);
+  }
+  {
+    wload::TeraGenConfig cfg;
+    cfg.num_records = (32 * kMB) / 100;
+    cfg.seed = 42;
+    const std::string data = wload::teragen_to_string(cfg);
+    Row row = run_pair(
+        [] {
+          return std::make_unique<apps::TeraSortApp>(apps::TeraSortOptions{});
+        },
+        data, std::make_shared<ingest::CrlfFormat>(), threads, chunk);
+    print_pair("sort", row);
+  }
+  return 0;
+}

@@ -41,4 +41,18 @@ Status ExternalWordCountApp::merge(ThreadPool&, const core::MergePlan&,
   return Status::Ok();
 }
 
+std::string ExternalWordCountApp::canonical_output() const {
+  // Same encoding as WordCountApp — the spilling container promises
+  // byte-identical output at any budget, and the conformance harness holds
+  // it to that.
+  std::string out;
+  for (const auto& [word, count] : results_) {
+    out += word;
+    out += '\t';
+    out += std::to_string(count);
+    out += '\n';
+  }
+  return out;
+}
+
 }  // namespace supmr::apps

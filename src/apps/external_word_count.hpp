@@ -35,6 +35,7 @@ class ExternalWordCountApp final : public core::Application {
   Status merge(ThreadPool& pool, const core::MergePlan& plan,
                merge::MergeStats* stats) override;
   std::uint64_t result_count() const override { return results_.size(); }
+  std::string canonical_output() const override;
 
   // (word, count) sorted by word — same contract as WordCountApp.
   const std::vector<Result>& results() const { return results_; }

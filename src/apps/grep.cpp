@@ -113,4 +113,15 @@ std::uint64_t GrepApp::lines_scanned() const {
   return n;
 }
 
+std::string GrepApp::canonical_output() const {
+  std::string out;
+  for (const auto& [pattern, hits] : results_) {
+    out += pattern;
+    out += '\t';
+    out += std::to_string(hits);
+    out += '\n';
+  }
+  return out;
+}
+
 }  // namespace supmr::apps

@@ -32,6 +32,7 @@ class GrepApp final : public core::Application {
   Status merge(ThreadPool& pool, const core::MergePlan& plan,
                merge::MergeStats* stats) override;
   std::uint64_t result_count() const override { return results_.size(); }
+  std::string canonical_output() const override;
 
   // (pattern, total occurrences), sorted by pattern; patterns with zero
   // matches are absent.

@@ -119,4 +119,19 @@ std::uint64_t HistogramApp::values_out_of_range() const {
   return n;
 }
 
+std::string HistogramApp::canonical_output() const {
+  // Bins are dense and key-ordered by construction; the parsed/dropped
+  // totals ride along so a run that silently drops values cannot match.
+  std::string out;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    out += std::to_string(b);
+    out += '\t';
+    out += std::to_string(counts_[b]);
+    out += '\n';
+  }
+  out += "parsed\t" + std::to_string(values_parsed()) + '\n';
+  out += "dropped\t" + std::to_string(values_out_of_range()) + '\n';
+  return out;
+}
+
 }  // namespace supmr::apps

@@ -37,6 +37,7 @@ class HistogramApp final : public core::Application {
   Status merge(ThreadPool& pool, const core::MergePlan& plan,
                merge::MergeStats* stats) override;
   std::uint64_t result_count() const override { return counts_.size(); }
+  std::string canonical_output() const override;
 
   // Per-bin counts, valid after reduce.
   const std::vector<std::uint64_t>& counts() const { return counts_; }

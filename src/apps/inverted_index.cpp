@@ -107,4 +107,18 @@ Status InvertedIndexApp::merge(ThreadPool& pool, const core::MergePlan& plan,
   return Status::Ok();
 }
 
+std::string InvertedIndexApp::canonical_output() const {
+  std::string out;
+  for (const auto& posting : index_) {
+    out += posting.word;
+    out += '\t';
+    for (std::size_t i = 0; i < posting.files.size(); ++i) {
+      if (i > 0) out += ',';
+      out += std::to_string(posting.files[i]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
 }  // namespace supmr::apps

@@ -32,6 +32,7 @@ class InvertedIndexApp final : public core::Application {
   Status merge(ThreadPool& pool, const core::MergePlan& plan,
                merge::MergeStats* stats) override;
   std::uint64_t result_count() const override { return index_.size(); }
+  std::string canonical_output() const override;
 
   // The index, sorted by word.
   const std::vector<Posting>& index() const { return index_; }

@@ -1,5 +1,6 @@
 #include "apps/tera_sort.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <cstring>
@@ -233,6 +234,38 @@ Status TeraSortApp::merge(ThreadPool& pool, const core::MergePlan& plan,
 
   if (stats != nullptr) *stats = std::move(local);
   return Status::Ok();
+}
+
+std::string TeraSortApp::canonical_output() const {
+  // The sort contract fixes the KEY order but leaves ties between
+  // equal-key records unspecified (stability is not promised). Normalize
+  // only within each run of adjacent equal keys — sorting those records by
+  // their full bytes — so two correct runs encode identically while a
+  // globally mis-ordered output (wrong comparator, wrong routing) still
+  // differs: a misplaced record changes which records are adjacent.
+  const std::size_t rb = options_.record_bytes;
+  const std::size_t kb = options_.key_bytes;
+  std::string out;
+  if (rb == 0) return out;
+  const std::size_t n = sorted_.size() / rb;
+  out.reserve(n * rb);
+  std::vector<const char*> run;
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i + 1;
+    while (j < n && std::memcmp(sorted_.data() + i * rb,
+                                sorted_.data() + j * rb, kb) == 0) {
+      ++j;
+    }
+    run.clear();
+    for (std::size_t r = i; r < j; ++r) run.push_back(sorted_.data() + r * rb);
+    std::sort(run.begin(), run.end(), [rb](const char* a, const char* b) {
+      return std::memcmp(a, b, rb) < 0;
+    });
+    for (const char* rec : run) out.append(rec, rb);
+    i = j;
+  }
+  return out;
 }
 
 }  // namespace supmr::apps

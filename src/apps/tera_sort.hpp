@@ -50,6 +50,7 @@ class TeraSortApp final : public core::Application {
   std::uint64_t result_count() const override {
     return partitioned() ? pcontainer_.total_records() : container_.size();
   }
+  std::string canonical_output() const override;
 
   // Sorted output (result_count() * record_bytes bytes), valid after merge.
   const std::vector<char>& sorted_data() const { return sorted_; }

@@ -127,4 +127,17 @@ std::uint64_t WordCountApp::words_mapped() const {
   return n;
 }
 
+std::string WordCountApp::canonical_output() const {
+  // Keys are unique, so the merge order IS the canonical order: one
+  // "word\tcount\n" line per result, in results_ order.
+  std::string out;
+  for (const auto& [word, count] : results_) {
+    out += word;
+    out += '\t';
+    out += std::to_string(count);
+    out += '\n';
+  }
+  return out;
+}
+
 }  // namespace supmr::apps

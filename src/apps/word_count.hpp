@@ -34,6 +34,7 @@ class WordCountApp final : public core::Application {
   Status merge(ThreadPool& pool, const core::MergePlan& plan,
                merge::MergeStats* stats) override;
   std::uint64_t result_count() const override { return results_.size(); }
+  std::string canonical_output() const override;
 
   // Final output: (word, count) sorted by word.
   const std::vector<Result>& results() const { return results_; }

@@ -1,0 +1,16 @@
+#include "common/test_hooks.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace supmr {
+
+bool test_mutation_enabled(std::string_view name) {
+  static const std::string active = [] {
+    const char* v = std::getenv("SUPMR_TEST_MUTATION");
+    return std::string(v == nullptr ? "" : v);
+  }();
+  return !active.empty() && active == name;
+}
+
+}  // namespace supmr

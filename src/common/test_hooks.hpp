@@ -1,0 +1,21 @@
+// Seeded fault-injection points for the conformance harness's mutation
+// smoke (docs/testing.md).
+//
+// A mutation hook is a named branch that, when SUPMR_TEST_MUTATION names it,
+// deliberately corrupts one semantic decision (a comparator direction, a
+// partition routing) so the e2e differential harness can prove it actually
+// detects such bugs. Production behaviour is untouched: the environment
+// variable is read once, and call sites cache the answer in a function-local
+// static, so the cost on the hot path is one predictable branch.
+#pragma once
+
+#include <string_view>
+
+namespace supmr {
+
+// True when the SUPMR_TEST_MUTATION environment variable exactly names this
+// mutation point. The variable is sampled once per process (mutations are a
+// whole-run property — flipping mid-run would make failures unreproducible).
+bool test_mutation_enabled(std::string_view name);
+
+}  // namespace supmr

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "common/status.hpp"
 #include "core/job_config.hpp"
@@ -68,6 +69,15 @@ class Application {
 
   // Number of output records/pairs — used for result validation.
   virtual std::uint64_t result_count() const = 0;
+
+  // Canonical byte encoding of the final output, for differential
+  // comparison against the sequential reference runtime (src/ref/ and
+  // tests/harness/). Valid after merge. The encoding must PRESERVE the
+  // app's post-merge ordering — a merge/shuffle bug has to change these
+  // bytes — and may normalize only what the output contract leaves
+  // unspecified (ties between equal keys). Returning "" opts the app out
+  // of conformance checking.
+  virtual std::string canonical_output() const { return {}; }
 };
 
 }  // namespace supmr::core

@@ -1,0 +1,74 @@
+// Self-contained repro specs for the conformance harness.
+//
+// A ReplaySpec captures everything one differential cell needs to run
+// again: which application, how to regenerate the seeded corpus, the app's
+// parameters, and the full JobConfig-shaped cell (ExecMode, MergeMode,
+// threads, chunking, fault plan). The harness writes one of these as JSON
+// when a cell diverges from the reference runtime; `supmr replay <file>`
+// re-runs exactly that cell (src/ref/conformance.hpp). to_json/from_json
+// round-trip, and from_json is the repo's only JSON *parser* — a minimal,
+// strict reader for the flat spec shape, not a general-purpose one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.hpp"
+#include "core/job_config.hpp"
+
+namespace supmr::core {
+
+// How to regenerate the cell's input corpus (all generators are seeded and
+// deterministic — src/wload/).
+struct CorpusSpec {
+  // text (wload::generate_text) | terasort (wload::teragen_to_string) |
+  // numeric (wload::generate_numeric) | multi-text
+  // (wload::generate_text_files, for MultiFileSource apps).
+  std::string kind = "text";
+  std::uint64_t bytes = 1 << 17;
+  std::uint64_t seed = 1;
+  std::uint64_t num_files = 6;  // multi-text only
+};
+
+struct ReplaySpec {
+  // wordcount | xwordcount (spilling container) | sort | grep | histogram |
+  // index
+  std::string app = "wordcount";
+  CorpusSpec corpus;
+
+  // Application parameters (only the ones the named app reads apply).
+  std::uint64_t key_bytes = 10;       // sort
+  std::uint64_t record_bytes = 100;   // sort
+  std::uint64_t app_partitions = 0;   // sort: map-time PartitionedContainer
+  std::int64_t hist_lo = 0;           // histogram
+  std::int64_t hist_hi = 256;         // histogram
+  std::uint64_t hist_bins = 32;       // histogram
+  std::string grep_patterns = "th,he,zz";  // grep (comma-separated)
+  std::uint64_t memory_budget = 0;    // xwordcount spill budget (bytes)
+
+  // The config-lattice cell.
+  ExecMode mode = ExecMode::kIngestMR;
+  MergeMode merge_mode = MergeMode::kPWay;
+  std::uint64_t threads = 2;
+  std::uint64_t merge_partitions = 0;  // 0 = auto
+  std::uint64_t chunk_bytes = 64 * 1024;
+  std::uint64_t files_per_chunk = 3;   // MultiFileSource apps
+  bool degrade = false;
+  std::string fault_plan;              // fault::FaultPlan grammar; "" = none
+  std::uint64_t retry_attempts = 1;
+
+  std::string to_json() const;
+  // Strict parse of a spec produced by to_json (or hand-written in the same
+  // shape). Unknown keys, malformed JSON, and out-of-range enum names are
+  // errors — a repro file that drifted from the schema fails loudly.
+  static StatusOr<ReplaySpec> from_json(std::string_view text);
+};
+
+// Enum <-> name helpers shared by the spec and the CLI. exec_mode_name()
+// lives in job_config.hpp; these complete the set.
+std::string_view merge_mode_name(MergeMode mode);
+StatusOr<ExecMode> exec_mode_from_name(std::string_view name);
+StatusOr<MergeMode> merge_mode_from_name(std::string_view name);
+
+}  // namespace supmr::core

@@ -24,6 +24,7 @@
 #include <span>
 #include <vector>
 
+#include "common/test_hooks.hpp"
 #include "merge/introsort.hpp"
 #include "merge/loser_tree.hpp"
 #include "merge/stats.hpp"
@@ -63,9 +64,18 @@ std::vector<T> select_splitters(std::span<const T> data,
 template <typename T, typename Cmp>
 std::size_t partition_of(const std::vector<T>& splitters, const T& x,
                          Cmp cmp) {
-  return static_cast<std::size_t>(
+  std::size_t p = static_cast<std::size_t>(
       std::upper_bound(splitters.begin(), splitters.end(), x, cmp) -
       splitters.begin());
+  // "partition-routing" mutation hook (conformance harness smoke): rotate
+  // every element one partition up, wrapping the top key range into
+  // partition 0. The wrap is what makes it detectable — a uniform or
+  // monotone shift would be erased by the per-stripe sorts downstream.
+  static const bool mutate_routing = test_mutation_enabled("partition-routing");
+  if (mutate_routing && !splitters.empty()) {
+    p = (p + 1) % (splitters.size() + 1);
+  }
+  return p;
 }
 
 // Buckets `data` into splitters.size() + 1 partitions, preserving arrival

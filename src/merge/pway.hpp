@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/test_hooks.hpp"
 #include "merge/loser_tree.hpp"
 #include "merge/stats.hpp"
 #include "obs/macros.hpp"
@@ -81,7 +82,12 @@ MergeStats parallel_pway_merge(ThreadPool& pool,
     out_offset[w + 1] = out_offset[w] + slice;
   }
 
-  // 3. Independent loser-tree merges.
+  // 3. Independent loser-tree merges. The "pway-comparator" mutation hook
+  // (conformance harness smoke) inverts the comparator in this stage ONLY —
+  // the splitting above keeps using the real cmp, because handing an
+  // inconsistent comparator to std::lower_bound would be unspecified
+  // behaviour rather than a clean wrong answer.
+  static const bool mutate_cmp = test_mutation_enabled("pway-comparator");
   std::vector<std::function<void(std::size_t)>> tasks;
   tasks.reserve(p);
   for (std::size_t w = 0; w < p; ++w) {
@@ -94,8 +100,14 @@ MergeStats parallel_pway_merge(ThreadPool& pool,
             runs[r].subspan(boundaries[w][r],
                             boundaries[w + 1][r] - boundaries[w][r]));
       }
-      LoserTree<T, Cmp> tree(std::move(slices), cmp);
-      tree.drain(out + out_offset[w]);
+      if (mutate_cmp) {
+        auto inverted = [&cmp](const T& a, const T& b) { return cmp(b, a); };
+        LoserTree<T, decltype(inverted)> tree(std::move(slices), inverted);
+        tree.drain(out + out_offset[w]);
+      } else {
+        LoserTree<T, Cmp> tree(std::move(slices), cmp);
+        tree.drain(out + out_offset[w]);
+      }
     });
   }
   pool.run_wave(tasks);

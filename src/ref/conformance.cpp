@@ -1,0 +1,289 @@
+#include "ref/conformance.hpp"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <optional>
+#include <set>
+#include <string_view>
+#include <vector>
+
+#include "apps/external_word_count.hpp"
+#include "apps/grep.hpp"
+#include "apps/histogram.hpp"
+#include "apps/inverted_index.hpp"
+#include "apps/tera_sort.hpp"
+#include "apps/word_count.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/retrying_device.hpp"
+#include "ingest/record_format.hpp"
+#include "ingest/source.hpp"
+#include "ref/ref_job.hpp"
+#include "storage/fault_device.hpp"
+#include "storage/mem_device.hpp"
+#include "wload/numeric.hpp"
+#include "wload/teragen.hpp"
+#include "wload/text_corpus.hpp"
+
+namespace supmr::ref {
+namespace {
+
+std::vector<std::string> split_patterns(const std::string& csv) {
+  std::vector<std::string> patterns;
+  std::size_t pos = 0;
+  while (pos <= csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    patterns.push_back(csv.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return patterns;
+}
+
+// The SUT app for the cell; `for_ref` builds the oracle twin instead. The
+// twin is deliberately the boring variant: no map-time partitioning for
+// sort, and the in-memory (non-spilling) container for xwordcount — the
+// reference is "no-pipeline, no-spill" by definition.
+StatusOr<std::unique_ptr<core::Application>> make_app(
+    const core::ReplaySpec& spec, bool for_ref) {
+  if (spec.app == "wordcount" || (for_ref && spec.app == "xwordcount")) {
+    return std::unique_ptr<core::Application>(new apps::WordCountApp());
+  }
+  if (spec.app == "xwordcount") {
+    containers::SpillingHashContainer::Options opt;
+    opt.memory_budget_bytes =
+        spec.memory_budget > 0 ? spec.memory_budget : 32 * 1024;
+    return std::unique_ptr<core::Application>(
+        new apps::ExternalWordCountApp(opt));
+  }
+  if (spec.app == "sort") {
+    apps::TeraSortOptions opt;
+    opt.key_bytes = static_cast<std::uint32_t>(spec.key_bytes);
+    opt.record_bytes = static_cast<std::uint32_t>(spec.record_bytes);
+    opt.partitions = for_ref ? 0 : spec.app_partitions;
+    return std::unique_ptr<core::Application>(new apps::TeraSortApp(opt));
+  }
+  if (spec.app == "grep") {
+    return std::unique_ptr<core::Application>(
+        new apps::GrepApp(split_patterns(spec.grep_patterns)));
+  }
+  if (spec.app == "histogram") {
+    apps::HistogramOptions opt;
+    opt.lo = spec.hist_lo;
+    opt.hi = spec.hist_hi;
+    opt.bins = spec.hist_bins;
+    return std::unique_ptr<core::Application>(new apps::HistogramApp(opt));
+  }
+  if (spec.app == "index") {
+    return std::unique_ptr<core::Application>(new apps::InvertedIndexApp());
+  }
+  return Status::InvalidArgument("conformance: unknown app " + spec.app);
+}
+
+std::shared_ptr<const ingest::RecordFormat> make_format(
+    const core::ReplaySpec& spec) {
+  if (spec.app == "sort") return std::make_shared<ingest::CrlfFormat>();
+  return std::make_shared<ingest::LineFormat>();
+}
+
+std::string printable(std::string_view bytes) {
+  std::string out;
+  for (char c : bytes) {
+    if (std::isprint(static_cast<unsigned char>(c))) {
+      out += c;
+    } else {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\x%02x",
+                    static_cast<unsigned char>(c));
+      out += buf;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<std::string> make_corpus(const core::ReplaySpec& spec) {
+  const core::CorpusSpec& c = spec.corpus;
+  if (c.kind == "text") {
+    wload::TextCorpusConfig cfg;
+    cfg.total_bytes = c.bytes;
+    cfg.seed = c.seed;
+    return wload::generate_text(cfg);
+  }
+  if (c.kind == "terasort") {
+    wload::TeraGenConfig cfg;
+    cfg.key_bytes = static_cast<std::uint32_t>(spec.key_bytes);
+    cfg.record_bytes = static_cast<std::uint32_t>(spec.record_bytes);
+    cfg.num_records = cfg.record_bytes ? c.bytes / cfg.record_bytes : 0;
+    cfg.seed = c.seed;
+    return wload::teragen_to_string(cfg);
+  }
+  if (c.kind == "numeric") {
+    wload::NumericConfig cfg;
+    cfg.num_values = c.bytes / 4;
+    cfg.lo = spec.hist_lo;
+    cfg.hi = spec.hist_hi > spec.hist_lo ? spec.hist_hi - 1 : spec.hist_lo;
+    cfg.seed = c.seed;
+    return wload::generate_numeric(cfg);
+  }
+  return Status::InvalidArgument("conformance: unknown corpus kind " + c.kind);
+}
+
+std::string diff_summary(const std::string& sut, const std::string& ref) {
+  if (sut == ref) return "identical";
+  const std::size_t n = std::min(sut.size(), ref.size());
+  std::size_t i = 0;
+  while (i < n && sut[i] == ref[i]) ++i;
+  const std::size_t from = i >= 16 ? i - 16 : 0;
+  const std::size_t len = 32;
+  std::string out = "outputs differ at byte " + std::to_string(i) + " (sut " +
+                    std::to_string(sut.size()) + " bytes, ref " +
+                    std::to_string(ref.size()) + " bytes); sut[" +
+                    std::to_string(from) + "..]=\"" +
+                    printable(std::string_view(sut).substr(from, len)) +
+                    "\" ref[" + std::to_string(from) + "..]=\"" +
+                    printable(std::string_view(ref).substr(from, len)) + "\"";
+  return out;
+}
+
+StatusOr<ConformanceOutcome> run_cell(const core::ReplaySpec& spec,
+                                      const std::string* corpus_override) {
+  const bool multi = spec.corpus.kind == "multi-text";
+  if (spec.app == "index" && !multi) {
+    return Status::InvalidArgument(
+        "conformance: index cells need corpus kind multi-text");
+  }
+  if (multi && (spec.app != "index" || corpus_override != nullptr)) {
+    return Status::InvalidArgument(
+        "conformance: multi-text corpus only supports the index app "
+        "without a corpus override");
+  }
+  if (multi && spec.mode == core::ExecMode::kAdaptive) {
+    return Status::InvalidArgument(
+        "conformance: adaptive mode needs a single-device source");
+  }
+  if (spec.degrade &&
+      (multi || spec.mode != core::ExecMode::kIngestMR)) {
+    return Status::InvalidArgument(
+        "conformance: degrade cells run in supmr mode on a single device "
+        "(the surviving-range oracle needs the planned chunk extents)");
+  }
+
+  std::optional<fault::FaultPlan> plan;
+  if (!spec.fault_plan.empty()) {
+    SUPMR_ASSIGN_OR_RETURN(plan, fault::FaultPlan::parse(spec.fault_plan));
+  }
+
+  core::JobConfig cfg;
+  cfg.mode = spec.mode;
+  cfg.merge_mode = spec.merge_mode;
+  cfg.num_map_threads = spec.threads;
+  cfg.num_reduce_threads = spec.threads;
+  cfg.num_merge_partitions = spec.merge_partitions;
+  cfg.recovery.policy.max_attempts =
+      static_cast<std::uint32_t>(spec.retry_attempts);
+  // Keep retried cells fast: the lattice runs hundreds of cells, and real
+  // backoff curves are the fault suite's concern, not conformance's.
+  cfg.recovery.policy.backoff_base_s = 1e-4;
+  cfg.recovery.policy.backoff_max_s = 1e-3;
+  cfg.recovery.degrade = spec.degrade;
+
+  SUPMR_ASSIGN_OR_RETURN(auto sut_app, make_app(spec, /*for_ref=*/false));
+  SUPMR_ASSIGN_OR_RETURN(auto ref_app, make_app(spec, /*for_ref=*/true));
+
+  ConformanceOutcome outcome;
+  RefResult ref;
+  if (multi) {
+    wload::TextCorpusConfig tcfg;
+    tcfg.seed = spec.corpus.seed;
+    const std::uint64_t per_file =
+        std::max<std::uint64_t>(1, spec.corpus.bytes /
+                                       std::max<std::uint64_t>(
+                                           1, spec.corpus.num_files));
+    auto files = wload::generate_text_files(
+        tcfg, static_cast<std::size_t>(spec.corpus.num_files), per_file);
+    ingest::MultiFileSource source(files,
+                                   static_cast<std::size_t>(
+                                       spec.files_per_chunk));
+    core::MapReduceJob job(*sut_app, source, cfg);
+    SUPMR_ASSIGN_OR_RETURN(outcome.job, job.run(cfg.mode));
+
+    ingest::MultiFileSource ref_source(files, 0);  // all files, one round
+    SUPMR_ASSIGN_OR_RETURN(ref, run_ref(*ref_app, ref_source));
+  } else {
+    std::string data;
+    if (corpus_override != nullptr) {
+      data = *corpus_override;
+    } else {
+      SUPMR_ASSIGN_OR_RETURN(data, make_corpus(spec));
+    }
+    auto format = make_format(spec);
+    std::shared_ptr<const storage::Device> dev =
+        std::make_shared<storage::MemDevice>(data, "conformance-input");
+    if (plan) dev = std::make_shared<storage::FaultDevice>(dev, *plan);
+    if (cfg.recovery.policy.enabled()) {
+      dev = std::make_shared<fault::RetryingDevice>(dev, cfg.recovery.policy);
+    }
+    ingest::SingleDeviceSource source(dev, format, spec.chunk_bytes);
+    core::MapReduceJob job(*sut_app, source, cfg);
+    SUPMR_ASSIGN_OR_RETURN(outcome.job, job.run(cfg.mode));
+
+    // The oracle's input: the full corpus, or — for a degraded run — the
+    // concatenation of the chunk extents the run did not skip.
+    std::string ref_data;
+    if (outcome.job.chunks_skipped > 0) {
+      auto clean =
+          std::make_shared<storage::MemDevice>(data, "conformance-oracle");
+      ingest::SingleDeviceSource planner(clean, format, spec.chunk_bytes);
+      SUPMR_ASSIGN_OR_RETURN(auto extents, planner.plan());
+      std::set<std::uint64_t> skipped;
+      for (const auto& timing : outcome.job.pipeline.chunks) {
+        if (timing.skipped) skipped.insert(timing.index);
+      }
+      for (const auto& extent : extents) {
+        if (skipped.count(extent.index) == 0) {
+          ref_data.append(data, extent.offset, extent.length);
+        }
+      }
+    } else {
+      ref_data = data;
+    }
+    auto ref_dev =
+        std::make_shared<storage::MemDevice>(ref_data, "conformance-ref");
+    ingest::SingleDeviceSource ref_source(ref_dev, format, 0);
+    SUPMR_ASSIGN_OR_RETURN(ref, run_ref(*ref_app, ref_source));
+  }
+
+  outcome.sut_canonical = sut_app->canonical_output();
+  outcome.ref_canonical = std::move(ref.canonical);
+  outcome.match = outcome.sut_canonical == outcome.ref_canonical;
+  if (!outcome.match) {
+    outcome.diff = diff_summary(outcome.sut_canonical, outcome.ref_canonical);
+  } else {
+    outcome.diff = "identical";
+  }
+  return outcome;
+}
+
+StatusOr<std::string> write_repro(const core::ReplaySpec& spec,
+                                  const std::string& dir,
+                                  const std::string& name) {
+  std::string path = name + ".json";
+  if (!dir.empty()) {
+    ::mkdir(dir.c_str(), 0777);  // best effort; fopen below reports failure
+    path = dir + "/" + path;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot create " + path);
+  const std::string json = spec.to_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  if (!ok) return Status::IoError("short write to " + path);
+  return path;
+}
+
+}  // namespace supmr::ref

@@ -1,0 +1,115 @@
+// CLI argument-validation contract: bad invocations must exit non-zero AND
+// say what was wrong on stderr. Each case spawns the real supmr binary
+// (SUPMR_CLI_PATH is injected by CMake) with stderr folded into the captured
+// stream, so these assertions cover the exact text a user sees.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include <sys/wait.h>
+
+namespace supmr {
+namespace {
+
+struct CliResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr interleaved
+};
+
+CliResult run_cli(const std::string& args) {
+  const std::string cmd = std::string(SUPMR_CLI_PATH) + " " + args + " 2>&1";
+  CliResult result;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buf[512];
+  std::size_t n;
+  while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0) {
+    result.output.append(buf, n);
+  }
+  const int status = pclose(pipe);
+  if (WIFEXITED(status)) result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
+void expect_rejected(const std::string& args, const std::string& expected_msg) {
+  const CliResult r = run_cli(args);
+  EXPECT_NE(r.exit_code, 0) << "supmr " << args << "\n" << r.output;
+  EXPECT_NE(r.output.find(expected_msg), std::string::npos)
+      << "supmr " << args << " should mention \"" << expected_msg
+      << "\"; got:\n" << r.output;
+}
+
+TEST(CliValidation, PartitionsRequirePartitionedMerge) {
+  // Validation runs before the input file is opened, so no corpus is needed.
+  expect_rejected("sort nonexistent.dat --partitions=4",
+                  "--partitions requires --merge=partitioned");
+  expect_rejected("sort nonexistent.dat --merge=pway --partitions=4",
+                  "--partitions requires --merge=partitioned");
+}
+
+TEST(CliValidation, DegradeRequiresFaultPlan) {
+  expect_rejected("wordcount nonexistent.txt --degrade",
+                  "--degrade requires --fault-plan");
+}
+
+TEST(CliValidation, DegradeWithFaultPlanPassesValidation) {
+  // With a plan the flag combination is accepted; the failure (if any) must
+  // come later, from the missing input file — not from flag validation.
+  const CliResult r = run_cli(
+      "wordcount nonexistent.txt --degrade --fault-plan=permanent=0-10");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_EQ(r.output.find("--degrade requires"), std::string::npos)
+      << r.output;
+}
+
+TEST(CliValidation, UnknownFlagNamesTheFlag) {
+  expect_rejected("wordcount whatever --no-such-flag=1",
+                  "unknown flag --no-such-flag");
+}
+
+TEST(CliValidation, BadEnumValuesAreNamed) {
+  expect_rejected("wordcount whatever --mode=warp", "bad --mode: warp");
+  expect_rejected("wordcount whatever --merge=psychic",
+                  "bad --merge: psychic");
+}
+
+TEST(CliValidation, RetryAttemptsMustBePositive) {
+  expect_rejected("wordcount whatever --retry-attempts=0",
+                  "--retry-attempts must be >= 1");
+}
+
+TEST(CliValidation, MalformedSizesAndNumbers) {
+  expect_rejected("wordcount whatever --chunk=banana", "bad size for --chunk");
+  expect_rejected("wordcount whatever --threads=many",
+                  "bad integer for --threads");
+}
+
+TEST(CliValidation, UnknownCommand) {
+  expect_rejected("transmogrify foo", "unknown command: transmogrify");
+}
+
+TEST(CliValidation, ReplayNeedsAReadableSpec) {
+  expect_rejected("replay", "replay needs a spec file");
+  expect_rejected("--replay", "--replay needs a spec file");
+  {
+    const CliResult r = run_cli("replay /nonexistent/repro.json");
+    EXPECT_NE(r.exit_code, 0) << r.output;
+    EXPECT_NE(r.output.find("error:"), std::string::npos) << r.output;
+  }
+}
+
+TEST(CliValidation, ReplayRejectsMalformedSpec) {
+  const std::string path = ::testing::TempDir() + "/bad_replay_spec.json";
+  FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("{\"app\": \"wordcount\", \"mystery\": 1}", f);
+  std::fclose(f);
+  const CliResult r = run_cli("replay " + path);
+  EXPECT_NE(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("error:"), std::string::npos) << r.output;
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace supmr

@@ -1,0 +1,154 @@
+// Differential conformance lattice (docs/testing.md): every application runs
+// across ExecMode × MergeMode × container/partitioning × thread/chunk axes on
+// seeded corpora, and each cell's canonicalized output must be byte-equal to
+// the sequential reference runtime (src/ref/). A diverging cell writes a
+// self-contained repro spec replayable with `supmr replay <file>`.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "tests/harness/harness_util.hpp"
+
+namespace supmr::harness {
+namespace {
+
+struct Axis {
+  core::ExecMode mode;
+  core::MergeMode merge;
+};
+
+// The mode × merge cross. Partitioned merge gets merge_partitions=5 (odd,
+// different from the thread count, so stripes and waves never line up by
+// accident).
+std::vector<Axis> mode_merge_cross() {
+  std::vector<Axis> axes;
+  for (core::ExecMode mode : {core::ExecMode::kOriginal,
+                              core::ExecMode::kIngestMR,
+                              core::ExecMode::kAdaptive}) {
+    for (core::MergeMode merge : {core::MergeMode::kPairwise,
+                                  core::MergeMode::kPWay,
+                                  core::MergeMode::kPartitioned}) {
+      axes.push_back({mode, merge});
+    }
+  }
+  return axes;
+}
+
+void run_lattice(core::ReplaySpec base, const std::string& app_label,
+                 bool single_device) {
+  for (const Axis& axis : mode_merge_cross()) {
+    if (!single_device && axis.mode == core::ExecMode::kAdaptive) {
+      continue;  // adaptive pipeline drives one device end-to-end
+    }
+    core::ReplaySpec spec = base;
+    spec.mode = axis.mode;
+    spec.merge_mode = axis.merge;
+    spec.merge_partitions =
+        axis.merge == core::MergeMode::kPartitioned ? 5 : 0;
+    expect_cell(spec, app_label + "-" +
+                          std::string(core::exec_mode_name(axis.mode)) + "-" +
+                          std::string(core::merge_mode_name(axis.merge)));
+  }
+}
+
+TEST(ConformanceLattice, WordCount) {
+  run_lattice(spec_wordcount(1), "wordcount", /*single_device=*/true);
+}
+
+TEST(ConformanceLattice, ExternalWordCount) {
+  // Spilling container: with a 16KB budget over a 160KB corpus every stripe
+  // spills and re-merges, yet the bytes must match the in-memory oracle.
+  run_lattice(spec_xwordcount(2), "xwordcount", /*single_device=*/true);
+}
+
+TEST(ConformanceLattice, Grep) {
+  run_lattice(spec_grep(3), "grep", /*single_device=*/true);
+}
+
+TEST(ConformanceLattice, Histogram) {
+  run_lattice(spec_histogram(4), "histogram", /*single_device=*/true);
+}
+
+TEST(ConformanceLattice, SortFlat) {
+  run_lattice(spec_sort(5), "sort-flat", /*single_device=*/true);
+}
+
+TEST(ConformanceLattice, SortMapTimePartitioned) {
+  // Map-time partitioned container (TeraSortApp partitioned()): records are
+  // routed into per-partition buckets during map, merged by
+  // merge_partitioned. Only meaningful under the partitioned merge plan.
+  core::ReplaySpec base = spec_sort(6);
+  base.app_partitions = 4;
+  base.merge_mode = core::MergeMode::kPartitioned;
+  base.merge_partitions = 4;
+  for (core::ExecMode mode : {core::ExecMode::kOriginal,
+                              core::ExecMode::kIngestMR,
+                              core::ExecMode::kAdaptive}) {
+    core::ReplaySpec spec = base;
+    spec.mode = mode;
+    expect_cell(spec, "sort-mapdist-" +
+                          std::string(core::exec_mode_name(mode)) +
+                          "-partitioned");
+  }
+}
+
+TEST(ConformanceLattice, InvertedIndex) {
+  run_lattice(spec_index(7), "index", /*single_device=*/false);
+}
+
+// Axis sweeps beyond the mode × merge cross: thread count, chunk size, and
+// partition fan-out each get their own pass on the supmr mode.
+TEST(ConformanceLattice, ThreadAxis) {
+  for (int threads : {1, 2, 5}) {
+    core::ReplaySpec spec = spec_wordcount(8);
+    spec.mode = core::ExecMode::kIngestMR;
+    spec.merge_mode = core::MergeMode::kPWay;
+    spec.threads = threads;
+    expect_cell(spec, "wordcount-threads-" + std::to_string(threads));
+
+    core::ReplaySpec sort = spec_sort(9);
+    sort.mode = core::ExecMode::kIngestMR;
+    sort.merge_mode = core::MergeMode::kPartitioned;
+    sort.merge_partitions = 5;
+    sort.threads = threads;
+    expect_cell(sort, "sort-threads-" + std::to_string(threads));
+  }
+}
+
+TEST(ConformanceLattice, ChunkAxis) {
+  // chunk_bytes=0 is the single-chunk path (whole input in one extent).
+  for (std::size_t chunk : {std::size_t(0), std::size_t(8) * 1024,
+                            std::size_t(48) * 1024}) {
+    core::ReplaySpec spec = spec_histogram(10);
+    spec.mode = core::ExecMode::kIngestMR;
+    spec.merge_mode = core::MergeMode::kPWay;
+    spec.chunk_bytes = chunk;
+    expect_cell(spec, "histogram-chunk-" + std::to_string(chunk));
+  }
+}
+
+TEST(ConformanceLattice, PartitionAxis) {
+  for (std::size_t parts : {std::size_t(1), std::size_t(2), std::size_t(9)}) {
+    core::ReplaySpec spec = spec_sort(11);
+    spec.mode = core::ExecMode::kIngestMR;
+    spec.merge_mode = core::MergeMode::kPartitioned;
+    spec.merge_partitions = parts;
+    expect_cell(spec, "sort-partitions-" + std::to_string(parts));
+  }
+}
+
+TEST(ConformanceLattice, RetryAbsorbsTransientFaults) {
+  // A low-rate transient fault plan under a generous retry budget must be
+  // invisible in the output: same bytes as the clean reference.
+  core::ReplaySpec spec = spec_wordcount(12);
+  spec.mode = core::ExecMode::kIngestMR;
+  spec.merge_mode = core::MergeMode::kPWay;
+  spec.chunk_bytes = 32 * 1024;
+  spec.fault_plan = "seed=7;transient=0.05";
+  spec.retry_attempts = 8;
+  expect_cell(spec, "wordcount-transient-retry");
+}
+
+}  // namespace
+}  // namespace supmr::harness

@@ -1,0 +1,129 @@
+// Shared plumbing for the e2e conformance harness (docs/testing.md).
+//
+// Seed discipline: every corpus seed derives from SUPMR_HARNESS_SEED (CI
+// rolls a fresh one per run; unset = a fixed default so local runs are
+// stable). When a cell diverges, expect_cell() writes a self-contained
+// ReplaySpec JSON — into SUPMR_HARNESS_REPRO_DIR when set — and the failure
+// message prints the exact `supmr replay` invocation that reproduces it.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/replay.hpp"
+#include "ref/conformance.hpp"
+
+namespace supmr::harness {
+
+inline std::uint64_t harness_seed() {
+  static const std::uint64_t seed = [] {
+    const char* s = std::getenv("SUPMR_HARNESS_SEED");
+    std::uint64_t v = 0x5eedc0deULL;
+    if (s != nullptr && *s != '\0') v = std::strtoull(s, nullptr, 10);
+    std::fprintf(stderr,
+                 "harness: corpus seeds derive from SUPMR_HARNESS_SEED=%llu\n",
+                 (unsigned long long)v);
+    return v;
+  }();
+  return seed;
+}
+
+inline std::string repro_dir() {
+  const char* d = std::getenv("SUPMR_HARNESS_REPRO_DIR");
+  return d == nullptr ? "" : d;
+}
+
+inline std::string sanitize(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    out += (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '-' ||
+            c == '_')
+               ? c
+               : '-';
+  }
+  return out;
+}
+
+// Runs one differential cell; on divergence writes the repro spec and fails
+// the test with the replay command line.
+inline void expect_cell(const core::ReplaySpec& spec,
+                        const std::string& cell_name) {
+  auto outcome = ref::run_cell(spec);
+  ASSERT_TRUE(outcome.ok())
+      << cell_name << ": " << outcome.status().to_string();
+  if (outcome->match) return;
+  auto path = ref::write_repro(spec, repro_dir(), sanitize(cell_name));
+  ADD_FAILURE() << cell_name << " diverged from the reference runtime:\n"
+                << outcome->diff << "\nreproduce with: supmr replay "
+                << (path.ok() ? *path
+                              : "<repro write failed: " +
+                                    path.status().to_string() + ">");
+}
+
+// Base specs per app, all corpus seeds derived from the harness seed.
+inline core::ReplaySpec spec_wordcount(std::uint64_t salt = 0) {
+  core::ReplaySpec s;
+  s.app = "wordcount";
+  s.corpus.kind = "text";
+  s.corpus.bytes = 160 * 1024;
+  s.corpus.seed = harness_seed() + salt;
+  s.threads = 3;
+  s.chunk_bytes = 16 * 1024;
+  return s;
+}
+
+inline core::ReplaySpec spec_xwordcount(std::uint64_t salt = 0) {
+  core::ReplaySpec s = spec_wordcount(salt);
+  s.app = "xwordcount";
+  s.memory_budget = 16 * 1024;  // small enough that stripes really spill
+  return s;
+}
+
+inline core::ReplaySpec spec_grep(std::uint64_t salt = 0) {
+  core::ReplaySpec s = spec_wordcount(salt);
+  s.app = "grep";
+  s.grep_patterns = "th,he,in,ab,zzqq";
+  return s;
+}
+
+inline core::ReplaySpec spec_histogram(std::uint64_t salt = 0) {
+  core::ReplaySpec s;
+  s.app = "histogram";
+  s.corpus.kind = "numeric";
+  s.corpus.bytes = 120 * 1024;
+  s.corpus.seed = harness_seed() + salt;
+  s.hist_lo = 0;
+  s.hist_hi = 256;
+  s.hist_bins = 32;
+  s.threads = 3;
+  s.chunk_bytes = 16 * 1024;
+  return s;
+}
+
+inline core::ReplaySpec spec_sort(std::uint64_t salt = 0) {
+  core::ReplaySpec s;
+  s.app = "sort";
+  s.corpus.kind = "terasort";
+  s.corpus.bytes = 120 * 1024;  // 1200 records of 100 bytes
+  s.corpus.seed = harness_seed() + salt;
+  s.threads = 3;
+  s.chunk_bytes = 16 * 1024;
+  return s;
+}
+
+inline core::ReplaySpec spec_index(std::uint64_t salt = 0) {
+  core::ReplaySpec s;
+  s.app = "index";
+  s.corpus.kind = "multi-text";
+  s.corpus.bytes = 96 * 1024;
+  s.corpus.num_files = 8;
+  s.corpus.seed = harness_seed() + salt;
+  s.threads = 3;
+  s.files_per_chunk = 3;
+  return s;
+}
+
+}  // namespace supmr::harness

@@ -10,14 +10,29 @@
 namespace supmr::perfmodel {
 namespace {
 
+// Tables are addressed by row label ("none", "1GB", "50GB", "1GB+part"), not
+// position: experiments grow rows over time and positional indexing made
+// these tests break for unrelated additions.
+const Table2Row* find_row(const std::vector<Table2Row>& rows,
+                          const std::string& label) {
+  for (const auto& r : rows) {
+    if (r.label == label) return &r;
+  }
+  return nullptr;
+}
+
+#define ASSERT_ROW(var, rows, label)                       \
+  const Table2Row* var = find_row(rows, label);            \
+  ASSERT_NE(var, nullptr) << "missing table row " << label
+
 // ------------------------------------------------------------- Table II
 
 TEST(Table2WordCount, BaselineMatchesPaperClosely) {
   // The "none" row is where the model is calibrated; it must land near the
   // paper's numbers (471.75 / 403.90 / 67.41 / 0.03 / 0.01).
   auto rows = table2_wordcount();
-  ASSERT_EQ(rows.size(), 3u);
-  const auto& none = rows[0].result.phases;
+  ASSERT_ROW(none_row, rows, "none");
+  const auto& none = none_row->result.phases;
   EXPECT_NEAR(none.total_s, 471.75, 5.0);
   EXPECT_NEAR(none.read_s, 403.90, 4.0);
   EXPECT_NEAR(none.map_s, 67.41, 2.0);
@@ -27,9 +42,12 @@ TEST(Table2WordCount, BaselineMatchesPaperClosely) {
 
 TEST(Table2WordCount, ChunkingSpeedsUpInPaperBand) {
   auto rows = table2_wordcount();
-  const double none = rows[0].result.phases.total_s;
-  const double gb1 = rows[1].result.phases.total_s;
-  const double gb50 = rows[2].result.phases.total_s;
+  ASSERT_ROW(none_row, rows, "none");
+  ASSERT_ROW(gb1_row, rows, "1GB");
+  ASSERT_ROW(gb50_row, rows, "50GB");
+  const double none = none_row->result.phases.total_s;
+  const double gb1 = gb1_row->result.phases.total_s;
+  const double gb50 = gb50_row->result.phases.total_s;
   // Ordering: 1GB fastest, then 50GB, then none (paper: 407 < 429 < 471).
   EXPECT_LT(gb1, gb50);
   EXPECT_LT(gb50, none);
@@ -42,24 +60,28 @@ TEST(Table2WordCount, CombinedReadMapNearIngestTime) {
   // Word count is ingest-bound: the pipelined read+map phase collapses to
   // roughly the raw ingest time (406.14s in the paper vs 403.90s read).
   auto rows = table2_wordcount();
-  const auto& gb1 = rows[1].result.phases;
+  ASSERT_ROW(gb1_row, rows, "1GB");
+  const auto& gb1 = gb1_row->result.phases;
   ASSERT_TRUE(gb1.has_combined_readmap);
   EXPECT_NEAR(gb1.readmap_s, 406.0, 8.0);
 }
 
 TEST(Table2WordCount, RoundCountsMatchChunkPlan) {
   auto rows = table2_wordcount();
-  EXPECT_EQ(rows[0].result.map_rounds, 1u);
-  EXPECT_EQ(rows[1].result.map_rounds, 155u);  // 155 GB / 1 GB
-  EXPECT_EQ(rows[2].result.map_rounds, 4u);    // 155 GB / 50 GB (short tail)
+  ASSERT_ROW(none, rows, "none");
+  ASSERT_ROW(gb1, rows, "1GB");
+  ASSERT_ROW(gb50, rows, "50GB");
+  EXPECT_EQ(none->result.map_rounds, 1u);
+  EXPECT_EQ(gb1->result.map_rounds, 155u);   // 155 GB / 1 GB
+  EXPECT_EQ(gb50->result.map_rounds, 4u);    // 155 GB / 50 GB (short tail)
 }
 
 TEST(Table2Sort, BaselineMatchesPaperClosely) {
   // Paper: 397.31 / 182.78 / 6.33 / 7.72 / 191.23. Rows: none (pairwise),
   // 1GB (p-way), 1GB+part (partitioned shuffle).
   auto rows = table2_sort();
-  ASSERT_EQ(rows.size(), 3u);
-  const auto& none = rows[0].result.phases;
+  ASSERT_ROW(none_row, rows, "none");
+  const auto& none = none_row->result.phases;
   EXPECT_NEAR(none.total_s, 397.31, 4.0);
   EXPECT_NEAR(none.read_s, 182.78, 2.0);
   EXPECT_NEAR(none.map_s, 6.33, 1.0);
@@ -69,22 +91,25 @@ TEST(Table2Sort, BaselineMatchesPaperClosely) {
 
 TEST(Table2Sort, SupMRSpeedupInPaperBand) {
   auto rows = table2_sort();
-  const auto& none = rows[0].result.phases;
-  const auto& gb1 = rows[1].result.phases;
+  ASSERT_ROW(none_row, rows, "none");
+  ASSERT_ROW(gb1_row, rows, "1GB");
+  const auto& none = none_row->result.phases;
+  const auto& gb1 = gb1_row->result.phases;
   // Time-to-result speedup: paper 1.46x.
   EXPECT_NEAR(none.total_s / gb1.total_s, 1.46, 0.12);
   // Merge speedup: paper 3.12x-3.13x.
   EXPECT_NEAR(none.merge_s / gb1.merge_s, 3.1, 0.35);
   // The p-way merge is a single round vs 6 pairwise rounds.
-  EXPECT_EQ(rows[0].result.merge_rounds, 6u);
-  EXPECT_EQ(rows[1].result.merge_rounds, 1u);
+  EXPECT_EQ(none_row->result.merge_rounds, 6u);
+  EXPECT_EQ(gb1_row->result.merge_rounds, 1u);
 }
 
 TEST(Table2Sort, PartitionedMergeSingleRoundNoStreamPenalty) {
   auto rows = table2_sort();
-  ASSERT_EQ(rows.size(), 3u);
-  const auto& pway = rows[1].result;
-  const auto& part = rows[2].result;
+  ASSERT_ROW(pway_row, rows, "1GB");
+  ASSERT_ROW(part_row, rows, "1GB+part");
+  const auto& pway = pway_row->result;
+  const auto& part = part_row->result;
   // Partitioned shuffle is also a single round over all contexts, but each
   // worker streams ONE partition instead of interleaving reads across every
   // run, so its modeled merge time drops below the global p-way merge's.
@@ -98,8 +123,10 @@ TEST(Table2Sort, IngestOverlapGainSmallForSort) {
   // combined read+map phase (paper: 189.11s unchunked -> 196.86s; i.e. the
   // gain comes from the merge, not the ingest overlap).
   auto rows = table2_sort();
-  const auto& none = rows[0].result.phases;
-  const auto& gb1 = rows[1].result.phases;
+  ASSERT_ROW(none_row, rows, "none");
+  ASSERT_ROW(gb1_row, rows, "1GB");
+  const auto& none = none_row->result.phases;
+  const auto& gb1 = gb1_row->result.phases;
   const double unchunked_readmap = none.read_s + none.map_s;
   EXPECT_NEAR(gb1.readmap_s, unchunked_readmap, 10.0);
 }
@@ -173,12 +200,28 @@ TEST(Fig3, OpenMpComputesFasterButFinishesSlower) {
 
 // ----------------------------------------------------------------- Fig. 5
 
+// fig5_wordcount_traces() rows are (label, result) pairs; same
+// label-addressing rule as the tables.
+template <typename Traces>
+const typename Traces::value_type::second_type* find_trace(
+    const Traces& traces, const std::string& label) {
+  for (const auto& t : traces) {
+    if (t.first == label) return &t.second;
+  }
+  return nullptr;
+}
+
 TEST(Fig5, SmallChunksGiveDenserUtilization) {
   auto traces = fig5_wordcount_traces();
-  ASSERT_EQ(traces.size(), 3u);
-  const double util_none = traces[0].second.mean_utilization;
-  const double util_1gb = traces[1].second.mean_utilization;
-  const double util_50gb = traces[2].second.mean_utilization;
+  const auto* none = find_trace(traces, "none");
+  const auto* gb1 = find_trace(traces, "1GB");
+  const auto* gb50 = find_trace(traces, "50GB");
+  ASSERT_NE(none, nullptr);
+  ASSERT_NE(gb1, nullptr);
+  ASSERT_NE(gb50, nullptr);
+  const double util_none = none->mean_utilization;
+  const double util_1gb = gb1->mean_utilization;
+  const double util_50gb = gb50->mean_utilization;
   // Chunking raises overall utilization; smaller chunks raise it more
   // (paper §VI.C.1: "small chunks have higher utilization and better
   // performance").
@@ -200,8 +243,12 @@ TEST(Fig5, ChunkedTraceHasManySpikes) {
     }
     return count;
   };
-  const int none_spikes = spikes(traces[0].second.trace);
-  const int gb50_spikes = spikes(traces[2].second.trace);
+  const auto* none = find_trace(traces, "none");
+  const auto* gb50 = find_trace(traces, "50GB");
+  ASSERT_NE(none, nullptr);
+  ASSERT_NE(gb50, nullptr);
+  const int none_spikes = spikes(none->trace);
+  const int gb50_spikes = spikes(gb50->trace);
   EXPECT_LE(none_spikes, 2);       // one big compute spike at the end
   EXPECT_GE(gb50_spikes, 3);       // one spike per 50 GB chunk
 }

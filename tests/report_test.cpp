@@ -206,5 +206,82 @@ TEST(Report, TimeSeriesJson) {
             "{\"t\":[0,1],\"user\":[10,20],\"sys\":[1,2]}");
 }
 
+TEST(Report, MergePartitionedBlockCarriesGeometry) {
+  // Partitioned-shuffle geometry rides in its own "merge_partitioned" block
+  // (docs/merge.md). Synthesized stats keep the expectations exact.
+  core::JobResult result;
+  result.merge_stats.partitions = 4;
+  result.merge_stats.partition_max_items = 30;
+  result.merge_stats.partition_min_items = 10;
+  result.merge_stats.rounds.push_back({4, 80, 0.5});  // mean 20/partition
+  const std::string json = core::job_result_to_json(result);
+  EXPECT_EQ(test::validate_json(json), "");
+  EXPECT_NE(json.find("\"merge_partitioned\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"partitions\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"partition_max_items\":30"), std::string::npos);
+  EXPECT_NE(json.find("\"partition_min_items\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"partition_skew\":1.5"), std::string::npos);
+}
+
+TEST(Report, MergePartitionedBlockForGlobalMerge) {
+  // partitions = 0 means the merge ran as a single global round; the block
+  // is still present (fixed schema) with neutral values.
+  core::JobResult result;
+  const std::string json = core::job_result_to_json(result);
+  EXPECT_EQ(test::validate_json(json), "");
+  EXPECT_NE(json.find("\"merge_partitioned\":{\"partitions\":0"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"partition_skew\":1"), std::string::npos);
+}
+
+TEST(Report, DegradeAccountingInJson) {
+  core::JobResult result;
+  result.chunks = 4;
+  result.chunks_skipped = 1;
+  result.bytes_skipped = 65536;
+  result.pipeline.chunks_skipped = 1;
+  result.pipeline.bytes_skipped = 65536;
+  ingest::ChunkTiming skipped;
+  skipped.index = 0;
+  skipped.bytes = 65536;
+  skipped.attempts = 2;
+  skipped.skipped = true;
+  result.pipeline.chunks.push_back(skipped);
+  const std::string json = core::job_result_to_json(result);
+  EXPECT_EQ(test::validate_json(json), "");
+  EXPECT_TRUE(result.degraded());
+  EXPECT_NE(json.find("\"chunks_skipped\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"bytes_skipped\":65536"), std::string::npos);
+  EXPECT_NE(json.find("\"degraded\":true"), std::string::npos);
+  // The per-chunk record carries the skip flag and attempt count too.
+  EXPECT_NE(json.find("\"attempts\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"skipped\":true"), std::string::npos);
+}
+
+TEST(Report, CleanRunIsNotDegraded) {
+  core::JobResult result;
+  result.chunks = 4;
+  const std::string json = core::job_result_to_json(result);
+  EXPECT_EQ(test::validate_json(json), "");
+  EXPECT_FALSE(result.degraded());
+  EXPECT_NE(json.find("\"chunks_skipped\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"degraded\":false"), std::string::npos);
+}
+
+TEST(Report, StatusToJson) {
+  const std::string ok = core::status_to_json(Status::Ok());
+  EXPECT_EQ(test::validate_json(ok), "");
+  EXPECT_NE(ok.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(ok.find("\"code\":\"OK\""), std::string::npos);
+
+  const std::string err = core::status_to_json(
+      Status::InvalidArgument("bad \"flag\" value"));
+  EXPECT_EQ(test::validate_json(err), "");
+  EXPECT_NE(err.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(err.find("\"code\":\"INVALID_ARGUMENT\""), std::string::npos);
+  // The message survives with its quotes escaped.
+  EXPECT_NE(err.find("bad \\\"flag\\\" value"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace supmr

@@ -8,6 +8,10 @@
 //   supmr index <file...>         [--files-per-chunk=4]
 //   supmr generate <kind> <path>  --size=64MB  (kind: text | terasort |
 //                                 numeric)
+//   supmr replay <spec.json>      re-run a conformance-harness repro cell
+//                                 (also spelled --replay=<spec.json>); exits
+//                                 non-zero when the cell still diverges from
+//                                 the sequential reference runtime
 //
 // Common flags:
 //   --mode=supmr|original|adaptive   runtime (default supmr)
@@ -49,7 +53,9 @@
 #include "common/logging.hpp"
 #include "core/job.hpp"
 #include "core/proc_sampler.hpp"
+#include "core/replay.hpp"
 #include "core/report.hpp"
+#include "ref/conformance.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/retrying_device.hpp"
 #include "ingest/adaptive.hpp"
@@ -80,7 +86,8 @@ const std::set<std::string> kCommonFlags = {
 void usage() {
   std::fprintf(stderr,
                "usage: supmr <command> [args] [flags]\n"
-               "commands: wordcount sort grep histogram index kmeans generate\n"
+               "commands: wordcount sort grep histogram index kmeans generate"
+               " replay\n"
                "see tools/supmr_cli.cpp header for the full flag list\n");
 }
 
@@ -181,6 +188,12 @@ StatusOr<CommonConfig> common_config(const Flags& flags) {
   cfg.job.recovery.degrade = flags.get_bool("degrade");
   if (auto spec = flags.get("fault-plan")) {
     SUPMR_ASSIGN_OR_RETURN(cfg.fault_plan, fault::FaultPlan::parse(*spec));
+  }
+  if (cfg.job.recovery.degrade && !cfg.fault_plan) {
+    return Status::InvalidArgument(
+        "--degrade requires --fault-plan: degrade mode skips poisoned "
+        "chunks, and without an injection plan there is nothing to degrade "
+        "around (a real deployment's faults come from the device itself)");
   }
   return cfg;
 }
@@ -515,12 +528,74 @@ Status cmd_generate(const Flags& flags) {
   return Status::Ok();
 }
 
+// Re-runs one conformance cell from a harness-written repro spec
+// (docs/testing.md). Non-zero exit iff the cell still diverges, so CI and
+// bisect scripts can drive it directly.
+Status cmd_replay(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+
+  SUPMR_ASSIGN_OR_RETURN(core::ReplaySpec spec,
+                         core::ReplaySpec::from_json(text));
+  std::printf("replay: app=%s corpus=%s/%llu seed=%llu mode=%s merge=%s "
+              "threads=%llu chunk=%llu partitions=%llu degrade=%d "
+              "fault-plan=%s\n",
+              spec.app.c_str(), spec.corpus.kind.c_str(),
+              (unsigned long long)spec.corpus.bytes,
+              (unsigned long long)spec.corpus.seed,
+              std::string(core::exec_mode_name(spec.mode)).c_str(),
+              std::string(core::merge_mode_name(spec.merge_mode)).c_str(),
+              (unsigned long long)spec.threads,
+              (unsigned long long)spec.chunk_bytes,
+              (unsigned long long)spec.merge_partitions,
+              spec.degrade ? 1 : 0,
+              spec.fault_plan.empty() ? "none" : spec.fault_plan.c_str());
+  SUPMR_ASSIGN_OR_RETURN(ref::ConformanceOutcome outcome,
+                         ref::run_cell(spec));
+  if (outcome.match) {
+    std::printf("conformance: PASS (%llu output bytes, %llu chunks, "
+                "%llu skipped)\n",
+                (unsigned long long)outcome.sut_canonical.size(),
+                (unsigned long long)outcome.job.chunks,
+                (unsigned long long)outcome.job.chunks_skipped);
+    return Status::Ok();
+  }
+  std::printf("conformance: FAIL\n%s\n", outcome.diff.c_str());
+  return Status::Internal("replayed cell diverges from the reference");
+}
+
 int run_main(int argc, char** argv) {
   if (argc < 2) {
     usage();
     return 2;
   }
-  const std::string command = argv[1];
+  std::string command = argv[1];
+  // `--replay=<file>` / `--replay <file>` are accepted in command position
+  // as aliases for the replay subcommand (repro files print this form).
+  if (command.rfind("--replay", 0) == 0) {
+    std::string file;
+    const std::size_t eq = command.find('=');
+    if (eq != std::string::npos) {
+      file = command.substr(eq + 1);
+    } else if (argc >= 3) {
+      file = argv[2];
+    }
+    if (file.empty()) {
+      std::fprintf(stderr, "error: --replay needs a spec file\n");
+      return 2;
+    }
+    const Status st = cmd_replay(file);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.to_string().c_str());
+      return 1;
+    }
+    return 0;
+  }
   auto flags_or = Flags::parse(argc - 2, argv + 2, kCommonFlags);
   if (!flags_or.ok()) {
     std::fprintf(stderr, "error: %s\n",
@@ -537,6 +612,13 @@ int run_main(int argc, char** argv) {
   else if (command == "histogram") st = cmd_histogram(flags);
   else if (command == "index") st = cmd_index(flags);
   else if (command == "generate") st = cmd_generate(flags);
+  else if (command == "replay") {
+    if (flags.positional().empty()) {
+      st = Status::InvalidArgument("replay needs a spec file");
+    } else {
+      st = cmd_replay(flags.positional()[0]);
+    }
+  }
   else usage();
 
   if (!st.ok()) {
