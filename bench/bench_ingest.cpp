@@ -1,0 +1,198 @@
+// Ingest-path throughput: copying reads vs zero-copy mmap views.
+//
+// Generates a line-structured corpus on disk, then drives the ingest chunk
+// pipeline end to end twice over the same file:
+//   * --io=read : FileDevice, positional reads into pooled chunk buffers
+//     (one full memory copy per chunk);
+//   * --io=mmap : MmapDevice, borrowed std::span views (no copy — the map
+//     side touches the page cache directly).
+// The consumer scans every chunk byte (newline counting via scan.hpp), so
+// both modes pay the same map-side work and the difference isolates the
+// ingest copy. Also reports the SWAR-vs-bytewise chunk-scan rate, the other
+// half of the "memory bandwidth bottleneck" the paper targets.
+//
+// Results go to stdout and — as the committed perf trajectory — to
+// BENCH_ingest.json (override with --out=PATH).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "bench/bench_util.hpp"
+#include "common/scan.hpp"
+#include "ingest/pipeline.hpp"
+#include "ingest/record_format.hpp"
+#include "ingest/source.hpp"
+#include "storage/file_device.hpp"
+#include "storage/mem_device.hpp"
+#include "storage/mmap_device.hpp"
+#include "wload/text_corpus.hpp"
+
+using namespace supmr;
+
+namespace {
+
+constexpr std::uint64_t kCorpusBytes = 64ull << 20;
+constexpr std::uint64_t kChunkBytes = 1 << 20;
+constexpr int kReps = 3;
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double mbps(std::uint64_t bytes, double seconds) {
+  return seconds > 0 ? bytes / seconds / 1e6 : 0.0;
+}
+
+struct PipelineRates {
+  double ingest_mbps = 0.0;    // producer-side read/borrow rate
+  double pipeline_mbps = 0.0;  // end-to-end wall rate
+};
+
+// Best of kReps pipeline runs over `device`; the consumer counts newlines so
+// every byte is touched exactly once on the map side.
+PipelineRates run_pipeline(std::shared_ptr<const storage::Device> device,
+                           core::IoMode io, const char* label) {
+  ingest::SingleDeviceSource source(std::move(device),
+                                    std::make_shared<ingest::LineFormat>(),
+                                    kChunkBytes, io);
+  double best_ingest = 1e9, best_total = 1e9;
+  std::uint64_t bytes = 0, lines = 0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    ingest::IngestPipeline pipeline(source);
+    lines = 0;
+    auto stats = pipeline.run([&](ingest::IngestChunk& chunk) {
+      const std::span<const char> data = chunk.bytes();
+      std::size_t pos = 0;
+      while (auto nl = scan::find_byte(data, pos, '\n')) {
+        pos = *nl + 1;
+        ++lines;
+      }
+      return Status::Ok();
+    });
+    if (!stats.ok()) {
+      std::fprintf(stderr, "%s pipeline failed: %s\n", label,
+                   stats.status().to_string().c_str());
+      std::exit(1);
+    }
+    bytes = stats->total_bytes;
+    best_ingest = std::min(best_ingest, stats->ingest_busy_s);
+    best_total = std::min(best_total, stats->total_s);
+  }
+  PipelineRates rates{mbps(bytes, best_ingest), mbps(bytes, best_total)};
+  std::printf("%-10s ingest %9.1f MB/s   end-to-end %9.1f MB/s   "
+              "(%llu lines)\n",
+              label, rates.ingest_mbps, rates.pipeline_mbps,
+              (unsigned long long)lines);
+  return rates;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_ingest.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
+  }
+
+  bench::print_banner("ingest throughput: copying reads vs zero-copy mmap",
+                      "SupMR §III (ingest bottleneck), ROADMAP item 3");
+
+  const std::string corpus_path = "bench_ingest_corpus.tmp";
+  wload::TextCorpusConfig cfg;
+  cfg.total_bytes = kCorpusBytes;
+  cfg.seed = 21;
+  if (Status s = wload::generate_text_file(cfg, corpus_path); !s.ok()) {
+    std::fprintf(stderr, "corpus generation failed: %s\n",
+                 s.to_string().c_str());
+    return 1;
+  }
+
+  bench::BenchJson json("ingest");
+
+  {
+    auto file = storage::FileDevice::open(corpus_path);
+    if (!file.ok()) {
+      std::fprintf(stderr, "%s\n", file.status().to_string().c_str());
+      return 1;
+    }
+    auto mapped = storage::MmapDevice::open(corpus_path);
+    if (!mapped.ok()) {
+      std::fprintf(stderr, "%s\n", mapped.status().to_string().c_str());
+      return 1;
+    }
+    const PipelineRates read_rates =
+        run_pipeline(std::move(*file), core::IoMode::kRead, "io=read");
+    const PipelineRates mmap_rates =
+        run_pipeline(std::move(*mapped), core::IoMode::kMmap, "io=mmap");
+    const double ingest_speedup =
+        read_rates.ingest_mbps > 0
+            ? mmap_rates.ingest_mbps / read_rates.ingest_mbps
+            : 0.0;
+    std::printf("ingest-phase speedup (mmap/read): %.2fx\n", ingest_speedup);
+    json.metric("ingest_read", read_rates.ingest_mbps, "MB/s",
+                "FileDevice positional reads into pooled buffers, 1MB chunks");
+    json.metric("ingest_mmap", mmap_rates.ingest_mbps, "MB/s",
+                "MmapDevice borrowed views, 1MB chunks");
+    json.metric("ingest_speedup", ingest_speedup, "x",
+                "ingest-phase throughput, mmap vs copying reads");
+    json.metric("pipeline_read", read_rates.pipeline_mbps, "MB/s",
+                "end-to-end pipeline, newline-count consumer");
+    json.metric("pipeline_mmap", mmap_rates.pipeline_mbps, "MB/s",
+                "end-to-end pipeline, newline-count consumer");
+  }
+
+  {
+    // Chunk scanning: SWAR find_record_end vs the bytewise loop it replaced.
+    wload::TextCorpusConfig scan_cfg;
+    scan_cfg.total_bytes = 8 << 20;
+    scan_cfg.seed = 22;
+    const std::string text = wload::generate_text(scan_cfg);
+    const std::span<const char> data(text.data(), text.size());
+    const ingest::LineFormat format;
+
+    double best_swar = 1e9, best_byte = 1e9;
+    std::uint64_t swar_lines = 0, byte_lines = 0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      double t0 = now_s();
+      std::size_t pos = 0;
+      swar_lines = 0;
+      while (auto end = format.find_record_end(data, pos)) {
+        pos = *end;
+        ++swar_lines;
+      }
+      best_swar = std::min(best_swar, now_s() - t0);
+
+      t0 = now_s();
+      byte_lines = 0;
+      for (char c : text) {
+        if (c == '\n') ++byte_lines;
+      }
+      best_byte = std::min(best_byte, now_s() - t0);
+    }
+    if (swar_lines != byte_lines) {
+      std::fprintf(stderr, "scan mismatch: %llu vs %llu lines\n",
+                   (unsigned long long)swar_lines,
+                   (unsigned long long)byte_lines);
+      return 1;
+    }
+    const double swar_mbps = mbps(text.size(), best_swar);
+    const double byte_mbps = mbps(text.size(), best_byte);
+    std::printf("chunk scan: SWAR %9.1f MB/s   bytewise %9.1f MB/s\n",
+                swar_mbps, byte_mbps);
+    json.metric("scan_swar", swar_mbps, "MB/s",
+                "LineFormat::find_record_end, 8-byte SWAR steps");
+    json.metric("scan_bytewise", byte_mbps, "MB/s",
+                "one branch per byte (the replaced idiom)");
+  }
+
+  std::remove(corpus_path.c_str());
+  if (!json.write(out_path)) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  return 0;
+}

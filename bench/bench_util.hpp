@@ -4,7 +4,9 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
+#include "common/json.hpp"
 #include "common/phase_timer.hpp"
 #include "core/job_config.hpp"
 #include "perfmodel/sim_job.hpp"
@@ -33,6 +35,65 @@ inline void dump_csv(const std::string& name, const TimeSeries& trace) {
   trace.write_csv(path);
   std::printf("trace csv written to %s\n", path.c_str());
 }
+
+// Structured bench results. The CSV dumps above feed external plotting; the
+// perf *trajectory* lives in-repo as committed BENCH_<name>.json files at the
+// repo root — one flat array of metric rows so a later session (or CI) can
+// diff numbers across PRs without parsing bench stdout:
+//   {"bench": "ingest", "metrics": [
+//     {"name": "ingest_mmap", "value": 8123.4, "unit": "MB/s",
+//      "note": "borrowed views, 1MB chunks"}, ...]}
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench) : bench_(std::move(bench)) {}
+
+  void metric(std::string name, double value, std::string unit,
+              std::string note = "") {
+    rows_.push_back({std::move(name), value, std::move(unit),
+                     std::move(note)});
+  }
+
+  std::string to_json() const {
+    JsonWriter w;
+    w.begin_object();
+    w.kv("bench", bench_);
+    w.key("metrics");
+    w.begin_array();
+    for (const Row& r : rows_) {
+      w.begin_object();
+      w.kv("name", r.name);
+      w.kv("value", r.value);
+      w.kv("unit", r.unit);
+      if (!r.note.empty()) w.kv("note", r.note);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    return w.str();
+  }
+
+  // Writes the document (with trailing newline) to `path`; returns false on
+  // I/O failure. Benches print the destination so runs are self-describing.
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) return false;
+    const std::string doc = to_json() + "\n";
+    const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    std::fclose(f);
+    if (ok) std::printf("bench json written to %s\n", path.c_str());
+    return ok;
+  }
+
+ private:
+  struct Row {
+    std::string name;
+    double value;
+    std::string unit;
+    std::string note;
+  };
+  std::string bench_;
+  std::vector<Row> rows_;
+};
 
 // Applies the shared observability flags (--metrics-json=PATH,
 // --trace-out=PATH) to a JobConfig so every bench binary exposes the same

@@ -31,6 +31,23 @@ void BM_LineScan(benchmark::State& state) {
 }
 BENCHMARK(BM_LineScan);
 
+// Bytewise reference for BM_LineScan: the one-branch-per-byte idiom the SWAR
+// scanner (common/scan.hpp) replaced; kept as the comparison baseline.
+void BM_LineScanBytewise(benchmark::State& state) {
+  wload::TextCorpusConfig cfg;
+  cfg.total_bytes = 1 << 20;
+  const std::string text = wload::generate_text(cfg);
+  for (auto _ : state) {
+    std::size_t lines = 0;
+    for (char c : text) {
+      if (c == '\n') ++lines;
+    }
+    benchmark::DoNotOptimize(lines);
+  }
+  state.SetBytesProcessed(state.iterations() * text.size());
+}
+BENCHMARK(BM_LineScanBytewise);
+
 void BM_CrlfScan(benchmark::State& state) {
   wload::TeraGenConfig cfg;
   cfg.num_records = 10000;

@@ -5,11 +5,15 @@
 //   3. run an application through MapReduceJob::run(ExecMode).
 //
 // Build & run:  ./examples/quickstart [input.txt] [chunk-size]
+//                                     [--io=read|mmap]
 //                                     [--metrics-json=out.json]
 //                                     [--trace-out=trace.json]
 //                                     [--partitions=N]
 //                                     [--fault-plan=SPEC] [--retry-attempts=N]
 //                                     [--retry-deadline=DUR] [--degrade]
+// --io=mmap maps the input file and lends the pipeline zero-copy chunk views
+// (docs/cli.md); combined with a fault plan the sources transparently fall
+// back to copying reads, because a page fault cannot be retried.
 // --partitions=N switches the final merge to the key-range partitioned path
 // (docs/merge.md): N independent per-partition merges instead of one global
 // round (0 = auto: one per hardware context).
@@ -35,6 +39,7 @@
 #include "storage/fault_device.hpp"
 #include "storage/file_device.hpp"
 #include "storage/mem_device.hpp"
+#include "storage/mmap_device.hpp"
 #include "wload/text_corpus.hpp"
 
 using namespace supmr;
@@ -67,6 +72,10 @@ int main(int argc, char** argv) {
         return 2;
       }
       config.recovery.policy.read_deadline_s = *parsed;
+    } else if (std::strcmp(arg, "--io=mmap") == 0) {
+      config.io = core::IoMode::kMmap;
+    } else if (std::strcmp(arg, "--io=read") == 0) {
+      config.io = core::IoMode::kRead;
     } else if (std::strcmp(arg, "--degrade") == 0) {
       config.recovery.degrade = true;
     } else {
@@ -77,13 +86,23 @@ int main(int argc, char** argv) {
   // 1. Input device: a real file if given, else a generated corpus.
   std::shared_ptr<const storage::Device> device;
   if (!args.empty()) {
-    auto file = storage::FileDevice::open(args[0]);
-    if (!file.ok()) {
+    // --io=mmap gets a view-lending base device; a plain FileDevice would
+    // silently pin every chunk to the copying path.
+    Status open_status = Status::Ok();
+    if (config.io == core::IoMode::kMmap) {
+      auto mapped = storage::MmapDevice::open(args[0]);
+      if (mapped.ok()) device = std::move(*mapped);
+      else open_status = mapped.status();
+    } else {
+      auto file = storage::FileDevice::open(args[0]);
+      if (file.ok()) device = std::move(*file);
+      else open_status = file.status();
+    }
+    if (!open_status.ok()) {
       std::fprintf(stderr, "cannot open %s: %s\n", args[0].c_str(),
-                   file.status().to_string().c_str());
+                   open_status.to_string().c_str());
       return 1;
     }
-    device = std::move(*file);
   } else {
     wload::TextCorpusConfig cfg;
     cfg.total_bytes = 8 * kMB;
@@ -113,7 +132,7 @@ int main(int argc, char** argv) {
     if (auto parsed = parse_size(args[1])) chunk_bytes = *parsed;
   }
   ingest::SingleDeviceSource source(
-      device, std::make_shared<ingest::LineFormat>(), chunk_bytes);
+      device, std::make_shared<ingest::LineFormat>(), chunk_bytes, config.io);
 
   // 3. Run the job through the ingest chunk pipeline.
   apps::WordCountApp app;

@@ -19,18 +19,19 @@ void MatrixMultiplyApp::init(std::size_t num_map_threads) {
 
 Status MatrixMultiplyApp::prepare_round(const ingest::IngestChunk& chunk) {
   const std::uint64_t rb = n_ * sizeof(double);
-  if (chunk.data.size() % rb != 0) {
+  const std::span<const char> bytes = chunk.bytes();
+  if (bytes.size() % rb != 0) {
     return Status::InvalidArgument(
         "chunk is not a whole number of matrix columns");
   }
-  const std::uint64_t cols = chunk.data.size() / rb;
+  const std::uint64_t cols = bytes.size() / rb;
   const std::uint64_t base = container_.claim(cols);
   tasks_.clear();
   if (cols == 0) return Status::Ok();
   const std::uint64_t per = (cols + num_mappers_ - 1) / num_mappers_;
   for (std::uint64_t first = 0; first < cols; first += per) {
     const std::uint64_t m = std::min(per, cols - first);
-    tasks_.push_back(RoundTask{chunk.data.data() + first * rb, base + first,
+    tasks_.push_back(RoundTask{bytes.data() + first * rb, base + first,
                                m});
   }
   return Status::Ok();

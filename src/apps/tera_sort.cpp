@@ -27,19 +27,20 @@ void TeraSortApp::init(std::size_t num_map_threads) {
 
 Status TeraSortApp::prepare_round(const ingest::IngestChunk& chunk) {
   const std::uint64_t rb = options_.record_bytes;
-  if (chunk.data.size() % rb != 0) {
+  const std::span<const char> bytes = chunk.bytes();
+  if (bytes.size() % rb != 0) {
     return Status::InvalidArgument(
-        "chunk size " + std::to_string(chunk.data.size()) +
+        "chunk size " + std::to_string(bytes.size()) +
         " is not a whole number of " + std::to_string(rb) + "-byte records");
   }
-  const std::uint64_t records = chunk.data.size() / rb;
+  const std::uint64_t records = bytes.size() / rb;
   std::uint64_t base = 0;
   if (partitioned()) {
     // Splitters come from the first non-empty chunk (sample-sort style);
     // later chunks route through the same cuts, so partitions stay
     // key-coherent across the whole ingest stream.
     if (records > 0 && pcontainer_.num_splitters() == 0) {
-      pcontainer_.sample_splitters(chunk.data);
+      pcontainer_.sample_splitters(bytes);
     }
   } else {
     // One atomic extend for the whole round (may reallocate — no mappers are
@@ -52,7 +53,7 @@ Status TeraSortApp::prepare_round(const ingest::IngestChunk& chunk) {
       (records + num_mappers_ - 1) / num_mappers_;
   for (std::uint64_t first = 0; first < records; first += per) {
     const std::uint64_t n = std::min(per, records - first);
-    tasks_.push_back(RoundTask{chunk.data.data() + first * rb, base + first,
+    tasks_.push_back(RoundTask{bytes.data() + first * rb, base + first,
                                n});
   }
   return Status::Ok();

@@ -1,0 +1,155 @@
+// SWAR delimiter scanning and byte classification shared by the ingest
+// record formats (record_format.cpp) and the app-side tokenizers
+// (apps/tokenize.hpp).
+//
+// The ingest hot path touches every input byte at least once; doing that a
+// byte at a time through locale-aware <cctype> calls is the "memory
+// bandwidth bottleneck" the paper tells us to kill. find_byte() scans eight
+// bytes per iteration with the classic SWAR zero-in-word trick; the
+// classification tables replace isalnum()/tolower() calls with one L1 load.
+// Word-sized loads go through std::memcpy, so they are alignment- and
+// strict-aliasing-safe (the compiler lowers them to single mov instructions).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+
+namespace supmr::scan {
+
+namespace detail {
+
+inline constexpr std::uint64_t kLowBits = 0x0101010101010101ull;
+inline constexpr std::uint64_t kHighBits = 0x8080808080808080ull;
+
+inline std::uint64_t load_u64(const char* p) {
+  std::uint64_t w;
+  std::memcpy(&w, p, sizeof(w));
+  return w;
+}
+
+// Non-zero iff `w` has a zero byte; the high bit of each zero byte is set.
+inline constexpr std::uint64_t zero_byte_mask(std::uint64_t w) {
+  return (w - kLowBits) & ~w & kHighBits;
+}
+
+}  // namespace detail
+
+// Index of the first occurrence of `needle` in `hay` at or after `from`,
+// eight bytes per step. nullopt when absent. Behaves like memchr but
+// returns an index, which is what the record formats want.
+inline std::optional<std::size_t> find_byte(std::span<const char> hay,
+                                            std::size_t from, char needle) {
+  if (from >= hay.size()) return std::nullopt;
+  const char* data = hay.data();
+  const std::size_t n = hay.size();
+  const std::uint64_t pattern =
+      detail::kLowBits * static_cast<std::uint8_t>(needle);
+  std::size_t i = from;
+  // SWAR bulk scan: XOR makes matching bytes zero, zero_byte_mask finds them.
+  for (; i + 8 <= n; i += 8) {
+    const std::uint64_t m =
+        detail::zero_byte_mask(detail::load_u64(data + i) ^ pattern);
+    if (m != 0) {
+      // Little-endian: the lowest set high-bit belongs to the first match.
+      return i + static_cast<std::size_t>(std::countr_zero(m)) / 8;
+    }
+  }
+  for (; i < n; ++i) {
+    if (data[i] == needle) return i;
+  }
+  return std::nullopt;
+}
+
+// Index of the '\r' of the first "\r\n" pair at or after `from` whose '\n'
+// is also inside `hay`. A lone trailing '\r' at hay.back() does NOT match
+// (its '\n' may be in the next window — callers keep a one-byte overlap).
+inline std::optional<std::size_t> find_crlf(std::span<const char> hay,
+                                            std::size_t from) {
+  std::size_t pos = from;
+  while (true) {
+    const auto cr = find_byte(hay, pos, '\r');
+    if (!cr.has_value() || *cr + 1 >= hay.size()) return std::nullopt;
+    if (hay[*cr + 1] == '\n') return *cr;
+    pos = *cr + 1;
+  }
+}
+
+// Branch-free ASCII word-character classification ([0-9A-Za-z]) and
+// lowercasing, one table load each — replaces the locale-dispatching
+// isalnum()/tolower() pair in the tokenizer hot loop.
+namespace detail {
+
+struct ByteTables {
+  bool word[256] = {};
+  char lower[256] = {};
+  constexpr ByteTables() {
+    for (int c = 0; c < 256; ++c) {
+      const bool digit = c >= '0' && c <= '9';
+      const bool upper = c >= 'A' && c <= 'Z';
+      const bool lower_c = c >= 'a' && c <= 'z';
+      word[c] = digit || upper || lower_c;
+      lower[c] = static_cast<char>(upper ? c - 'A' + 'a' : c);
+    }
+  }
+};
+
+inline constexpr ByteTables kTables{};
+
+}  // namespace detail
+
+inline bool is_word_byte(char c) {
+  return detail::kTables.word[static_cast<std::uint8_t>(c)];
+}
+
+inline char to_lower_ascii(char c) {
+  return detail::kTables.lower[static_cast<std::uint8_t>(c)];
+}
+
+// Index of the first word byte at or after `from` (hay.size() when none):
+// skips delimiter runs eight bytes per step by checking the table on a
+// loaded word only when any of its bytes might classify as a word byte.
+// Word bytes all sit in 0x30..0x7a, so a cheap SWAR pre-filter — "does this
+// word contain any byte in [0x30, 0x7b)?" — rejects whole blocks of spaces,
+// punctuation and control bytes without per-byte table loads.
+inline std::size_t find_word_start(std::span<const char> hay,
+                                   std::size_t from) {
+  const char* data = hay.data();
+  const std::size_t n = hay.size();
+  std::size_t i = from;
+  for (; i + 8 <= n; i += 8) {
+    const std::uint64_t w = detail::load_u64(data + i);
+    // Byte-wise x in [0x30, 0x7b) test, high bit folded in: bytes >= 0x80
+    // never classify as word bytes, and the range arithmetic below is only
+    // valid for 7-bit values, so mask them out of the candidate set first.
+    const std::uint64_t ascii = ~w & detail::kHighBits;
+    const std::uint64_t ge_30 =
+        ((w | detail::kHighBits) - detail::kLowBits * 0x30) & ascii;
+    const std::uint64_t lt_7b =
+        ((detail::kLowBits * 0x7b) | detail::kHighBits) - (w & ~detail::kHighBits);
+    if ((ge_30 & lt_7b & detail::kHighBits) == 0) continue;  // no candidates
+    for (std::size_t k = 0; k < 8; ++k) {
+      if (is_word_byte(data[i + k])) return i + k;
+    }
+    // Candidates were false positives (e.g. ':', '@'): keep scanning.
+  }
+  for (; i < n; ++i) {
+    if (is_word_byte(data[i])) return i;
+  }
+  return n;
+}
+
+// Index of the first non-word byte at or after `from` (hay.size() when the
+// word runs to the end).
+inline std::size_t find_word_end(std::span<const char> hay, std::size_t from) {
+  std::size_t i = from;
+  const std::size_t n = hay.size();
+  for (; i < n; ++i) {
+    if (!is_word_byte(hay[i])) return i;
+  }
+  return n;
+}
+
+}  // namespace supmr::scan

@@ -37,7 +37,7 @@ Status MapReduceJob::map_round(const ingest::IngestChunk& chunk) {
   }
   SUPMR_TRACE_SCOPE_VAR(span, "map", "map.round");
   SUPMR_TRACE_SET_ARG(span, "tasks", tasks);
-  SUPMR_TRACE_SET_ARG2(span, "bytes", chunk.data.size());
+  SUPMR_TRACE_SET_ARG2(span, "bytes", chunk.size());
   for (std::size_t base = 0; base < tasks; base += width) {
     const std::size_t batch = std::min(width, tasks - base);
     std::vector<std::function<void(std::size_t)>> wave;
@@ -168,6 +168,7 @@ StatusOr<JobResult> MapReduceJob::run_original() {
     SUPMR_TRACE_SCOPE("phase", "map");
     for (auto& chunk : chunks) {
       SUPMR_RETURN_IF_ERROR(map_round(chunk));
+      chunk.set_owned();  // drop a borrowed view along with the storage
       chunk.data.clear();
       chunk.data.shrink_to_fit();
     }

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "fault/retry_policy.hpp"
+#include "ingest/chunk.hpp"
 
 namespace supmr::core {
 
@@ -36,6 +37,12 @@ enum class ExecMode {
 
 std::string_view exec_mode_name(ExecMode mode);
 
+// How ingest moves bytes from the device into chunks (--io). Defined next
+// to the chunk structures (ingest/chunk.hpp); aliased here because it is a
+// JobConfig knob like ExecMode/MergeMode.
+using IoMode = ingest::IoMode;
+using ingest::io_mode_name;
+
 struct JobConfig {
   // Runtime selection; callers typically pass this to run():
   //   MapReduceJob job(app, source, config);
@@ -50,6 +57,10 @@ struct JobConfig {
   std::size_t num_reduce_partitions = 0;
 
   MergeMode merge_mode = MergeMode::kPWay;
+
+  // Ingest byte movement (--io): copying reads (default) or zero-copy mmap
+  // views. Sources receive this at construction; see docs/ARCHITECTURE.md §2.
+  IoMode io = IoMode::kRead;
 
   // Key-space partitions for MergeMode::kPartitioned (--partitions).
   // 0 = auto: one partition per hardware context, so the per-partition

@@ -31,6 +31,12 @@ StatusOr<MergeMode> merge_mode_from_name(std::string_view name) {
   return Status::InvalidArgument("unknown merge mode: " + std::string(name));
 }
 
+StatusOr<IoMode> io_mode_from_name(std::string_view name) {
+  if (name == "read") return IoMode::kRead;
+  if (name == "mmap") return IoMode::kMmap;
+  return Status::InvalidArgument("unknown io mode: " + std::string(name));
+}
+
 std::string ReplaySpec::to_json() const {
   JsonWriter w;
   w.begin_object();
@@ -57,6 +63,7 @@ std::string ReplaySpec::to_json() const {
   w.begin_object();
   w.kv("mode", exec_mode_name(mode));
   w.kv("merge", merge_mode_name(merge_mode));
+  w.kv("io", io_mode_name(io));
   w.kv("threads", threads);
   w.kv("merge_partitions", merge_partitions);
   w.kv("chunk_bytes", chunk_bytes);
@@ -240,6 +247,18 @@ class Fields {
     return Status::Ok();
   }
 
+  // Like take_string, but a missing key yields `def` instead of an error —
+  // for fields added after specs were already checked in (schema growth
+  // stays backward-compatible; unknown keys still fail via check_empty).
+  Status take_string_or(const std::string& key, std::string& out,
+                        std::string_view def) {
+    if (values_.find(key) == values_.end()) {
+      out = std::string(def);
+      return Status::Ok();
+    }
+    return take_string(key, out);
+  }
+
   Status check_empty() const {
     if (values_.empty()) return Status::Ok();
     return Status::InvalidArgument("replay spec: unknown key " +
@@ -288,11 +307,13 @@ StatusOr<ReplaySpec> ReplaySpec::from_json(std::string_view text) {
   SUPMR_RETURN_IF_ERROR(
       fields.take_u64("params.memory_budget", spec.memory_budget));
 
-  std::string mode, merge;
+  std::string mode, merge, io;
   SUPMR_RETURN_IF_ERROR(fields.take_string("cell.mode", mode));
   SUPMR_RETURN_IF_ERROR(fields.take_string("cell.merge", merge));
+  SUPMR_RETURN_IF_ERROR(fields.take_string_or("cell.io", io, "read"));
   SUPMR_ASSIGN_OR_RETURN(spec.mode, exec_mode_from_name(mode));
   SUPMR_ASSIGN_OR_RETURN(spec.merge_mode, merge_mode_from_name(merge));
+  SUPMR_ASSIGN_OR_RETURN(spec.io, io_mode_from_name(io));
   SUPMR_RETURN_IF_ERROR(fields.take_u64("cell.threads", spec.threads));
   SUPMR_RETURN_IF_ERROR(
       fields.take_u64("cell.merge_partitions", spec.merge_partitions));

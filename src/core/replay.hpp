@@ -50,6 +50,7 @@ struct ReplaySpec {
   // The config-lattice cell.
   ExecMode mode = ExecMode::kIngestMR;
   MergeMode merge_mode = MergeMode::kPWay;
+  IoMode io = IoMode::kRead;  // optional in the JSON (older specs omit it)
   std::uint64_t threads = 2;
   std::uint64_t merge_partitions = 0;  // 0 = auto
   std::uint64_t chunk_bytes = 64 * 1024;
@@ -70,5 +71,6 @@ struct ReplaySpec {
 std::string_view merge_mode_name(MergeMode mode);
 StatusOr<ExecMode> exec_mode_from_name(std::string_view name);
 StatusOr<MergeMode> merge_mode_from_name(std::string_view name);
+StatusOr<IoMode> io_mode_from_name(std::string_view name);
 
 }  // namespace supmr::core

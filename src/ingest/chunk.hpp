@@ -1,16 +1,44 @@
 // Ingest chunk data structures (paper §III.A).
 //
 // A ChunkExtent describes where a chunk's bytes live (planning output); an
-// IngestChunk owns the bytes once read. Intra-file chunks additionally carry
-// per-file spans so applications that are file-oriented (e.g. inverted
-// index) can recover file identities inside a coalesced chunk.
+// IngestChunk carries the bytes once read — either OWNED (a vector filled by
+// Device::read_at, the copying path) or BORROWED (a span lent by a
+// view-capable device, the zero-copy mmap path; valid for the device's
+// lifetime). Intra-file chunks additionally carry per-file spans so
+// applications that are file-oriented (e.g. inverted index) can recover file
+// identities inside a coalesced chunk.
+//
+// ChunkBufferPool recycles owned buffers between pipeline rounds so the
+// copying path's steady-state allocation rate drops to zero: the producer
+// acquires a buffer before each read, the consumer releases it after the map
+// round, and the double-buffer depth bounds how many are ever in flight.
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <span>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 namespace supmr::ingest {
+
+// How a source moves bytes from the device into chunks (--io).
+enum class IoMode {
+  kRead,  // positional reads into owned (pooled) chunk buffers
+  kMmap,  // borrowed zero-copy views from a view-capable device; sources
+          // fall back to kRead per chunk when the device cannot lend views
+          // (throttled/fault-injected/retrying stacks — you cannot retry a
+          // page fault)
+};
+
+inline std::string_view io_mode_name(IoMode mode) {
+  switch (mode) {
+    case IoMode::kRead: return "read";
+    case IoMode::kMmap: return "mmap";
+  }
+  return "unknown";
+}
 
 // A contiguous region of one source file placed inside a chunk.
 struct FileSpan {
@@ -32,13 +60,83 @@ struct ChunkExtent {
 struct IngestChunk {
   std::uint64_t index = 0;
   std::uint64_t offset = 0;
-  std::vector<char> data;
+  std::vector<char> data;  // owned storage; meaningful only when !borrowed
   std::vector<FileSpan> files;
 
-  std::span<const char> bytes() const {
-    return std::span<const char>(data.data(), data.size());
+  // Switches the chunk to a borrowed device view (zero-copy path). The
+  // owned buffer is kept untouched so its capacity can still be recycled.
+  void set_view(std::span<const char> view) {
+    view_ = view;
+    borrowed_ = true;
   }
-  bool empty() const { return data.empty(); }
+
+  // Switches back to owned storage (callers then fill `data`). A
+  // default-constructed chunk starts owned.
+  void set_owned() {
+    view_ = {};
+    borrowed_ = false;
+  }
+
+  // The chunk's bytes regardless of storage mode. Well-defined for 0-byte
+  // chunks in both modes (an empty span).
+  std::span<const char> bytes() const {
+    return borrowed_ ? view_
+                     : std::span<const char>(data.data(), data.size());
+  }
+  std::size_t size() const { return bytes().size(); }
+  bool empty() const { return bytes().empty(); }
+  bool borrowed() const { return borrowed_; }
+
+ private:
+  std::span<const char> view_;  // non-owning (mmap path); empty when owned
+  bool borrowed_ = false;
+};
+
+// Thread-safe freelist of chunk buffers (one producer, one consumer in the
+// pipeline; any number of callers is safe). acquire() hands back a recycled
+// vector — cleared but with its capacity intact, so the subsequent
+// resize(extent.length) is allocation-free once the pool is warm — or a
+// fresh one when the pool is empty. Releasing a 0-capacity buffer is a
+// no-op (nothing to recycle), keeping 0-byte chunks well-defined.
+class ChunkBufferPool {
+ public:
+  // At most `max_buffers` are retained; the pipeline needs ingest depth + 1
+  // (the double buffer holds one, the producer fills one, the consumer
+  // drains one).
+  explicit ChunkBufferPool(std::size_t max_buffers = 4)
+      : max_buffers_(max_buffers) {}
+
+  std::vector<char> acquire() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (free_.empty()) return {};
+    std::vector<char> buf = std::move(free_.back());
+    free_.pop_back();
+    buf.clear();
+    ++reuses_;
+    return buf;
+  }
+
+  void release(std::vector<char>&& buf) {
+    if (buf.capacity() == 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (free_.size() >= max_buffers_) return;  // let it deallocate
+    free_.push_back(std::move(buf));
+  }
+
+  std::size_t pooled() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return free_.size();
+  }
+  std::uint64_t reuses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return reuses_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::vector<char>> free_;
+  std::size_t max_buffers_;
+  std::uint64_t reuses_ = 0;
 };
 
 }  // namespace supmr::ingest

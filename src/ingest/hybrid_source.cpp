@@ -65,6 +65,7 @@ Status HybridFileSource::read_chunk(const ChunkExtent& extent,
   out.index = extent.index;
   out.offset = extent.offset;
   out.files = extent.files;
+  out.set_owned();  // hybrid chunks interleave files: always copied
   out.data.resize(extent.length);
   for (const auto& span : extent.files) {
     const auto& file = files_[span.file_index];

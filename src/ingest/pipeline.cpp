@@ -46,6 +46,10 @@ StatusOr<PipelineStats> IngestPipeline::run_planned(
     for (const ChunkExtent& extent : plan) {
       if (cancel.load(std::memory_order_acquire)) break;
       IngestChunk chunk;
+      // Recycle a drained buffer so the copying path's resize() is
+      // allocation-free once the pool is warm (the zero-copy path never
+      // touches it and hands the capacity straight back).
+      chunk.data = pool_.acquire();
       const auto t0 = std::chrono::steady_clock::now();
       // Chunk-level recovery: re-read a transiently failing chunk under the
       // retry policy instead of killing the pipeline on the first IoError.
@@ -95,10 +99,15 @@ StatusOr<PipelineStats> IngestPipeline::run_planned(
         break;
       }
       SUPMR_COUNTER_ADD("ingest.chunks", 1);
-      SUPMR_COUNTER_ADD("ingest.bytes", chunk.data.size());
+      SUPMR_COUNTER_ADD("ingest.bytes", chunk.size());
+      if (chunk.borrowed()) {
+        SUPMR_COUNTER_ADD("ingest.borrowed_chunks", 1);
+        pool_.release(std::move(chunk.data));  // unused capacity goes back
+        chunk.data = {};
+      }
       SUPMR_LOG_DEBUG("ingest: chunk %llu ready (%zu bytes)",
                       static_cast<unsigned long long>(chunk.index),
-                      chunk.data.size());
+                      chunk.size());
       if (!buffer.produce(std::move(chunk))) break;  // consumer cancelled
     }
     buffer.close();
@@ -129,14 +138,16 @@ StatusOr<PipelineStats> IngestPipeline::run_planned(
       {
         SUPMR_TRACE_SCOPE_VAR(span, "ingest", "ingest.process_chunk");
         SUPMR_TRACE_SET_ARG(span, "chunk", chunk.index);
-        SUPMR_TRACE_SET_ARG2(span, "bytes", chunk.data.size());
+        SUPMR_TRACE_SET_ARG2(span, "bytes", chunk.size());
         st = process(chunk);
       }
       const double processed = seconds_since(t_proc);
       stats.chunks[chunk.index].process_s = processed;
       stats.process_busy_s += processed;
-      stats.total_bytes += chunk.data.size();
+      stats.total_bytes += chunk.size();
       SUPMR_HIST_OBSERVE("ingest.process_us", processed * 1e6);
+      if (!chunk.borrowed()) pool_.release(std::move(chunk.data));
+      chunk.data = {};
 
       if (!st.ok()) {
         consumer_status = std::move(st);

@@ -73,9 +73,14 @@ class IngestPipeline {
       const std::vector<ChunkExtent>& plan,
       const std::function<Status(IngestChunk&)>& process);
 
+  // Owned-buffer recycling across rounds (see ChunkBufferPool): exposed so
+  // tests and benchmarks can assert steady-state reuse.
+  const ChunkBufferPool& buffer_pool() const { return pool_; }
+
  private:
   const IngestSource& source_;
   fault::Recovery recovery_;
+  ChunkBufferPool pool_;
 };
 
 }  // namespace supmr::ingest

@@ -1,10 +1,32 @@
 #include "ingest/record_format.hpp"
 
 #include <algorithm>
-#include <cstring>
 #include <vector>
 
+#include "common/scan.hpp"
+
 namespace supmr::ingest {
+
+namespace {
+
+// Reads exactly `out.size()` bytes at `offset`, absorbing short reads:
+// Device::read_at may legally return fewer bytes than asked mid-file
+// (throttled and fault-injected devices cap the per-call transfer). The
+// returned count is less than out.size() only at the end of the device, so
+// callers can use `filled < want` as a true-EOF signal.
+StatusOr<std::size_t> read_full(const storage::Device& device,
+                                std::uint64_t offset, std::span<char> out) {
+  std::size_t filled = 0;
+  while (filled < out.size()) {
+    SUPMR_ASSIGN_OR_RETURN(
+        std::size_t n, device.read_at(offset + filled, out.subspan(filled)));
+    if (n == 0) break;  // end of device
+    filled += n;
+  }
+  return filled;
+}
+
+}  // namespace
 
 StatusOr<std::uint64_t> RecordFormat::adjust_split(
     const storage::Device& device, std::uint64_t desired) const {
@@ -18,8 +40,8 @@ StatusOr<std::uint64_t> RecordFormat::adjust_split(
     char probe[8];
     SUPMR_ASSIGN_OR_RETURN(
         std::size_t got,
-        device.read_at(desired - term.size(),
-                       std::span<char>(probe, term.size())));
+        read_full(device, desired - term.size(),
+                  std::span<char>(probe, term.size())));
     if (got == term.size() &&
         std::string_view(probe, term.size()) == term) {
       return desired;
@@ -28,52 +50,42 @@ StatusOr<std::uint64_t> RecordFormat::adjust_split(
 
   std::vector<char> window(kScanWindow);
   // Start the scan slightly before `desired` so a multi-byte terminator that
-  // `desired` lands inside (e.g. between '\r' and '\n') is still found.
-  const std::uint64_t lookback =
-      term.empty() ? 0 : std::min<std::uint64_t>(term.size() - 1, desired);
-  std::uint64_t base = desired - lookback;
-  // Scanning restarts at `base`; a terminator straddling two windows is
-  // handled by re-reading from one byte before the window edge.
-  std::size_t overlap = 0;
+  // `desired` lands inside (e.g. between '\r' and '\n') is still found; the
+  // same overlap is kept between successive windows so a terminator
+  // straddling a window edge is always seen whole.
+  const std::size_t overlap = term.empty() ? 0 : term.size() - 1;
+  std::uint64_t base = desired - std::min<std::uint64_t>(overlap, desired);
   while (base < size) {
+    const std::size_t want = static_cast<std::size_t>(
+        std::min<std::uint64_t>(window.size(), size - base));
+    // Fill the whole window before scanning. Advancing on a short read used
+    // to break this loop: a device that capped reads below the overlap made
+    // the scan give up mid-file and silently report "record runs to EOF".
     SUPMR_ASSIGN_OR_RETURN(
-        std::size_t n,
-        device.read_at(base, std::span<char>(window.data(), window.size())));
-    if (n == 0) break;
-    auto end = find_record_end(std::span<const char>(window.data(), n), 0);
+        std::size_t filled,
+        read_full(device, base, std::span<char>(window.data(), want)));
+    auto end = find_record_end(std::span<const char>(window.data(), filled), 0);
     if (end.has_value()) return base + *end;
-    // Not found: keep the last byte for terminators spanning the boundary
-    // (e.g. '\r' at the window edge with '\n' in the next window).
-    overlap = 1;
-    if (n <= overlap) break;
-    base += n - overlap;
+    if (filled < want) break;            // device ended early: true EOF
+    if (base + filled >= size) break;    // scanned the last window
+    if (filled <= overlap) break;        // degenerate tail, cannot advance
+    base += filled - overlap;
   }
   return size;  // record runs to EOF
 }
 
 std::optional<std::size_t> LineFormat::find_record_end(
     std::span<const char> window, std::size_t from) const {
-  if (from >= window.size()) return std::nullopt;
-  const void* p =
-      std::memchr(window.data() + from, '\n', window.size() - from);
-  if (p == nullptr) return std::nullopt;
-  return static_cast<std::size_t>(static_cast<const char*>(p) -
-                                  window.data()) + 1;
+  const auto nl = scan::find_byte(window, from, '\n');
+  if (!nl.has_value()) return std::nullopt;
+  return *nl + 1;
 }
 
 std::optional<std::size_t> CrlfFormat::find_record_end(
     std::span<const char> window, std::size_t from) const {
-  std::size_t pos = from;
-  while (pos + 1 < window.size()) {
-    const void* p =
-        std::memchr(window.data() + pos, '\r', window.size() - pos - 1);
-    if (p == nullptr) return std::nullopt;
-    pos = static_cast<std::size_t>(static_cast<const char*>(p) -
-                                   window.data());
-    if (window[pos + 1] == '\n') return pos + 2;
-    ++pos;
-  }
-  return std::nullopt;
+  const auto cr = scan::find_crlf(window, from);
+  if (!cr.has_value()) return std::nullopt;
+  return *cr + 2;
 }
 
 std::optional<std::size_t> FixedFormat::find_record_end(

@@ -7,10 +7,12 @@ namespace supmr::ingest {
 
 SingleDeviceSource::SingleDeviceSource(
     std::shared_ptr<const storage::Device> device,
-    std::shared_ptr<const RecordFormat> format, std::uint64_t chunk_bytes)
+    std::shared_ptr<const RecordFormat> format, std::uint64_t chunk_bytes,
+    IoMode io)
     : device_(std::move(device)),
       format_(std::move(format)),
-      chunk_bytes_(chunk_bytes) {
+      chunk_bytes_(chunk_bytes),
+      io_(io) {
   assert(device_ && format_);
 }
 
@@ -42,6 +44,18 @@ Status SingleDeviceSource::read_chunk(const ChunkExtent& extent,
   out.index = extent.index;
   out.offset = extent.offset;
   out.files.clear();
+  // Zero-copy path: borrow the extent straight out of the device's mapping.
+  // Wrapper devices (throttled/fault/retrying) do not lend views, so a
+  // fault-injected stack automatically lands on the copying path below —
+  // a failed read can be retried, a page fault cannot.
+  if (io_ == IoMode::kMmap && device_->supports_views()) {
+    const auto view = device_->view_at(extent.offset, extent.length);
+    if (view.size() == extent.length) {
+      out.set_view(view);
+      return Status::Ok();
+    }
+  }
+  out.set_owned();
   out.data.resize(extent.length);
   SUPMR_ASSIGN_OR_RETURN(
       std::size_t n,
@@ -57,8 +71,8 @@ Status SingleDeviceSource::read_chunk(const ChunkExtent& extent,
 
 MultiFileSource::MultiFileSource(
     std::vector<std::shared_ptr<const storage::Device>> files,
-    std::size_t files_per_chunk)
-    : files_(std::move(files)), files_per_chunk_(files_per_chunk) {
+    std::size_t files_per_chunk, IoMode io)
+    : files_(std::move(files)), files_per_chunk_(files_per_chunk), io_(io) {
   total_bytes_ = 0;
   for (const auto& f : files_) total_bytes_ += f->size();
 }
@@ -90,8 +104,20 @@ Status MultiFileSource::read_chunk(const ChunkExtent& extent,
   out.index = extent.index;
   out.offset = extent.offset;
   out.files = extent.files;
-  // The runtime grows the allocation to keep all of a chunk's files
-  // collocated in RAM (paper §III.A.1, intra-file chunking).
+  // A single-file chunk can be borrowed whole; coalesced chunks must be
+  // contiguous in RAM (paper §III.A.1), which forces the copying path.
+  if (io_ == IoMode::kMmap && extent.files.size() == 1) {
+    const auto& span = extent.files.front();
+    const auto& file = files_[span.file_index];
+    if (file->supports_views()) {
+      const auto view = file->view_at(span.file_offset, span.length);
+      if (view.size() == span.length) {
+        out.set_view(view);
+        return Status::Ok();
+      }
+    }
+  }
+  out.set_owned();
   out.data.resize(extent.length);
   for (const auto& span : extent.files) {
     const auto& file = files_[span.file_index];

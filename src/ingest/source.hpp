@@ -39,10 +39,12 @@ class IngestSource {
 class SingleDeviceSource final : public IngestSource {
  public:
   // chunk_bytes == 0 means a single chunk spanning the whole device (the
-  // original runtime's one-shot ingest).
+  // original runtime's one-shot ingest). With IoMode::kMmap, read_chunk
+  // lends borrowed views when the device supports them and silently falls
+  // back to the copying path otherwise.
   SingleDeviceSource(std::shared_ptr<const storage::Device> device,
                      std::shared_ptr<const RecordFormat> format,
-                     std::uint64_t chunk_bytes);
+                     std::uint64_t chunk_bytes, IoMode io = IoMode::kRead);
 
   StatusOr<std::vector<ChunkExtent>> plan() const override;
   Status read_chunk(const ChunkExtent& extent, IngestChunk& out) const override;
@@ -52,19 +54,23 @@ class SingleDeviceSource final : public IngestSource {
   const storage::Device& device() const { return *device_; }
   const RecordFormat& format() const { return *format_; }
   std::uint64_t chunk_bytes() const { return chunk_bytes_; }
+  IoMode io() const { return io_; }
 
  private:
   std::shared_ptr<const storage::Device> device_;
   std::shared_ptr<const RecordFormat> format_;
   std::uint64_t chunk_bytes_;
+  IoMode io_;
 };
 
 // Intra-file chunking over many whole files.
 class MultiFileSource final : public IngestSource {
  public:
-  // files_per_chunk == 0 means all files in one chunk.
+  // files_per_chunk == 0 means all files in one chunk. IoMode::kMmap lends
+  // a borrowed view only for single-file chunks — a coalesced chunk must be
+  // contiguous in memory, which requires copying.
   MultiFileSource(std::vector<std::shared_ptr<const storage::Device>> files,
-                  std::size_t files_per_chunk);
+                  std::size_t files_per_chunk, IoMode io = IoMode::kRead);
 
   StatusOr<std::vector<ChunkExtent>> plan() const override;
   Status read_chunk(const ChunkExtent& extent, IngestChunk& out) const override;
@@ -73,11 +79,13 @@ class MultiFileSource final : public IngestSource {
 
   std::size_t file_count() const { return files_.size(); }
   std::size_t files_per_chunk() const { return files_per_chunk_; }
+  IoMode io() const { return io_; }
 
  private:
   std::vector<std::shared_ptr<const storage::Device>> files_;
   std::size_t files_per_chunk_;
   std::uint64_t total_bytes_;
+  IoMode io_;
 };
 
 }  // namespace supmr::ingest

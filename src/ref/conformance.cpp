@@ -191,6 +191,7 @@ StatusOr<ConformanceOutcome> run_cell(const core::ReplaySpec& spec,
   cfg.recovery.policy.backoff_base_s = 1e-4;
   cfg.recovery.policy.backoff_max_s = 1e-3;
   cfg.recovery.degrade = spec.degrade;
+  cfg.io = spec.io;
 
   SUPMR_ASSIGN_OR_RETURN(auto sut_app, make_app(spec, /*for_ref=*/false));
   SUPMR_ASSIGN_OR_RETURN(auto ref_app, make_app(spec, /*for_ref=*/true));
@@ -208,7 +209,8 @@ StatusOr<ConformanceOutcome> run_cell(const core::ReplaySpec& spec,
         tcfg, static_cast<std::size_t>(spec.corpus.num_files), per_file);
     ingest::MultiFileSource source(files,
                                    static_cast<std::size_t>(
-                                       spec.files_per_chunk));
+                                       spec.files_per_chunk),
+                                   spec.io);
     core::MapReduceJob job(*sut_app, source, cfg);
     SUPMR_ASSIGN_OR_RETURN(outcome.job, job.run(cfg.mode));
 
@@ -228,7 +230,11 @@ StatusOr<ConformanceOutcome> run_cell(const core::ReplaySpec& spec,
     if (cfg.recovery.policy.enabled()) {
       dev = std::make_shared<fault::RetryingDevice>(dev, cfg.recovery.policy);
     }
-    ingest::SingleDeviceSource source(dev, format, spec.chunk_bytes);
+    // MemDevice lends views, so io=mmap cells exercise the genuinely
+    // zero-copy path (borrowed spans all the way into map tasks) even
+    // though the corpus is in-memory; fault/retry wrappers stacked above
+    // refuse views and force the per-chunk copying fallback.
+    ingest::SingleDeviceSource source(dev, format, spec.chunk_bytes, spec.io);
     core::MapReduceJob job(*sut_app, source, cfg);
     SUPMR_ASSIGN_OR_RETURN(outcome.job, job.run(cfg.mode));
 

@@ -40,13 +40,34 @@ class Device {
   virtual ~Device() = default;
 
   // Reads up to out.size() bytes at `offset`. Returns the number of bytes
-  // read; fewer than requested only at end-of-device. Thread-safe: multiple
-  // readers may call concurrently (positional reads carry no shared cursor).
+  // read; a return of 0 means end-of-device. Most devices fill the whole
+  // span away from EOF, but the contract permits mid-file short reads (a
+  // device may cap its per-call transfer) — callers that need an exact
+  // count must loop (see read_full in ingest/record_format.cpp). Thread-
+  // safe: multiple readers may call concurrently (positional reads carry no
+  // shared cursor).
   virtual StatusOr<std::size_t> read_at(std::uint64_t offset,
                                         std::span<char> out) const = 0;
 
   virtual std::uint64_t size() const = 0;
   virtual std::string_view name() const = 0;
+
+  // Zero-copy seam: devices whose bytes are directly addressable (an mmap
+  // mapping, an in-memory buffer) can lend borrowed views so the ingest
+  // layer skips the read_at copy entirely. view_at returns a span of
+  // exactly `length` bytes valid for the device's lifetime, or an empty
+  // span when the range is out of bounds (length == 0 yields a valid empty
+  // view). Wrapper devices (throttling, fault injection, retry) must NOT
+  // forward views: a borrowed page cannot be throttled, faulted, or
+  // retried, so leaving supports_views() false there is what makes the
+  // ingest layer fall back to the copying path under those stacks.
+  virtual bool supports_views() const { return false; }
+  virtual std::span<const char> view_at(std::uint64_t offset,
+                                        std::size_t length) const {
+    (void)offset;
+    (void)length;
+    return {};
+  }
 
   // Performance model for simulation; defaults describe the paper's RAID-0.
   virtual DeviceModel model() const { return DeviceModel{}; }

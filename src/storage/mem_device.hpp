@@ -21,6 +21,16 @@ class MemDevice final : public Device {
                                 std::span<char> out) const override;
   std::uint64_t size() const override { return data_.size(); }
   std::string_view name() const override { return name_; }
+
+  // The buffer is directly addressable, so MemDevice lends borrowed views
+  // exactly like MmapDevice — the tests' zero-copy double (the conformance
+  // harness runs its io=mmap axis over MemDevice-backed corpora).
+  bool supports_views() const override { return true; }
+  std::span<const char> view_at(std::uint64_t offset,
+                                std::size_t length) const override {
+    if (offset > data_.size() || length > data_.size() - offset) return {};
+    return std::span<const char>(data_.data() + offset, length);
+  }
   DeviceModel model() const override {
     return DeviceModel{.bandwidth_bps = 20.0e9, .seek_s = 0.0};
   }

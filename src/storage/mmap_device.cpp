@@ -1,0 +1,71 @@
+#include "storage/mmap_device.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/macros.hpp"
+
+namespace supmr::storage {
+
+StatusOr<std::unique_ptr<MmapDevice>> MmapDevice::open(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError("open(" + path + "): " + std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError("fstat(" + path + "): " + std::strerror(err));
+  }
+  const auto size = static_cast<std::uint64_t>(st.st_size);
+  const char* data = nullptr;
+  if (size > 0) {  // mmap(len=0) is EINVAL; empty files keep a null mapping
+    void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (map == MAP_FAILED) {
+      const int err = errno;
+      ::close(fd);
+      return Status::IoError("mmap(" + path + "): " + std::strerror(err));
+    }
+    // Ingest walks chunks front to back; tell the kernel to read ahead.
+    ::madvise(map, size, MADV_SEQUENTIAL);
+    data = static_cast<const char*>(map);
+  }
+  // The mapping outlives the descriptor; holding the fd open buys nothing.
+  ::close(fd);
+  return std::unique_ptr<MmapDevice>(new MmapDevice(data, size, path));
+}
+
+MmapDevice::~MmapDevice() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+}
+
+StatusOr<std::size_t> MmapDevice::read_at(std::uint64_t offset,
+                                          std::span<char> out) const {
+  if (offset > size_) {
+    return Status::OutOfRange("read at offset " + std::to_string(offset) +
+                              " past end of " + path_);
+  }
+  const std::size_t n =
+      std::min<std::uint64_t>(out.size(), size_ - offset);
+  if (n > 0) std::memcpy(out.data(), data_ + offset, n);
+  SUPMR_COUNTER_ADD("storage.mmap.read_bytes", n);
+  return n;
+}
+
+std::span<const char> MmapDevice::view_at(std::uint64_t offset,
+                                          std::size_t length) const {
+  if (offset > size_ || length > size_ - offset) return {};
+  SUPMR_COUNTER_ADD("storage.mmap.view_bytes", length);
+  return std::span<const char>(data_ + offset, length);
+}
+
+}  // namespace supmr::storage

@@ -1,0 +1,48 @@
+// File-backed device exposing the file as one read-only mmap mapping.
+//
+// The zero-copy counterpart of FileDevice: read_at still works (memcpy out
+// of the mapping, so every wrapper and spill-reader composes unchanged), but
+// supports_views()/view_at lend borrowed spans straight into the page cache
+// — the ingest layer builds non-owning chunks from them and the map phase
+// scans file bytes with zero intermediate copies (paper's premise: the disk
+// and memory *bandwidth* is the bottleneck, so spend it once, not twice).
+//
+// Empty files are legal: mmap(2) rejects length 0 with EINVAL, so a 0-byte
+// file keeps a null mapping and serves empty reads/views.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "storage/device.hpp"
+
+namespace supmr::storage {
+
+class MmapDevice final : public Device {
+ public:
+  // Opens `path` read-only and maps it in full.
+  static StatusOr<std::unique_ptr<MmapDevice>> open(const std::string& path);
+
+  ~MmapDevice() override;
+  MmapDevice(const MmapDevice&) = delete;
+  MmapDevice& operator=(const MmapDevice&) = delete;
+
+  StatusOr<std::size_t> read_at(std::uint64_t offset,
+                                std::span<char> out) const override;
+  std::uint64_t size() const override { return size_; }
+  std::string_view name() const override { return path_; }
+
+  bool supports_views() const override { return true; }
+  std::span<const char> view_at(std::uint64_t offset,
+                                std::size_t length) const override;
+
+ private:
+  MmapDevice(const char* data, std::uint64_t size, std::string path)
+      : data_(data), size_(size), path_(std::move(path)) {}
+
+  const char* data_;  // nullptr iff size_ == 0
+  std::uint64_t size_;
+  std::string path_;
+};
+
+}  // namespace supmr::storage

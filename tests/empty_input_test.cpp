@@ -13,6 +13,7 @@
 //     including the partitioned shuffle.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <memory>
 #include <string>
 
@@ -24,6 +25,7 @@
 #include "ingest/source.hpp"
 #include "json_validator.hpp"
 #include "storage/mem_device.hpp"
+#include "storage/mmap_device.hpp"
 
 namespace supmr {
 namespace {
@@ -62,22 +64,58 @@ TEST(EmptyInput, WordCountAllModesAllMergesNormalAndDegrade) {
   for (ExecMode mode : kModes) {
     for (MergeMode merge : kMergeModes) {
       for (bool degrade : {false, true}) {
-        apps::WordCountApp app;
-        ingest::SingleDeviceSource src(
-            std::make_shared<storage::MemDevice>("", "empty"),
-            std::make_shared<ingest::LineFormat>(), /*chunk_bytes=*/6);
-        MapReduceJob job(app, src, empty_config(merge, degrade));
-        auto result = job.run(mode);
-        ASSERT_TRUE(result.ok())
-            << core::exec_mode_name(mode) << " degrade=" << degrade << ": "
-            << result.status().to_string();
-        const std::string label = std::string(core::exec_mode_name(mode)) +
-                                  (degrade ? "/degrade" : "/normal");
-        check_empty_result(*result, label.c_str());
-        EXPECT_TRUE(app.results().empty());
+        for (core::IoMode io : {core::IoMode::kRead, core::IoMode::kMmap}) {
+          apps::WordCountApp app;
+          ingest::SingleDeviceSource src(
+              std::make_shared<storage::MemDevice>("", "empty"),
+              std::make_shared<ingest::LineFormat>(), /*chunk_bytes=*/6, io);
+          MapReduceJob job(app, src, empty_config(merge, degrade));
+          auto result = job.run(mode);
+          ASSERT_TRUE(result.ok())
+              << core::exec_mode_name(mode) << " degrade=" << degrade << " io="
+              << core::io_mode_name(io) << ": " << result.status().to_string();
+          const std::string label = std::string(core::exec_mode_name(mode)) +
+                                    (degrade ? "/degrade" : "/normal") + "/" +
+                                    std::string(core::io_mode_name(io));
+          check_empty_result(*result, label.c_str());
+          EXPECT_TRUE(app.results().empty());
+        }
       }
     }
   }
+}
+
+// mmap(len=0) is EINVAL, so MmapDevice must special-case the empty file: a
+// null mapping with size 0, read_at returning 0 bytes, view_at lending the
+// empty span — and a whole job over it must behave exactly like the other
+// empty-source cells above.
+TEST(EmptyInput, MmapDeviceEmptyFile) {
+  const std::string path =
+      ::testing::TempDir() + "/supmr_empty_mmap_input.txt";
+  { std::FILE* f = std::fopen(path.c_str(), "wb"); ASSERT_NE(f, nullptr);
+    std::fclose(f); }
+
+  auto dev = storage::MmapDevice::open(path);
+  ASSERT_TRUE(dev.ok()) << dev.status().to_string();
+  EXPECT_EQ((*dev)->size(), 0u);
+  EXPECT_TRUE((*dev)->supports_views());
+  EXPECT_TRUE((*dev)->view_at(0, 0).empty());
+  char buf[4];
+  auto n = (*dev)->read_at(0, std::span<char>(buf, sizeof(buf)));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0u);
+
+  apps::WordCountApp app;
+  std::shared_ptr<const storage::Device> device = std::move(*dev);
+  ingest::SingleDeviceSource src(device,
+                                 std::make_shared<ingest::LineFormat>(),
+                                 /*chunk_bytes=*/6, core::IoMode::kMmap);
+  MapReduceJob job(app, src, empty_config(MergeMode::kPWay, false));
+  auto result = job.run(ExecMode::kIngestMR);
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  check_empty_result(*result, "mmap-empty-file");
+  EXPECT_TRUE(app.results().empty());
+  std::remove(path.c_str());
 }
 
 // Sorted-empty merge through the partitioned shuffle path specifically:

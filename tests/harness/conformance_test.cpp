@@ -16,11 +16,17 @@ namespace {
 struct Axis {
   core::ExecMode mode;
   core::MergeMode merge;
+  core::IoMode io;
 };
 
-// The mode × merge cross. Partitioned merge gets merge_partitions=5 (odd,
-// different from the thread count, so stripes and waves never line up by
-// accident).
+// The mode × merge × io cross. Partitioned merge gets merge_partitions=5
+// (odd, different from the thread count, so stripes and waves never line up
+// by accident). The io axis runs every cell twice: once over copying reads
+// and once over borrowed zero-copy views (MemDevice lends views like
+// MmapDevice, so io=mmap cells carry borrowed spans into the map tasks).
+// The adaptive pipeline reads through the device directly and has no view
+// path, so its mmap cells still exercise the "configured but unavailable"
+// fallback.
 std::vector<Axis> mode_merge_cross() {
   std::vector<Axis> axes;
   for (core::ExecMode mode : {core::ExecMode::kOriginal,
@@ -29,7 +35,9 @@ std::vector<Axis> mode_merge_cross() {
     for (core::MergeMode merge : {core::MergeMode::kPairwise,
                                   core::MergeMode::kPWay,
                                   core::MergeMode::kPartitioned}) {
-      axes.push_back({mode, merge});
+      for (core::IoMode io : {core::IoMode::kRead, core::IoMode::kMmap}) {
+        axes.push_back({mode, merge, io});
+      }
     }
   }
   return axes;
@@ -44,11 +52,13 @@ void run_lattice(core::ReplaySpec base, const std::string& app_label,
     core::ReplaySpec spec = base;
     spec.mode = axis.mode;
     spec.merge_mode = axis.merge;
+    spec.io = axis.io;
     spec.merge_partitions =
         axis.merge == core::MergeMode::kPartitioned ? 5 : 0;
     expect_cell(spec, app_label + "-" +
                           std::string(core::exec_mode_name(axis.mode)) + "-" +
-                          std::string(core::merge_mode_name(axis.merge)));
+                          std::string(core::merge_mode_name(axis.merge)) +
+                          "-" + std::string(core::io_mode_name(axis.io)));
   }
 }
 
@@ -135,6 +145,34 @@ TEST(ConformanceLattice, PartitionAxis) {
     spec.merge_mode = core::MergeMode::kPartitioned;
     spec.merge_partitions = parts;
     expect_cell(spec, "sort-partitions-" + std::to_string(parts));
+  }
+}
+
+TEST(ConformanceLattice, MmapFaultFallback) {
+  // io=mmap with a fault plan: the FaultDevice/RetryingDevice wrappers do
+  // not lend views, so every chunk silently falls back to retried copying
+  // reads — the output must still match the clean oracle byte for byte.
+  core::ReplaySpec spec = spec_wordcount(13);
+  spec.mode = core::ExecMode::kIngestMR;
+  spec.merge_mode = core::MergeMode::kPWay;
+  spec.io = core::IoMode::kMmap;
+  spec.chunk_bytes = 32 * 1024;
+  spec.fault_plan = "seed=11;transient=0.05";
+  spec.retry_attempts = 8;
+  expect_cell(spec, "wordcount-mmap-fault-fallback");
+}
+
+TEST(ConformanceLattice, MmapChunkAxis) {
+  // Borrowed views across the chunk-size sweep, including the whole-input
+  // single-view cell (chunk_bytes=0).
+  for (std::size_t chunk : {std::size_t(0), std::size_t(8) * 1024,
+                            std::size_t(48) * 1024}) {
+    core::ReplaySpec spec = spec_sort(14);
+    spec.mode = core::ExecMode::kIngestMR;
+    spec.merge_mode = core::MergeMode::kPWay;
+    spec.io = core::IoMode::kMmap;
+    spec.chunk_bytes = chunk;
+    expect_cell(spec, "sort-mmap-chunk-" + std::to_string(chunk));
   }
 }
 

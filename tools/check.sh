@@ -84,6 +84,10 @@ mutation_smoke() {
     grep -q 'conformance: PASS' ||
     { echo "harness: partitioned smoke spec does not replay clean" >&2
       return 1; }
+  # io=mmap cell: zero-copy borrowed views must match the oracle too.
+  "${cli}" replay "${specs}/replay_mmap_smoke.json" |
+    grep -q 'conformance: PASS' ||
+    { echo "harness: mmap smoke spec does not replay clean" >&2; return 1; }
   # The mutated replays exit non-zero BY DESIGN, so capture output first
   # (a plain pipeline would trip pipefail even when grep matches) and
   # assert on the explicit verdict string.
@@ -99,7 +103,7 @@ mutation_smoke() {
   grep -q 'conformance: FAIL' <<<"${out}" ||
     { echo "harness: partition-routing mutation was NOT detected" >&2
       return 1; }
-  echo "harness: mutation smoke OK (2 specs x clean+mutated)"
+  echo "harness: mutation smoke OK (2 specs x clean+mutated, 1 mmap cell)"
 }
 
 run_stage() {

@@ -21,6 +21,10 @@
 //                                    one per hardware context; docs/merge.md)
 //   --threads=N                      mapper/reducer threads
 //   --chunk=SIZE                     ingest chunk size (0/none = original)
+//   --io=read|mmap                   ingest byte movement: copying reads or
+//                                    zero-copy mmap views (default read);
+//                                    falls back to read per chunk under
+//                                    --throttle/--fault-plan (docs/cli.md)
 //   --throttle=RATE                  emulate a slow device, e.g. 384MB
 //   --trace=out.csv                  dump a /proc/stat utilization trace
 //   --metrics-json=out.json          dump the runtime metrics snapshot
@@ -64,6 +68,7 @@
 #include "ingest/source.hpp"
 #include "storage/fault_device.hpp"
 #include "storage/file_device.hpp"
+#include "storage/mmap_device.hpp"
 #include "storage/rate_limiter.hpp"
 #include "storage/throttled_device.hpp"
 #include "tools/flags.hpp"
@@ -75,7 +80,7 @@ namespace supmr::tools {
 namespace {
 
 const std::set<std::string> kCommonFlags = {
-    "mode",   "merge",   "partitions", "threads", "chunk", "throttle",
+    "mode",   "merge",   "partitions", "threads", "chunk", "throttle", "io",
     "trace",  "top",     "out",     "key-bytes",  "record-bytes",
     "lo",     "hi",      "bins",    "files-per-chunk", "size",
     "verbose", "json",    "budget",  "clusters",   "dim",
@@ -134,6 +139,14 @@ StatusOr<CommonConfig> common_config(const Flags& flags) {
     cfg.job.merge_mode = core::MergeMode::kPartitioned;
   } else {
     return Status::InvalidArgument("bad --merge: " + merge);
+  }
+  const std::string io = flags.get_or("io", "read");
+  if (io == "read") {
+    cfg.job.io = core::IoMode::kRead;
+  } else if (io == "mmap") {
+    cfg.job.io = core::IoMode::kMmap;
+  } else {
+    return Status::InvalidArgument("bad --io: " + io);
   }
   SUPMR_ASSIGN_OR_RETURN(std::uint64_t partitions,
                          flags.get_int("partitions", 0));
@@ -205,8 +218,18 @@ StatusOr<CommonConfig> common_config(const Flags& flags) {
 // byte source — pipeline chunks and spill reads alike — retries the same way.
 StatusOr<std::shared_ptr<const storage::Device>> open_input(
     const std::string& path, const CommonConfig& cfg) {
-  SUPMR_ASSIGN_OR_RETURN(auto file, storage::FileDevice::open(path));
-  std::shared_ptr<const storage::Device> dev = std::move(file);
+  std::shared_ptr<const storage::Device> dev;
+  if (cfg.job.io == core::IoMode::kMmap) {
+    // Zero-copy base device. Any wrapper stacked below refuses to lend
+    // views, so --throttle/--fault-plan/retry transparently force the
+    // sources back onto the copying read path (a page fault cannot be
+    // retried or rate-limited).
+    SUPMR_ASSIGN_OR_RETURN(auto mapped, storage::MmapDevice::open(path));
+    dev = std::move(mapped);
+  } else {
+    SUPMR_ASSIGN_OR_RETURN(auto file, storage::FileDevice::open(path));
+    dev = std::move(file);
+  }
   if (cfg.throttle_bps) {
     auto limiter = std::make_shared<storage::RateLimiter>(*cfg.throttle_bps);
     dev = std::make_shared<storage::ThrottledDevice>(dev, limiter);
@@ -283,7 +306,8 @@ Status cmd_wordcount(const Flags& flags) {
   SUPMR_ASSIGN_OR_RETURN(CommonConfig cfg, common_config(flags));
   SUPMR_ASSIGN_OR_RETURN(auto dev, open_input(flags.positional()[0], cfg));
   auto format = std::make_shared<ingest::LineFormat>();
-  ingest::SingleDeviceSource source(dev, format, cfg.chunk_bytes);
+  ingest::SingleDeviceSource source(dev, format, cfg.chunk_bytes,
+                                    cfg.job.io);
   // --budget=SIZE switches to external aggregation (spill-and-merge) so the
   // intermediate set never exceeds the budget.
   SUPMR_ASSIGN_OR_RETURN(std::uint64_t budget, flags.get_size("budget", 0));
@@ -337,7 +361,8 @@ Status cmd_sort(const Flags& flags) {
     opt.partitions = cfg.job.merge_partitions();
   }
   auto format = std::make_shared<ingest::CrlfFormat>();
-  ingest::SingleDeviceSource source(dev, format, cfg.chunk_bytes);
+  ingest::SingleDeviceSource source(dev, format, cfg.chunk_bytes,
+                                    cfg.job.io);
   apps::TeraSortApp app(opt);
   SUPMR_ASSIGN_OR_RETURN(core::JobResult result,
                          run_app(app, source, dev.get(), format.get(), cfg));
@@ -377,7 +402,8 @@ Status cmd_grep(const Flags& flags) {
   }
   SUPMR_ASSIGN_OR_RETURN(auto dev, open_input(flags.positional()[1], cfg));
   auto format = std::make_shared<ingest::LineFormat>();
-  ingest::SingleDeviceSource source(dev, format, cfg.chunk_bytes);
+  ingest::SingleDeviceSource source(dev, format, cfg.chunk_bytes,
+                                    cfg.job.io);
   apps::GrepApp app(patterns);
   SUPMR_ASSIGN_OR_RETURN(core::JobResult result,
                          run_app(app, source, dev.get(), format.get(), cfg));
@@ -403,7 +429,8 @@ Status cmd_histogram(const Flags& flags) {
   opt.hi = static_cast<std::int64_t>(hi);
   opt.bins = bins;
   auto format = std::make_shared<ingest::LineFormat>();
-  ingest::SingleDeviceSource source(dev, format, cfg.chunk_bytes);
+  ingest::SingleDeviceSource source(dev, format, cfg.chunk_bytes,
+                                    cfg.job.io);
   apps::HistogramApp app(opt);
   SUPMR_ASSIGN_OR_RETURN(core::JobResult result,
                          run_app(app, source, dev.get(), format.get(), cfg));
@@ -438,7 +465,7 @@ Status cmd_index(const Flags& flags) {
   }
   SUPMR_ASSIGN_OR_RETURN(std::uint64_t per_chunk,
                          flags.get_int("files-per-chunk", 4));
-  ingest::MultiFileSource source(files, per_chunk);
+  ingest::MultiFileSource source(files, per_chunk, cfg.job.io);
   apps::InvertedIndexApp app;
   SUPMR_ASSIGN_OR_RETURN(core::JobResult result,
                          run_app(app, source, nullptr, nullptr, cfg));
@@ -468,8 +495,8 @@ Status cmd_kmeans(const Flags& flags) {
   for (std::size_t c = 0; c < clusters; ++c)
     for (std::size_t d = 0; d < dim; ++d)
       init[c][d] = 100.0 * double(c + 1) / double(clusters + 1);
-  ingest::SingleDeviceSource source(
-      dev, std::make_shared<ingest::LineFormat>(), cfg.chunk_bytes);
+  ingest::SingleDeviceSource source(dev, std::make_shared<ingest::LineFormat>(),
+                                    cfg.chunk_bytes, cfg.job.io);
   auto result =
       apps::run_kmeans(source, cfg.job, opt, std::move(init), iters, 1e-6);
   if (!result.ok()) return result.status();
@@ -543,13 +570,14 @@ Status cmd_replay(const std::string& path) {
   SUPMR_ASSIGN_OR_RETURN(core::ReplaySpec spec,
                          core::ReplaySpec::from_json(text));
   std::printf("replay: app=%s corpus=%s/%llu seed=%llu mode=%s merge=%s "
-              "threads=%llu chunk=%llu partitions=%llu degrade=%d "
+              "io=%s threads=%llu chunk=%llu partitions=%llu degrade=%d "
               "fault-plan=%s\n",
               spec.app.c_str(), spec.corpus.kind.c_str(),
               (unsigned long long)spec.corpus.bytes,
               (unsigned long long)spec.corpus.seed,
               std::string(core::exec_mode_name(spec.mode)).c_str(),
               std::string(core::merge_mode_name(spec.merge_mode)).c_str(),
+              std::string(core::io_mode_name(spec.io)).c_str(),
               (unsigned long long)spec.threads,
               (unsigned long long)spec.chunk_bytes,
               (unsigned long long)spec.merge_partitions,
