@@ -58,7 +58,8 @@ class HashSortApp final : public core::Application {
         partitions_[p] = container_.reduce_partition(p, parts);
       });
     }
-    pool.run_wave(tasks);
+    if (!pool.run_wave(tasks))
+      return Status::Internal("reduce wave dropped: thread pool shut down");
     return Status::Ok();
   }
   Status merge(ThreadPool&, const core::MergePlan&,

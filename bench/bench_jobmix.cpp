@@ -1,0 +1,270 @@
+// Multi-tenant job mix: many small grep jobs + one large sort, through one
+// JobManager (shared pool, shared chunk buffers, leases) versus the same
+// jobs back-to-back with private resources.
+//
+// The mixed run is the ROADMAP "shared machine" story: small interactive
+// jobs overlap the big batch job's ingest/merge stalls instead of waiting
+// behind it, so total makespan drops even though the worker count is
+// identical. Every job uses the same chunk size, so recycled buffers fit
+// every pipeline; the shared ChunkBufferPool is primed to its cap before
+// the measured runs and the bench HARD-FAILS (exit 1) if steady-state
+// acquires miss the freelist — a non-zero miss delta means the
+// lease-derived cap (num_threads x kBuffersPerPipeline) is undersized.
+//
+// Results go to stdout and — as the committed perf trajectory — to
+// BENCH_jobmix.json (override with --out=PATH).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/grep.hpp"
+#include "apps/tera_sort.hpp"
+#include "bench/bench_util.hpp"
+#include "core/job.hpp"
+#include "ingest/record_format.hpp"
+#include "ingest/source.hpp"
+#include "runtime/job_manager.hpp"
+#include "storage/mem_device.hpp"
+#include "wload/teragen.hpp"
+#include "wload/text_corpus.hpp"
+
+using namespace supmr;
+
+namespace {
+
+constexpr std::uint64_t kChunkBytes = 1 << 20;  // one size for every job
+constexpr std::size_t kSmallJobs = 12;
+constexpr std::uint64_t kGrepCorpusBytes = 4ull << 20;
+constexpr std::uint64_t kSortRecords = 200000;  // 100B records -> 20MB
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Workload {
+  std::vector<std::shared_ptr<const storage::Device>> grep_devices;
+  std::shared_ptr<const storage::Device> sort_device;
+};
+
+Workload make_workload() {
+  Workload w;
+  for (std::size_t i = 0; i < kSmallJobs; ++i) {
+    wload::TextCorpusConfig cfg;
+    cfg.total_bytes = kGrepCorpusBytes;
+    cfg.seed = 100 + i;
+    w.grep_devices.push_back(std::make_shared<storage::MemDevice>(
+        wload::generate_text(cfg), "grep-corpus-" + std::to_string(i)));
+  }
+  wload::TeraGenConfig tg;
+  tg.num_records = kSortRecords;
+  w.sort_device = std::make_shared<storage::MemDevice>(
+      wload::teragen_to_string(tg), "sort-corpus");
+  return w;
+}
+
+std::vector<std::string> grep_patterns() { return {"th", "he", "in", "er"}; }
+
+// One job's apps/sources live exactly as long as its run, so each run
+// (back-to-back or managed) builds fresh instances over the shared devices.
+struct JobSet {
+  std::vector<std::unique_ptr<apps::GrepApp>> grep_apps;
+  std::vector<std::unique_ptr<ingest::SingleDeviceSource>> grep_sources;
+  std::unique_ptr<apps::TeraSortApp> sort_app;
+  std::unique_ptr<ingest::SingleDeviceSource> sort_source;
+};
+
+JobSet make_jobs(const Workload& w) {
+  JobSet jobs;
+  auto lines = std::make_shared<ingest::LineFormat>();
+  for (const auto& dev : w.grep_devices) {
+    jobs.grep_apps.push_back(
+        std::make_unique<apps::GrepApp>(grep_patterns()));
+    jobs.grep_sources.push_back(std::make_unique<ingest::SingleDeviceSource>(
+        dev, lines, kChunkBytes));
+  }
+  apps::TeraSortOptions sort_opts;
+  jobs.sort_app = std::make_unique<apps::TeraSortApp>(sort_opts);
+  jobs.sort_source = std::make_unique<ingest::SingleDeviceSource>(
+      w.sort_device,
+      std::make_shared<ingest::FixedFormat>(sort_opts.record_bytes),
+      kChunkBytes);
+  return jobs;
+}
+
+core::JobConfig job_config(std::size_t threads) {
+  core::JobConfig cfg;
+  cfg.mode = core::ExecMode::kIngestMR;
+  cfg.num_map_threads = threads;
+  cfg.num_reduce_threads = threads;
+  return cfg;
+}
+
+// The same jobs, one after another, each with its own pool and buffers —
+// the pre-JobManager deployment model and the bench's baseline.
+double run_back_to_back(const Workload& w, std::size_t threads) {
+  JobSet jobs = make_jobs(w);
+  const double t0 = now_s();
+  for (std::size_t i = 0; i < kSmallJobs; ++i) {
+    core::MapReduceJob job(*jobs.grep_apps[i], *jobs.grep_sources[i],
+                           job_config(2));
+    auto result = job.run(core::ExecMode::kIngestMR);
+    if (!result.ok()) {
+      std::fprintf(stderr, "grep job failed: %s\n",
+                   result.status().to_string().c_str());
+      std::exit(1);
+    }
+  }
+  core::MapReduceJob sort(*jobs.sort_app, *jobs.sort_source,
+                          job_config(threads));
+  auto result = sort.run(core::ExecMode::kIngestMR);
+  if (!result.ok()) {
+    std::fprintf(stderr, "sort job failed: %s\n",
+                 result.status().to_string().c_str());
+    std::exit(1);
+  }
+  return now_s() - t0;
+}
+
+// The mix through one JobManager: the sort leases most of the pool at a
+// higher priority, the greps fill the remaining slots and the sort's stalls.
+double run_mixed(const Workload& w, runtime::JobManager& manager,
+                 std::size_t sort_threads) {
+  JobSet jobs = make_jobs(w);
+  const double t0 = now_s();
+  std::vector<runtime::JobHandle> handles;
+
+  runtime::JobRequest sort_request;
+  sort_request.app = jobs.sort_app.get();
+  sort_request.source = jobs.sort_source.get();
+  sort_request.config = job_config(sort_threads);
+  sort_request.name = "sort-huge";
+  sort_request.priority = 1;
+  sort_request.memory_bytes = 64ull << 20;
+  auto sort_handle = manager.submit(std::move(sort_request));
+  if (!sort_handle.ok()) {
+    std::fprintf(stderr, "submit sort: %s\n",
+                 sort_handle.status().to_string().c_str());
+    std::exit(1);
+  }
+  handles.push_back(*sort_handle);
+
+  for (std::size_t i = 0; i < kSmallJobs; ++i) {
+    runtime::JobRequest request;
+    request.app = jobs.grep_apps[i].get();
+    request.source = jobs.grep_sources[i].get();
+    request.config = job_config(2);
+    request.name = "grep-" + std::to_string(i);
+    request.memory_bytes = 8ull << 20;
+    auto handle = manager.submit(std::move(request));
+    if (!handle.ok()) {
+      std::fprintf(stderr, "submit grep-%zu: %s\n", i,
+                   handle.status().to_string().c_str());
+      std::exit(1);
+    }
+    handles.push_back(*handle);
+  }
+  for (const runtime::JobHandle& handle : handles) {
+    auto result = handle.wait();
+    if (!result.ok()) {
+      std::fprintf(stderr, "job %s failed: %s\n", handle.name().c_str(),
+                   result.status().to_string().c_str());
+      std::exit(1);
+    }
+  }
+  return now_s() - t0;
+}
+
+// Fills the shared freelist to its cap with chunk-sized buffers, so the
+// measured runs start from the steady state the cap is sized for.
+void prime_buffers(ingest::ChunkBufferPool& pool) {
+  std::vector<std::vector<char>> held;
+  for (std::size_t i = 0; i < pool.max_buffers(); ++i) {
+    std::vector<char> buf = pool.acquire();
+    buf.resize(kChunkBytes);
+    held.push_back(std::move(buf));
+  }
+  for (auto& buf : held) pool.release(std::move(buf));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_jobmix.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
+  }
+
+  // Floor of 4: on narrow machines the mix still needs enough lease slots
+  // for the sort and a couple of greps to genuinely overlap.
+  const std::size_t threads =
+      std::max<std::size_t>(core::JobConfig::default_threads(), 4);
+  bench::print_banner(
+      "jobmix: 12 small greps + 1 large sort, shared JobManager vs "
+      "back-to-back",
+      "multi-tenant scale-up MapReduce (ROADMAP shared-machine story)");
+  std::printf("pool threads: %zu, chunk: %lluKB, sort: %lluMB, "
+              "grep: %zux%lluMB\n\n",
+              threads, (unsigned long long)(kChunkBytes >> 10),
+              (unsigned long long)((kSortRecords * 100) >> 20), kSmallJobs,
+              (unsigned long long)(kGrepCorpusBytes >> 20));
+
+  Workload workload = make_workload();
+
+  const double backtoback_s = run_back_to_back(workload, threads);
+  std::printf("back-to-back (private pools): %.3fs\n", backtoback_s);
+
+  runtime::JobManager::Options opts;
+  opts.num_threads = threads;
+  opts.memory_budget_bytes = 1ull << 30;
+  runtime::JobManager manager(opts);
+  const std::size_t sort_threads = threads > 1 ? threads - 1 : 1;
+  prime_buffers(manager.chunk_buffers());
+
+  const double warm_s = run_mixed(workload, manager, sort_threads);
+  const std::uint64_t misses_after_warm = manager.chunk_buffers().misses();
+  const double mixed_s = run_mixed(workload, manager, sort_threads);
+  const std::uint64_t miss_delta =
+      manager.chunk_buffers().misses() - misses_after_warm;
+  manager.drain();
+
+  std::printf("mixed (one JobManager):       %.3fs (warm-up run %.3fs)\n",
+              mixed_s, warm_s);
+  const double speedup = mixed_s > 0 ? backtoback_s / mixed_s : 0.0;
+  const double jobs = static_cast<double>(kSmallJobs + 1);
+  std::printf("makespan speedup: %.2fx   mixed throughput: %.2f jobs/s\n",
+              speedup, jobs / mixed_s);
+  std::printf("steady-state chunk-buffer misses: %llu (cap %llu)\n",
+              (unsigned long long)miss_delta,
+              (unsigned long long)manager.chunk_buffers().max_buffers());
+
+  bench::BenchJson json("jobmix");
+  json.metric("backtoback_wall", backtoback_s, "s",
+              "12 greps then 1 sort, private pool+buffers per job");
+  json.metric("mixed_wall", mixed_s, "s",
+              "same jobs through one JobManager, steady-state run");
+  json.metric("mixed_speedup", speedup, "x",
+              "back-to-back makespan over mixed makespan");
+  json.metric("mixed_throughput", jobs / mixed_s, "jobs/s", "");
+  json.metric("steady_state_buffer_misses", static_cast<double>(miss_delta),
+              "count", "shared ChunkBufferPool freelist misses; must be 0");
+  if (!json.write(out_path)) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("results written to %s\n", out_path.c_str());
+
+  if (miss_delta != 0) {
+    std::fprintf(stderr,
+                 "FAIL: steady-state buffer allocation is not zero (%llu "
+                 "misses) — lease-derived pool cap is undersized\n",
+                 (unsigned long long)miss_delta);
+    return 1;
+  }
+  return 0;
+}

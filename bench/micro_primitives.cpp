@@ -63,7 +63,7 @@ void BM_PoolWave(benchmark::State& state) {
   std::vector<std::function<void(std::size_t)>> tasks;
   for (int i = 0; i < 4; ++i)
     tasks.push_back([](std::size_t) { benchmark::ClobberMemory(); });
-  for (auto _ : state) pool.run_wave(tasks);
+  for (auto _ : state) pool.run_wave_or_throw(tasks);
   state.SetItemsProcessed(state.iterations() * tasks.size());
 }
 BENCHMARK(BM_PoolWave)->Unit(benchmark::kMicrosecond);

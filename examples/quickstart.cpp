@@ -2,7 +2,12 @@
 //
 //   1. wrap your input in a storage::Device,
 //   2. pick a chunking strategy (SingleDeviceSource + chunk size),
-//   3. run an application through MapReduceJob::run(ExecMode).
+//   3. submit the job to a runtime::JobManager and wait on the JobHandle.
+//
+// The JobManager (docs/runtime.md) is the multi-tenant front door: it owns
+// the worker thread pool and chunk buffers, so many jobs submitted to the
+// same manager share them under leases. A single job, as here, works the
+// same way — submit() returns a handle, handle.wait() returns the result.
 //
 // Build & run:  ./examples/quickstart [input.txt] [chunk-size]
 //                                     [--io=read|mmap]
@@ -36,6 +41,7 @@
 #include "fault/retrying_device.hpp"
 #include "ingest/record_format.hpp"
 #include "ingest/source.hpp"
+#include "runtime/job_manager.hpp"
 #include "storage/fault_device.hpp"
 #include "storage/file_device.hpp"
 #include "storage/mem_device.hpp"
@@ -134,10 +140,21 @@ int main(int argc, char** argv) {
   ingest::SingleDeviceSource source(
       device, std::make_shared<ingest::LineFormat>(), chunk_bytes, config.io);
 
-  // 3. Run the job through the ingest chunk pipeline.
+  // 3. Submit through the job manager and wait for the handle.
   apps::WordCountApp app;
-  core::MapReduceJob job(app, source, config);
-  auto result = job.run(config.mode);
+  runtime::JobManager manager;
+  runtime::JobRequest request;
+  request.app = &app;
+  request.source = &source;
+  request.config = config;
+  request.name = "quickstart-wordcount";
+  auto handle = manager.submit(std::move(request));
+  if (!handle.ok()) {
+    std::fprintf(stderr, "submit failed: %s\n",
+                 handle.status().to_string().c_str());
+    return 1;
+  }
+  auto result = handle->wait();
   if (!result.ok()) {
     // stderr gets the human-readable line, stdout a machine-readable report.
     std::fprintf(stderr, "job failed: %s\n",

@@ -87,7 +87,8 @@ Status GrepApp::reduce(ThreadPool& pool, std::size_t num_partitions) {
       partitions_[p] = container_.reduce_partition(p, num_partitions);
     });
   }
-  pool.run_wave(tasks);
+  if (!pool.run_wave(tasks))
+    return Status::Internal("reduce wave dropped: thread pool shut down");
   return Status::Ok();
 }
 

@@ -96,7 +96,8 @@ Status HistogramApp::reduce(ThreadPool& pool, std::size_t num_partitions) {
       container_.reduce_range(first, last, counts_.data() + first);
     });
   }
-  pool.run_wave(tasks);
+  if (!pool.run_wave(tasks))
+    return Status::Internal("reduce wave dropped: thread pool shut down");
   return Status::Ok();
 }
 

@@ -58,7 +58,8 @@ Status InvertedIndexApp::reduce(ThreadPool& pool,
       }
     });
   }
-  pool.run_wave(tasks);
+  if (!pool.run_wave(tasks))
+    return Status::Internal("reduce wave dropped: thread pool shut down");
   return Status::Ok();
 }
 
@@ -73,7 +74,8 @@ Status InvertedIndexApp::merge(ThreadPool& pool, const core::MergePlan& plan,
       merge::introsort(part.begin(), part.end(), by_word);
     });
   }
-  pool.run_wave(sort_tasks);
+  if (!pool.run_wave(sort_tasks))
+    return Status::Internal("merge sort wave dropped: thread pool shut down");
 
   std::uint64_t total = 0;
   for (const auto& part : partitions_) total += part.size();

@@ -135,7 +135,8 @@ Status KMeansApp::reduce(ThreadPool& pool, std::size_t num_partitions) {
       container_.reduce_range(c, c + 1, &totals[c]);
     });
   }
-  pool.run_wave(tasks);
+  if (!pool.run_wave(tasks))
+    return Status::Internal("reduce wave dropped: thread pool shut down");
   new_centroids_ = centroids_;
   for (std::size_t c = 0; c < options_.clusters; ++c) {
     if (totals[c].count == 0) continue;  // empty cluster: keep old centroid

@@ -76,7 +76,8 @@ Status MatrixMultiplyApp::reduce(ThreadPool& pool,
       partial[p] = sum;
     });
   }
-  pool.run_wave(tasks);
+  if (!pool.run_wave(tasks))
+    return Status::Internal("reduce wave dropped: thread pool shut down");
   double total = 0.0;
   for (double s : partial) total += s;
   frobenius_ = std::sqrt(total);

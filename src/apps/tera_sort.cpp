@@ -108,7 +108,8 @@ Status TeraSortApp::reduce(ThreadPool& pool, std::size_t num_partitions) {
         partial[p] = sum;
       });
     }
-    pool.run_wave(tasks);
+    if (!pool.run_wave(tasks))
+      return Status::Internal("reduce wave dropped: thread pool shut down");
     checksum_ = 0;
     for (auto s : partial) checksum_ += s;
     return Status::Ok();
@@ -133,7 +134,8 @@ Status TeraSortApp::reduce(ThreadPool& pool, std::size_t num_partitions) {
       partial[p] = sum;
     });
   }
-  pool.run_wave(tasks);
+  if (!pool.run_wave(tasks))
+    return Status::Internal("reduce wave dropped: thread pool shut down");
   checksum_ = 0;
   for (auto s : partial) checksum_ += s;
   return Status::Ok();
@@ -177,12 +179,13 @@ Status TeraSortApp::merge_partitioned(ThreadPool& pool,
       merge::partitioned_merge(pool, std::move(partitions), order.data(), cmp);
 
   sorted_.resize(n * rb);
-  parallel_for(pool, n, [&](std::size_t first, std::size_t last,
-                            std::size_t) {
-    for (std::size_t i = first; i < last; ++i) {
-      std::memcpy(sorted_.data() + i * rb, order[i], rb);
-    }
-  });
+  if (!parallel_for(pool, n, [&](std::size_t first, std::size_t last,
+                                 std::size_t) {
+        for (std::size_t i = first; i < last; ++i) {
+          std::memcpy(sorted_.data() + i * rb, order[i], rb);
+        }
+      }))
+    return Status::Internal("merge wave dropped: thread pool shut down");
 
   if (stats != nullptr) *stats = std::move(local);
   return Status::Ok();
@@ -226,12 +229,13 @@ Status TeraSortApp::merge(ThreadPool& pool, const core::MergePlan& plan,
 
   // Materialize the permuted records in parallel.
   sorted_.resize(n * rb);
-  parallel_for(pool, n, [&](std::size_t first, std::size_t last,
-                            std::size_t) {
-    for (std::size_t i = first; i < last; ++i) {
-      std::memcpy(sorted_.data() + i * rb, data + index[i] * rb, rb);
-    }
-  });
+  if (!parallel_for(pool, n, [&](std::size_t first, std::size_t last,
+                                 std::size_t) {
+        for (std::size_t i = first; i < last; ++i) {
+          std::memcpy(sorted_.data() + i * rb, data + index[i] * rb, rb);
+        }
+      }))
+    return Status::Internal("merge wave dropped: thread pool shut down");
 
   if (stats != nullptr) *stats = std::move(local);
   return Status::Ok();

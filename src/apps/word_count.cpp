@@ -63,7 +63,8 @@ Status WordCountApp::reduce(ThreadPool& pool, std::size_t num_partitions) {
       partitions_[p] = container_.reduce_partition(p, num_partitions);
     });
   }
-  pool.run_wave(tasks);
+  if (!pool.run_wave(tasks))
+    return Status::Internal("reduce wave dropped: thread pool shut down");
   return Status::Ok();
 }
 
@@ -81,7 +82,8 @@ Status WordCountApp::merge(ThreadPool& pool, const core::MergePlan& plan,
       merge::introsort(part.begin(), part.end(), by_key);
     });
   }
-  pool.run_wave(sort_tasks);
+  if (!pool.run_wave(sort_tasks))
+    return Status::Internal("merge sort wave dropped: thread pool shut down");
 
   std::uint64_t total = 0;
   for (const auto& part : partitions_) total += part.size();

@@ -60,12 +60,12 @@ StatusOr<OmpSortResult> run_omp_style_sort(const storage::Device& device,
       pool, std::span<std::uint64_t>(index.data(), index.size()), cmp);
 
   result.sorted.resize(raw.size());
-  parallel_for(pool, records,
-               [&](std::size_t first, std::size_t last, std::size_t) {
-                 for (std::size_t i = first; i < last; ++i)
-                   std::memcpy(result.sorted.data() + i * rb,
-                               data + index[i] * rb, rb);
-               });
+  parallel_for_or_throw(pool, records,
+                        [&](std::size_t first, std::size_t last, std::size_t) {
+                          for (std::size_t i = first; i < last; ++i)
+                            std::memcpy(result.sorted.data() + i * rb,
+                                        data + index[i] * rb, rb);
+                        });
   clock.stop(Phase::kMerge);
 
   clock.stop_total();

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cassert>
+#include <stdexcept>
 #include <cstdint>
 #include <cstring>
 #include <span>
@@ -25,7 +26,10 @@ class ArrayContainer {
   // Idempotent across map rounds (persistence, paper §III.C).
   void init(std::uint64_t record_bytes, std::uint64_t expected_records = 0) {
     if (initialized_) {
-      assert(record_bytes_ == record_bytes);
+      if (record_bytes_ != record_bytes)
+        throw std::logic_error(
+            "ArrayContainer::init: record_bytes changed across rounds; "
+            "reset() first");
       return;
     }
     record_bytes_ = record_bytes;

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cassert>
+#include <stdexcept>
 #include <cstdint>
 #include <vector>
 
@@ -20,7 +21,10 @@ class FixedKvArray {
 
   void init(std::size_t num_map_threads, std::size_t num_keys) {
     if (initialized_) {
-      assert(stripes_.size() == num_map_threads && num_keys_ == num_keys);
+      if (stripes_.size() != num_map_threads || num_keys_ != num_keys)
+        throw std::logic_error(
+            "FixedKvArray::init: thread count or key count changed across "
+            "rounds; reset() first");
       return;
     }
     num_keys_ = num_keys;

@@ -18,6 +18,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -35,10 +36,17 @@ class HashContainer {
   // Allocates one stripe per map thread. Idempotent: later calls (new map
   // rounds in the chunk pipeline) are no-ops — this is the persistence the
   // SupMR runtime requires.
+  //
+  // A thread-count change across rounds is a hard error, not an assert: a
+  // runtime that re-leases a different thread count mid-job (JobManager)
+  // would otherwise index out-of-bounds stripes silently in release builds.
   void init(std::size_t num_map_threads, std::size_t capacity_hint = 1024) {
     if (initialized_) {
-      assert(stripes_.size() == num_map_threads &&
-             "thread count changed across rounds");
+      if (stripes_.size() != num_map_threads)
+        throw std::logic_error(
+            "HashContainer::init: map thread count changed across rounds (" +
+            std::to_string(stripes_.size()) + " -> " +
+            std::to_string(num_map_threads) + "); reset() first");
       return;
     }
     stripes_.clear();

@@ -20,6 +20,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 #include <cstdint>
 #include <cstring>
 #include <span>
@@ -35,8 +36,11 @@ class PartitionedContainer {
   void init(std::uint64_t record_bytes, std::uint64_t key_bytes,
             std::size_t partitions, std::size_t threads) {
     if (initialized_) {
-      assert(record_bytes_ == record_bytes && key_bytes_ == key_bytes &&
-             partitions_ == partitions && threads_ == threads);
+      if (record_bytes_ != record_bytes || key_bytes_ != key_bytes ||
+          partitions_ != partitions || threads_ != threads)
+        throw std::logic_error(
+            "PartitionedContainer::init: geometry (record/key bytes, "
+            "partitions, threads) changed across rounds; reset() first");
       return;
     }
     assert(partitions >= 1 && threads >= 1 && key_bytes <= record_bytes);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 #include <cstdio>
 #include <cstring>
 #include <queue>
@@ -118,7 +119,10 @@ SpillingHashContainer::~SpillingHashContainer() {
 void SpillingHashContainer::init(std::size_t num_map_threads,
                                  Options options) {
   if (initialized_) {
-    assert(stripes_.size() == num_map_threads);
+    if (stripes_.size() != num_map_threads)
+      throw std::logic_error(
+          "SpillingHashContainer::init: map thread count changed across "
+          "rounds; reset() first");
     return;
   }
   options_ = options;

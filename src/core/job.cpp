@@ -14,11 +14,15 @@ MapReduceJob::MapReduceJob(Application& app,
                            JobConfig config)
     : app_(app), source_(source), config_(config) {
   assert(config_.num_map_threads >= 1 && config_.num_reduce_threads >= 1);
-  pool_ = std::make_unique<ThreadPool>(
-      std::max(config_.num_map_threads, config_.num_reduce_threads));
 }
 
 MapReduceJob::~MapReduceJob() = default;
+
+void MapReduceJob::attach_runtime(ThreadPool& pool,
+                                  ingest::ChunkBufferPool* buffers) {
+  pool_ = &pool;
+  shared_buffers_ = buffers;
+}
 
 Status MapReduceJob::map_round(const ingest::IngestChunk& chunk) {
   SUPMR_RETURN_IF_ERROR(app_.prepare_round(chunk));
@@ -48,8 +52,8 @@ Status MapReduceJob::map_round(const ingest::IngestChunk& chunk) {
     }
     if (config_.unpooled_map_waves) {
       ThreadPool::run_wave_unpooled(wave);
-    } else {
-      pool_->run_wave(wave);
+    } else if (!pool_->run_wave(wave)) {
+      return Status::Internal("map wave dropped: thread pool shut down");
     }
   }
   SUPMR_COUNTER_ADD("map.rounds", 1);
@@ -127,6 +131,12 @@ void MapReduceJob::set_adaptive(const storage::Device& device,
 }
 
 StatusOr<JobResult> MapReduceJob::run(ExecMode mode) {
+  if (pool_ == nullptr) {
+    // Single-tenant path: no runtime attached, so the job owns its workers.
+    owned_pool_ = std::make_unique<ThreadPool>(
+        std::max(config_.num_map_threads, config_.num_reduce_threads));
+    pool_ = owned_pool_.get();
+  }
   switch (mode) {
     case ExecMode::kOriginal:
       return run_original();
@@ -238,7 +248,8 @@ StatusOr<JobResult> MapReduceJob::run_pipelined(ExecMode mode) {
     if (mode == ExecMode::kIngestMR) {
       SUPMR_LOG_INFO("run(supmr): %zu ingest chunks over %s", plan.size(),
                      format_bytes(source_.total_bytes()).c_str());
-      ingest::IngestPipeline pipeline(source_, config_.recovery);
+      ingest::IngestPipeline pipeline(source_, config_.recovery,
+                                      shared_buffers_);
       return pipeline.run_planned(plan, process);
     }
     ingest::AdaptivePipeline pipeline(*adaptive_device, *adaptive_format,

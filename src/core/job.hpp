@@ -74,6 +74,15 @@ class MapReduceJob {
   // Unified entry point; callers normally pass config().mode.
   StatusOr<JobResult> run(ExecMode mode);
 
+  // Runs this job on shared, leased runtime resources instead of private
+  // ones: map/reduce/merge waves go to `pool` (which may serve other jobs
+  // concurrently — wave completion is per-wave, see ThreadPool::run_wave),
+  // and the ingest pipeline recycles chunk buffers through `buffers` when
+  // non-null. Must be called before run(); both referents must outlive the
+  // job. The JobManager is the intended caller.
+  void attach_runtime(ThreadPool& pool,
+                      ingest::ChunkBufferPool* buffers = nullptr);
+
   // Adaptive-mode inputs. Optional: when unset and the job's source is a
   // SingleDeviceSource, the device and record format derive from it and an
   // internally-owned RateMatchingController sizes the chunks. All three
@@ -112,7 +121,12 @@ class MapReduceJob {
   Application& app_;
   const ingest::IngestSource& source_;
   JobConfig config_;
-  std::unique_ptr<ThreadPool> pool_;
+  // pool_ points at owned_pool_ (single-tenant: the job spins up its own
+  // workers) or at an attached shared pool (multi-tenant: the JobManager
+  // leases slices of one process-wide pool).
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_ = nullptr;
+  ingest::ChunkBufferPool* shared_buffers_ = nullptr;
   std::uint64_t rounds_ = 0;
   merge::MergeStats merge_stats_;
 

@@ -100,15 +100,24 @@ struct IngestChunk {
 // no-op (nothing to recycle), keeping 0-byte chunks well-defined.
 class ChunkBufferPool {
  public:
-  // At most `max_buffers` are retained; the pipeline needs ingest depth + 1
-  // (the double buffer holds one, the producer fills one, the consumer
-  // drains one).
-  explicit ChunkBufferPool(std::size_t max_buffers = 4)
+  // A single pipeline needs ingest depth + 1 retained buffers (the double
+  // buffer holds one, the producer fills one, the consumer drains one);
+  // kBuffersPerPipeline rounds that up with one slack slot. When N jobs
+  // share one pool (JobManager), size the cap from the lease:
+  // N * kBuffersPerPipeline — a cap sized for one pipeline would thrash,
+  // with concurrent pipelines stealing each other's warm buffers and
+  // re-allocating every round.
+  static constexpr std::size_t kBuffersPerPipeline = 4;
+
+  explicit ChunkBufferPool(std::size_t max_buffers = kBuffersPerPipeline)
       : max_buffers_(max_buffers) {}
 
   std::vector<char> acquire() {
     std::lock_guard<std::mutex> lock(mu_);
-    if (free_.empty()) return {};
+    if (free_.empty()) {
+      ++misses_;  // caller allocates fresh; steady state should not miss
+      return {};
+    }
     std::vector<char> buf = std::move(free_.back());
     free_.pop_back();
     buf.clear();
@@ -131,12 +140,22 @@ class ChunkBufferPool {
     std::lock_guard<std::mutex> lock(mu_);
     return reuses_;
   }
+  // acquire() calls that found the freelist empty (the caller allocated).
+  // The first rounds of each pipeline miss while the pool warms; a non-zero
+  // *delta* across steady-state runs means the cap is undersized for the
+  // number of concurrent pipelines.
+  std::uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
+  std::size_t max_buffers() const { return max_buffers_; }
 
  private:
   mutable std::mutex mu_;
   std::vector<std::vector<char>> free_;
   std::size_t max_buffers_;
   std::uint64_t reuses_ = 0;
+  std::uint64_t misses_ = 0;
 };
 
 }  // namespace supmr::ingest

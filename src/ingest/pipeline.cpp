@@ -49,7 +49,7 @@ StatusOr<PipelineStats> IngestPipeline::run_planned(
       // Recycle a drained buffer so the copying path's resize() is
       // allocation-free once the pool is warm (the zero-copy path never
       // touches it and hands the capacity straight back).
-      chunk.data = pool_.acquire();
+      chunk.data = pool_->acquire();
       const auto t0 = std::chrono::steady_clock::now();
       // Chunk-level recovery: re-read a transiently failing chunk under the
       // retry policy instead of killing the pipeline on the first IoError.
@@ -102,7 +102,7 @@ StatusOr<PipelineStats> IngestPipeline::run_planned(
       SUPMR_COUNTER_ADD("ingest.bytes", chunk.size());
       if (chunk.borrowed()) {
         SUPMR_COUNTER_ADD("ingest.borrowed_chunks", 1);
-        pool_.release(std::move(chunk.data));  // unused capacity goes back
+        pool_->release(std::move(chunk.data));  // unused capacity goes back
         chunk.data = {};
       }
       SUPMR_LOG_DEBUG("ingest: chunk %llu ready (%zu bytes)",
@@ -146,7 +146,7 @@ StatusOr<PipelineStats> IngestPipeline::run_planned(
       stats.process_busy_s += processed;
       stats.total_bytes += chunk.size();
       SUPMR_HIST_OBSERVE("ingest.process_us", processed * 1e6);
-      if (!chunk.borrowed()) pool_.release(std::move(chunk.data));
+      if (!chunk.borrowed()) pool_->release(std::move(chunk.data));
       chunk.data = {};
 
       if (!st.ok()) {

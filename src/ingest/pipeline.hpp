@@ -57,9 +57,17 @@ struct PipelineStats {
 
 class IngestPipeline {
  public:
+  // `shared_buffers` (optional) recycles chunk buffers through a pool owned
+  // by the caller — the JobManager hands every pipeline one process-wide
+  // pool sized from the leases so concurrent jobs share warm buffers
+  // instead of each allocating their own. When null the pipeline owns a
+  // private pool sized for a single pipeline.
   explicit IngestPipeline(const IngestSource& source,
-                          fault::Recovery recovery = {})
-      : source_(source), recovery_(recovery) {}
+                          fault::Recovery recovery = {},
+                          ChunkBufferPool* shared_buffers = nullptr)
+      : source_(source),
+        recovery_(recovery),
+        pool_(shared_buffers != nullptr ? shared_buffers : &owned_pool_) {}
 
   // Runs the full pipeline. `process` is invoked on the caller's thread for
   // each chunk, in stream order. Returns pipeline stats on success, or the
@@ -74,13 +82,15 @@ class IngestPipeline {
       const std::function<Status(IngestChunk&)>& process);
 
   // Owned-buffer recycling across rounds (see ChunkBufferPool): exposed so
-  // tests and benchmarks can assert steady-state reuse.
-  const ChunkBufferPool& buffer_pool() const { return pool_; }
+  // tests and benchmarks can assert steady-state reuse. Resolves to the
+  // shared pool when one was attached.
+  const ChunkBufferPool& buffer_pool() const { return *pool_; }
 
  private:
   const IngestSource& source_;
   fault::Recovery recovery_;
-  ChunkBufferPool pool_;
+  ChunkBufferPool owned_pool_;
+  ChunkBufferPool* pool_;
 };
 
 }  // namespace supmr::ingest

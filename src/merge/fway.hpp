@@ -63,7 +63,7 @@ MergeStats fway_merge(ThreadPool& pool, std::vector<std::span<T>> runs,
       }
       offset += group_size;
     }
-    pool.run_wave(tasks);
+    pool.run_wave_or_throw(tasks);
 
     MergeStats::Round round;
     round.active_workers = tasks.size();

@@ -80,7 +80,7 @@ MergeStats pairwise_merge(ThreadPool& pool, std::vector<std::span<T>> runs,
       });
     }
 
-    pool.run_wave(tasks);
+    pool.run_wave_or_throw(tasks);
 
     MergeStats::Round round;
     round.active_workers = tasks.size();

@@ -154,7 +154,7 @@ MergeStats partitioned_merge(ThreadPool& pool,
       });
     }
   }
-  pool.run_wave(sort_tasks);
+  pool.run_wave_or_throw(sort_tasks);
 
   // Wave 2: one loser-tree merge per partition into its output window.
   std::vector<std::uint64_t> offsets(P + 1, 0);
@@ -175,7 +175,7 @@ MergeStats partitioned_merge(ThreadPool& pool,
       tree.drain(out + offsets[p]);
     });
   }
-  pool.run_wave(merge_tasks);
+  pool.run_wave_or_throw(merge_tasks);
 
   MergeStats::Round round;
   round.active_workers = std::min(merge_tasks.size(), pool.size());
@@ -226,7 +226,7 @@ MergeStats partitioned_sort(ThreadPool& pool, std::span<T> data, Cmp cmp,
       }
     });
   }
-  pool.run_wave(bucket_tasks);
+  pool.run_wave_or_throw(bucket_tasks);
 
   // Regroup bucket spans by partition and merge back into `data`.
   std::vector<std::vector<std::span<T>>> partitions(P);

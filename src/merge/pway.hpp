@@ -110,7 +110,7 @@ MergeStats parallel_pway_merge(ThreadPool& pool,
       }
     });
   }
-  pool.run_wave(tasks);
+  pool.run_wave_or_throw(tasks);
 
   MergeStats::Round round;
   round.active_workers = tasks.size();

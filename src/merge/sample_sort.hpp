@@ -38,7 +38,7 @@ std::vector<std::span<T>> form_runs_parallel(ThreadPool& pool,
       introsort(run.begin(), run.end(), cmp);
     });
   }
-  pool.run_wave(tasks);
+  pool.run_wave_or_throw(tasks);
   return runs;
 }
 

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
+#include <functional>
 #include <optional>
 #include <set>
 #include <string_view>
@@ -21,6 +22,7 @@
 #include "ingest/record_format.hpp"
 #include "ingest/source.hpp"
 #include "ref/ref_job.hpp"
+#include "runtime/job_manager.hpp"
 #include "storage/fault_device.hpp"
 #include "storage/mem_device.hpp"
 #include "wload/numeric.hpp"
@@ -150,8 +152,16 @@ std::string diff_summary(const std::string& sut, const std::string& ref) {
   return out;
 }
 
-StatusOr<ConformanceOutcome> run_cell(const core::ReplaySpec& spec,
-                                      const std::string* corpus_override) {
+namespace {
+
+// How run_cell_impl executes the SUT job: inline (run_cell) or through a
+// JobManager (run_cell_managed). The oracle side never goes through this.
+using RunSut = std::function<StatusOr<core::JobResult>(
+    core::Application&, const ingest::IngestSource&, const core::JobConfig&)>;
+
+StatusOr<ConformanceOutcome> run_cell_impl(const core::ReplaySpec& spec,
+                                           const std::string* corpus_override,
+                                           const RunSut& run_sut) {
   const bool multi = spec.corpus.kind == "multi-text";
   if (spec.app == "index" && !multi) {
     return Status::InvalidArgument(
@@ -211,8 +221,7 @@ StatusOr<ConformanceOutcome> run_cell(const core::ReplaySpec& spec,
                                    static_cast<std::size_t>(
                                        spec.files_per_chunk),
                                    spec.io);
-    core::MapReduceJob job(*sut_app, source, cfg);
-    SUPMR_ASSIGN_OR_RETURN(outcome.job, job.run(cfg.mode));
+    SUPMR_ASSIGN_OR_RETURN(outcome.job, run_sut(*sut_app, source, cfg));
 
     ingest::MultiFileSource ref_source(files, 0);  // all files, one round
     SUPMR_ASSIGN_OR_RETURN(ref, run_ref(*ref_app, ref_source));
@@ -235,8 +244,7 @@ StatusOr<ConformanceOutcome> run_cell(const core::ReplaySpec& spec,
     // though the corpus is in-memory; fault/retry wrappers stacked above
     // refuse views and force the per-chunk copying fallback.
     ingest::SingleDeviceSource source(dev, format, spec.chunk_bytes, spec.io);
-    core::MapReduceJob job(*sut_app, source, cfg);
-    SUPMR_ASSIGN_OR_RETURN(outcome.job, job.run(cfg.mode));
+    SUPMR_ASSIGN_OR_RETURN(outcome.job, run_sut(*sut_app, source, cfg));
 
     // The oracle's input: the full corpus, or — for a degraded run — the
     // concatenation of the chunk extents the run did not skip.
@@ -273,6 +281,42 @@ StatusOr<ConformanceOutcome> run_cell(const core::ReplaySpec& spec,
     outcome.diff = "identical";
   }
   return outcome;
+}
+
+}  // namespace
+
+StatusOr<ConformanceOutcome> run_cell(const core::ReplaySpec& spec,
+                                      const std::string* corpus_override) {
+  return run_cell_impl(
+      spec, corpus_override,
+      [](core::Application& app, const ingest::IngestSource& source,
+         const core::JobConfig& cfg) {
+        core::MapReduceJob job(app, source, cfg);
+        return job.run(cfg.mode);
+      });
+}
+
+StatusOr<ConformanceOutcome> run_cell_managed(
+    const core::ReplaySpec& spec, runtime::JobManager& manager,
+    const ManagedCellOptions& opts, const std::string* corpus_override) {
+  return run_cell_impl(
+      spec, corpus_override,
+      [&](core::Application& app, const ingest::IngestSource& source,
+          const core::JobConfig& cfg) -> StatusOr<core::JobResult> {
+        runtime::JobRequest request;
+        request.app = &app;
+        request.source = &source;
+        request.config = cfg;
+        request.priority = opts.priority;
+        // threads=0 leases max(map, reduce) from cfg — i.e. spec.threads —
+        // so the managed cell runs the exact lattice geometry.
+        request.threads = opts.threads;
+        request.memory_bytes = opts.memory_bytes;
+        request.name = opts.name.empty() ? "cell-" + spec.app : opts.name;
+        SUPMR_ASSIGN_OR_RETURN(runtime::JobHandle handle,
+                               manager.submit(std::move(request)));
+        return handle.wait();
+      });
 }
 
 StatusOr<std::string> write_repro(const core::ReplaySpec& spec,

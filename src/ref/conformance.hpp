@@ -22,6 +22,10 @@
 #include "core/job.hpp"
 #include "core/replay.hpp"
 
+namespace supmr::runtime {
+class JobManager;
+}  // namespace supmr::runtime
+
 namespace supmr::ref {
 
 struct ConformanceOutcome {
@@ -42,6 +46,25 @@ StatusOr<std::string> make_corpus(const core::ReplaySpec& spec);
 // replay and the differential lattice pass nullptr.
 StatusOr<ConformanceOutcome> run_cell(
     const core::ReplaySpec& spec,
+    const std::string* corpus_override = nullptr);
+
+// Lease parameters for run_cell_managed's submission; zeros defer to the
+// manager's defaults (threads additionally defers to spec.threads).
+struct ManagedCellOptions {
+  int priority = 0;
+  std::size_t threads = 0;
+  std::size_t memory_bytes = 0;
+  std::string name;
+};
+
+// run_cell, but the SUT job goes through `manager` — shared pool, shared
+// chunk buffers, admission, lease — instead of running inline with private
+// resources. The oracle side is identical, so this proves a managed job
+// (possibly racing other jobs on the same manager) stays byte-identical to
+// the sequential reference.
+StatusOr<ConformanceOutcome> run_cell_managed(
+    const core::ReplaySpec& spec, runtime::JobManager& manager,
+    const ManagedCellOptions& opts = {},
     const std::string* corpus_override = nullptr);
 
 // First-divergence summary between two canonical outputs ("identical" when

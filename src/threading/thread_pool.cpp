@@ -60,15 +60,39 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::run_wave(
+bool ThreadPool::run_wave(
     const std::vector<std::function<void(std::size_t)>>& tasks) {
   SUPMR_TRACE_SCOPE_VAR(span, "pool", "pool.wave");
   SUPMR_TRACE_SET_ARG(span, "tasks", tasks.size());
   SUPMR_COUNTER_ADD("pool.waves", 1);
   SUPMR_COUNTER_ADD("pool.tasks", tasks.size());
-  for (std::size_t i = 0; i < tasks.size(); ++i)
-    submit([&tasks, i] { tasks[i](i); });
-  wait_all();
+  if (tasks.empty()) return true;
+  // Per-wave completion: with several jobs leasing the same pool, waiting on
+  // the global pending counter would make this wave block until every other
+  // job's tasks drain too (and never return under continuous load).
+  CountdownLatch latch(tasks.size());
+  bool ok = true;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const bool submitted = submit([&tasks, &latch, i] {
+      tasks[i](i);
+      latch.count_down();
+    });
+    if (!submitted) {
+      // The pool is shut down: this task will never run. Count it down
+      // ourselves so the wait below cannot hang, and report the drop.
+      latch.count_down();
+      ok = false;
+    }
+  }
+  latch.wait();
+  return ok;
+}
+
+void ThreadPool::run_wave_or_throw(
+    const std::vector<std::function<void(std::size_t)>>& tasks) {
+  if (!run_wave(tasks))
+    throw std::runtime_error(
+        "ThreadPool::run_wave: wave dropped, pool is shut down");
 }
 
 void ThreadPool::run_wave_unpooled(
@@ -84,7 +108,7 @@ void ThreadPool::run_wave_unpooled(
   for (auto& t : threads) t.join();
 }
 
-void parallel_for(ThreadPool& pool, std::size_t n,
+bool parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t, std::size_t,
                                            std::size_t)>& fn) {
   const std::size_t workers = pool.size();
@@ -96,7 +120,15 @@ void parallel_for(ThreadPool& pool, std::size_t n,
     const std::size_t end = std::min(begin + per, n);
     tasks.push_back([&fn, begin, end](std::size_t idx) { fn(begin, end, idx); });
   }
-  pool.run_wave(tasks);
+  return pool.run_wave(tasks);
+}
+
+void parallel_for_or_throw(ThreadPool& pool, std::size_t n,
+                           const std::function<void(std::size_t, std::size_t,
+                                                    std::size_t)>& fn) {
+  if (!parallel_for(pool, n, fn))
+    throw std::runtime_error(
+        "parallel_for: wave dropped, pool is shut down");
 }
 
 }  // namespace supmr

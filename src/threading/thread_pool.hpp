@@ -4,12 +4,18 @@
 // and joining std::threads per round is exactly the thread overhead the paper
 // measures for small chunk sizes — so the pool supports both modes:
 //   * submit()/wait_all(): reuse pooled workers (the production path), and
-//   * run_wave(): spawn-and-join raw threads (faithful to the paper's
-//     "create thread / destroy thread" pseudo-code, used by benches that
-//     want to measure that overhead).
+//   * run_wave_unpooled(): spawn-and-join raw threads (faithful to the
+//     paper's "create thread / destroy thread" pseudo-code, used by benches
+//     that want to measure that overhead).
+//
+// One pool instance may be shared by many concurrent jobs (the JobManager
+// leases slices of it), so run_wave() completion is tracked with a per-wave
+// latch rather than the global pending counter: a wave returns when *its*
+// tasks finish, not when the whole pool goes idle.
 #pragma once
 
 #include <functional>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -37,7 +43,9 @@ class ThreadPool {
   // can never block on a task that will not run.
   bool submit(std::function<void()> task);
 
-  // Blocks until every task submitted so far has finished.
+  // Blocks until every task submitted so far has finished. Note: with
+  // multiple jobs sharing the pool this waits for *all* of them; per-wave
+  // completion is what run_wave() gives you.
   void wait_all();
 
   // Closes the task queue, lets the workers drain every already-queued task,
@@ -45,9 +53,21 @@ class ThreadPool {
   // submit() returns false.
   void shutdown();
 
-  // Runs `tasks` as one wave on pooled workers: submits all and waits.
-  // `worker_index` (0-based within the wave) is passed to each task.
-  void run_wave(const std::vector<std::function<void(std::size_t)>>& tasks);
+  // Runs `tasks` as one wave on pooled workers: submits all and waits on a
+  // per-wave latch. `worker_index` (0-based within the wave) is passed to
+  // each task.
+  //
+  // Returns false if any submit() failed (pool already shut down): the
+  // remaining tasks did NOT run. Callers with a Status channel must
+  // propagate; callers without one use run_wave_or_throw().
+  [[nodiscard]] bool run_wave(
+      const std::vector<std::function<void(std::size_t)>>& tasks);
+
+  // run_wave() for call sites without an error channel (merge kernels that
+  // return MergeStats, benches): a dropped wave there is an unrecoverable
+  // lifecycle bug, so it throws std::runtime_error instead.
+  void run_wave_or_throw(
+      const std::vector<std::function<void(std::size_t)>>& tasks);
 
   // Spawn-and-join raw std::threads, one per task — the paper's per-round
   // thread lifecycle. Measurably slower for many small rounds.
@@ -66,9 +86,17 @@ class ThreadPool {
 };
 
 // Statically partitions [0, n) across `pool.size()` workers and runs
-// fn(begin, end, worker_index) for each non-empty range.
-void parallel_for(ThreadPool& pool, std::size_t n,
-                  const std::function<void(std::size_t, std::size_t,
-                                           std::size_t)>& fn);
+// fn(begin, end, worker_index) for each non-empty range. Returns false if
+// the wave was dropped because the pool is shut down (see run_wave).
+[[nodiscard]] bool parallel_for(ThreadPool& pool, std::size_t n,
+                                const std::function<void(std::size_t,
+                                                         std::size_t,
+                                                         std::size_t)>& fn);
+
+// parallel_for() for call sites without an error channel; throws
+// std::runtime_error if the pool is shut down.
+void parallel_for_or_throw(ThreadPool& pool, std::size_t n,
+                           const std::function<void(std::size_t, std::size_t,
+                                                    std::size_t)>& fn);
 
 }  // namespace supmr

@@ -11,8 +11,11 @@
 #include <thread>
 
 #include "common/rng.hpp"
+#include <stdexcept>
+
 #include "containers/array_container.hpp"
 #include "containers/combiners.hpp"
+#include "containers/fixed_kv_array.hpp"
 #include "containers/hash_container.hpp"
 
 namespace supmr::containers {
@@ -205,6 +208,40 @@ TEST(HashContainer, InitIsIdempotent) {
   auto pairs = c.reduce_partition(0, 1);
   ASSERT_EQ(pairs.size(), 1u);
   EXPECT_EQ(pairs[0].second, 2u);
+}
+
+TEST(HashContainer, ThreadCountChangeAcrossRoundsThrows) {
+  // Regression: a thread-count mismatch on re-init used to be a bare
+  // assert — compiled out under NDEBUG, so emit() would silently index past
+  // the stripe vector. It is a hard runtime error now, whatever the build.
+  WordCounts c;
+  c.init(2);
+  c.emit(0, "w", 1);
+  EXPECT_THROW(c.init(3), std::logic_error);
+  c.reset();
+  c.init(3);  // after reset a new geometry is legal
+  c.emit(2, "w", 1);
+  auto pairs = c.reduce_partition(0, 1);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].second, 1u);
+}
+
+TEST(ArrayContainer, GeometryChangeAcrossRoundsThrows) {
+  ArrayContainer c;
+  c.init(4);
+  c.claim(1);
+  EXPECT_THROW(c.init(8), std::logic_error);
+  c.reset();
+  c.init(8);  // reset unlocks a new record size
+}
+
+TEST(FixedKvArray, GeometryChangeAcrossRoundsThrows) {
+  FixedKvArray<SumCombiner<std::uint64_t>> c;
+  c.init(2, 16);
+  EXPECT_THROW(c.init(3, 16), std::logic_error);  // thread count changed
+  EXPECT_THROW(c.init(2, 32), std::logic_error);  // key count changed
+  c.reset();
+  c.init(3, 32);
 }
 
 TEST(HashContainer, ResetLosesPriorRounds) {

@@ -187,6 +187,54 @@ TEST(ChunkBufferPool, RecyclesCapacity) {
   EXPECT_EQ(pool.pooled(), 2u);  // bounded at max_buffers
 }
 
+TEST(ChunkBufferPool, CapIsConfigurableAndMissesAreCounted) {
+  ingest::ChunkBufferPool pool(3);
+  EXPECT_EQ(pool.max_buffers(), 3u);
+  EXPECT_EQ(pool.misses(), 0u);
+
+  std::vector<char> a = pool.acquire();  // cold freelist: a miss
+  EXPECT_EQ(pool.misses(), 1u);
+  a.resize(64);
+  pool.release(std::move(a));
+  std::vector<char> b = pool.acquire();  // warm: reuse, no new miss
+  EXPECT_EQ(pool.misses(), 1u);
+  EXPECT_EQ(pool.reuses(), 1u);
+
+  // Steady state: the miss delta across further acquire/release cycles must
+  // be 0 — a non-zero delta means the cap is undersized for the workload.
+  pool.release(std::move(b));
+  const std::uint64_t steady = pool.misses();
+  for (int i = 0; i < 8; ++i) {
+    std::vector<char> v = pool.acquire();
+    v.resize(64);
+    pool.release(std::move(v));
+  }
+  EXPECT_EQ(pool.misses(), steady);
+}
+
+TEST(IngestPipeline, SharedBufferPoolIsUsedAndRecycles) {
+  // A pipeline handed a shared pool must route every acquire/release
+  // through it (this is how the JobManager shares warm buffers across
+  // jobs) — the pool's counters, not a private pool's, must move.
+  const std::string data = corpus(64 * 1024, 13);
+  auto dev = std::make_shared<storage::MemDevice>(data, "mem");
+  auto format = std::make_shared<ingest::LineFormat>();
+  ingest::ChunkBufferPool shared(8);
+
+  for (int run = 0; run < 2; ++run) {
+    ingest::SingleDeviceSource src(dev, format, 8 * 1024);
+    ingest::IngestPipeline pipeline(src, {}, &shared);
+    ASSERT_EQ(&pipeline.buffer_pool(), &shared);
+    auto stats = pipeline.run([](ingest::IngestChunk&) {
+      return Status::Ok();
+    });
+    ASSERT_TRUE(stats.ok()) << stats.status().to_string();
+  }
+  // The second pipeline inherited the first one's warm buffers.
+  EXPECT_GT(shared.reuses(), 0u);
+  EXPECT_GT(shared.pooled(), 0u);
+}
+
 // ------------------------------------------------------------ MmapDevice
 
 std::string write_temp(const std::string& name, const std::string& bytes) {

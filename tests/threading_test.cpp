@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <thread>
 
 #include "threading/double_buffer.hpp"
@@ -174,13 +175,34 @@ TEST(ThreadPool, ShutdownDrainsThenRejectsSubmit) {
   EXPECT_EQ(count.load(), 10);
 }
 
+TEST(ThreadPool, WaveAfterShutdownReportsFailureWithoutHanging) {
+  // Regression: run_wave used to discard submit()'s return, so a wave
+  // against a shut-down pool ran nothing and the caller never knew. Now the
+  // failed submits count the latch down (no hang) and the wave returns
+  // false; the _or_throw variants surface it for Status-less call sites.
+  ThreadPool pool(2);
+  pool.shutdown();
+  std::atomic<int> count{0};
+  std::vector<std::function<void(std::size_t)>> tasks;
+  for (int i = 0; i < 4; ++i)
+    tasks.push_back([&count](std::size_t) { ++count; });
+  EXPECT_FALSE(pool.run_wave(tasks));
+  EXPECT_EQ(count.load(), 0);
+  EXPECT_THROW(pool.run_wave_or_throw(tasks), std::runtime_error);
+  EXPECT_FALSE(parallel_for(
+      pool, 10, [](std::size_t, std::size_t, std::size_t) {}));
+  EXPECT_THROW(parallel_for_or_throw(
+                   pool, 10, [](std::size_t, std::size_t, std::size_t) {}),
+               std::runtime_error);
+}
+
 TEST(ThreadPool, WaveProvidesDistinctIndices) {
   ThreadPool pool(4);
   std::vector<std::atomic<int>> hits(8);
   std::vector<std::function<void(std::size_t)>> tasks;
   for (int i = 0; i < 8; ++i)
     tasks.push_back([&hits](std::size_t idx) { ++hits[idx]; });
-  pool.run_wave(tasks);
+  EXPECT_TRUE(pool.run_wave(tasks));
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
@@ -208,19 +230,20 @@ TEST(ThreadPool, WaitAllIsReusable) {
 TEST(ParallelFor, CoversRangeExactlyOnce) {
   ThreadPool pool(4);
   std::vector<std::atomic<int>> hits(1000);
-  parallel_for(pool, hits.size(),
-               [&](std::size_t b, std::size_t e, std::size_t) {
-                 for (std::size_t i = b; i < e; ++i) ++hits[i];
-               });
+  EXPECT_TRUE(parallel_for(pool, hits.size(),
+                           [&](std::size_t b, std::size_t e, std::size_t) {
+                             for (std::size_t i = b; i < e; ++i) ++hits[i];
+                           }));
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
 TEST(ParallelFor, EmptyRange) {
   ThreadPool pool(2);
   bool called = false;
-  parallel_for(pool, 0, [&](std::size_t, std::size_t, std::size_t) {
-    called = true;
-  });
+  EXPECT_TRUE(parallel_for(pool, 0,
+                           [&](std::size_t, std::size_t, std::size_t) {
+                             called = true;
+                           }));
   EXPECT_FALSE(called);
 }
 

@@ -23,6 +23,11 @@
 #               under their seeded SUPMR_TEST_MUTATION, proving the
 #               differential harness can actually catch an injected bug
 #   harness-asan — the harness suite under ASan+UBSan
+#   jobmix-smoke — the multi-tenant runtime's concurrent-jobs suites
+#               (ctest -L jobmix: JobManager unit tests, the managed
+#               conformance harness with racing tenants, the seeded
+#               JobManager stress, and the `supmr serve` CLI smoke)
+#               under ThreadSanitizer
 #
 # Usage:
 #   tools/check.sh            # all stages
@@ -39,7 +44,8 @@ JOBS="${JOBS:-$(nproc)}"
 SUPP="${ROOT}/tools/sanitizers"
 STAGES=("$@")
 [ ${#STAGES[@]} -eq 0 ] &&
-  STAGES=(plain tsan asan obs-smoke fault-smoke coverage harness harness-asan)
+  STAGES=(plain tsan asan obs-smoke fault-smoke coverage harness harness-asan
+    jobmix-smoke)
 
 # Branch-point line-coverage floors for the merge-critical layers (the
 # coverage stage fails if a change lets these regress).
@@ -218,8 +224,21 @@ run_stage() {
         UBSAN_OPTIONS="suppressions=${SUPP}/ubsan.supp print_stacktrace=1" \
         ctest -L harness --output-on-failure -j "${JOBS}")
       ;;
+    jobmix-smoke)
+      # Multi-tenant runtime under TSan: many jobs racing through one
+      # JobManager (shared pool, leases, chunk buffers) must stay
+      # byte-identical to the sequential reference with no data races.
+      # Reuses the tsan build tree; `jobmix` selects the concurrent-jobs
+      # suites plus the `supmr serve` CLI smoke (docs/runtime.md).
+      configure_and_build "${ROOT}/build-check-tsan" \
+        -DSUPMR_SANITIZE=thread -DSUPMR_BUILD_BENCH=OFF \
+        -DSUPMR_BUILD_EXAMPLES=OFF
+      (cd "${ROOT}/build-check-tsan" &&
+        TSAN_OPTIONS="suppressions=${SUPP}/tsan.supp halt_on_error=1 second_deadlock_stack=1" \
+        ctest -L jobmix --output-on-failure -j "${JOBS}")
+      ;;
     *)
-      echo "unknown stage '${stage}' (want plain, tsan, asan, obs-smoke, fault-smoke, coverage, harness, or harness-asan)" >&2
+      echo "unknown stage '${stage}' (want plain, tsan, asan, obs-smoke, fault-smoke, coverage, harness, harness-asan, or jobmix-smoke)" >&2
       return 2
       ;;
   esac

@@ -12,6 +12,13 @@
 //                                 (also spelled --replay=<spec.json>); exits
 //                                 non-zero when the cell still diverges from
 //                                 the sequential reference runtime
+//   supmr serve --jobs=<spec.json>  multi-tenant mode: run every job in the
+//                                 spec concurrently through one JobManager
+//                                 (shared thread pool, chunk buffers, and
+//                                 memory budget; docs/runtime.md). Each job
+//                                 is oracle-checked against the sequential
+//                                 reference; exits non-zero on any failure
+//                                 or divergence
 //
 // Common flags:
 //   --mode=supmr|original|adaptive   runtime (default supmr)
@@ -46,6 +53,8 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <thread>
+#include <vector>
 
 #include "apps/external_word_count.hpp"
 #include "apps/grep.hpp"
@@ -60,6 +69,8 @@
 #include "core/replay.hpp"
 #include "core/report.hpp"
 #include "ref/conformance.hpp"
+#include "runtime/job_manager.hpp"
+#include "runtime/serve_spec.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/retrying_device.hpp"
 #include "ingest/adaptive.hpp"
@@ -86,13 +97,13 @@ const std::set<std::string> kCommonFlags = {
     "verbose", "json",    "budget",  "clusters",   "dim",
     "iters",  "metrics-json", "trace-out",
     "retry-attempts", "retry-backoff", "retry-backoff-max",
-    "retry-deadline", "retry-seed", "fault-plan", "degrade"};
+    "retry-deadline", "retry-seed", "fault-plan", "degrade", "jobs"};
 
 void usage() {
   std::fprintf(stderr,
                "usage: supmr <command> [args] [flags]\n"
                "commands: wordcount sort grep histogram index kmeans generate"
-               " replay\n"
+               " replay serve\n"
                "see tools/supmr_cli.cpp header for the full flag list\n");
 }
 
@@ -597,6 +608,108 @@ Status cmd_replay(const std::string& path) {
   return Status::Internal("replayed cell diverges from the reference");
 }
 
+// Multi-tenant mode (docs/runtime.md): one JobManager, many concurrent
+// jobs. Every entry in the --jobs spec is a conformance cell: a client
+// thread submits it through the manager (honoring priority / lease
+// overrides) and checks the managed run byte-for-byte against the
+// sequential reference. Non-zero exit iff any job fails or diverges.
+Status cmd_serve(const Flags& flags) {
+  std::string path = flags.get_or("jobs", "");
+  if (path.empty() && !flags.positional().empty()) {
+    path = flags.positional()[0];
+  }
+  if (path.empty()) {
+    return Status::InvalidArgument("serve needs --jobs=<spec.json>");
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+
+  SUPMR_ASSIGN_OR_RETURN(runtime::ServeSpec spec,
+                         runtime::parse_serve_spec(text));
+  runtime::JobManager::Options opts;
+  if (spec.pool_threads != 0) opts.num_threads = spec.pool_threads;
+  if (spec.memory_budget_bytes != 0) {
+    opts.memory_budget_bytes = spec.memory_budget_bytes;
+  }
+  if (spec.max_queued != 0) opts.max_queued = spec.max_queued;
+  runtime::JobManager manager(opts);
+
+  struct ClientJob {
+    const runtime::ServeJobSpec* job = nullptr;
+    std::string name;
+    Status status = Status::Ok();
+    std::string diff;
+    std::uint64_t output_bytes = 0;
+  };
+  std::vector<ClientJob> clients;
+  for (const runtime::ServeJobSpec& job : spec.jobs) {
+    const std::string base = job.name.empty() ? job.spec.app : job.name;
+    for (std::size_t r = 0; r < job.repeat; ++r) {
+      ClientJob c;
+      c.job = &job;
+      c.name = job.repeat > 1 ? base + "#" + std::to_string(r) : base;
+      clients.push_back(std::move(c));
+    }
+  }
+  std::printf("serve: pool=%llu threads, budget=%s, %llu job(s) from %s\n",
+              (unsigned long long)manager.options().num_threads,
+              format_bytes(manager.options().memory_budget_bytes).c_str(),
+              (unsigned long long)clients.size(), path.c_str());
+
+  // One client thread per job instance so submissions genuinely race: the
+  // manager's admission queue and leases are the only coordination.
+  std::vector<std::thread> threads;
+  threads.reserve(clients.size());
+  for (ClientJob& client : clients) {
+    threads.emplace_back([&client, &manager] {
+      ref::ManagedCellOptions opts;
+      opts.priority = client.job->priority;
+      opts.threads = client.job->threads;
+      opts.memory_bytes = client.job->memory_bytes;
+      opts.name = client.name;
+      auto outcome = ref::run_cell_managed(client.job->spec, manager, opts);
+      if (!outcome.ok()) {
+        client.status = outcome.status();
+        return;
+      }
+      client.output_bytes = outcome->sut_canonical.size();
+      if (!outcome->match) {
+        client.status = Status::Internal("diverges from the reference");
+        client.diff = outcome->diff;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  manager.drain();
+
+  std::size_t failed = 0;
+  for (const ClientJob& client : clients) {
+    if (client.status.ok()) {
+      std::printf("serve: PASS %-24s app=%-10s %llu output bytes\n",
+                  client.name.c_str(), client.job->spec.app.c_str(),
+                  (unsigned long long)client.output_bytes);
+    } else {
+      ++failed;
+      std::printf("serve: FAIL %-24s app=%-10s %s\n", client.name.c_str(),
+                  client.job->spec.app.c_str(),
+                  client.status.to_string().c_str());
+      if (!client.diff.empty()) std::printf("%s\n", client.diff.c_str());
+    }
+  }
+  std::printf("serve: %llu/%llu jobs conformant\n",
+              (unsigned long long)(clients.size() - failed),
+              (unsigned long long)clients.size());
+  if (failed != 0) {
+    return Status::Internal(std::to_string(failed) + " job(s) failed");
+  }
+  return Status::Ok();
+}
+
 int run_main(int argc, char** argv) {
   if (argc < 2) {
     usage();
@@ -647,6 +760,7 @@ int run_main(int argc, char** argv) {
       st = cmd_replay(flags.positional()[0]);
     }
   }
+  else if (command == "serve") st = cmd_serve(flags);
   else usage();
 
   if (!st.ok()) {
