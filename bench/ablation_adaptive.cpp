@@ -34,7 +34,7 @@ double run_fixed(const std::string& text, double bw, std::uint64_t chunk) {
   ingest::SingleDeviceSource src(dev, std::make_shared<ingest::LineFormat>(),
                                  chunk);
   core::MapReduceJob job(app, src, config());
-  auto r = chunk == 0 ? job.run() : job.run_ingestMR();
+  auto r = chunk == 0 ? job.run(core::ExecMode::kOriginal) : job.run(core::ExecMode::kIngestMR);
   return r.ok() ? r->phases.total_s : -1.0;
 }
 
@@ -55,7 +55,8 @@ double run_adaptive(const std::string& text, double bw,
   opt.round_floor_s = 0.02;
   ingest::RateMatchingController controller(opt);
   core::MapReduceJob job(app, unused, config());
-  auto r = job.run_ingestMR_adaptive(dev, format, controller);
+  job.set_adaptive(dev, format, controller);
+  auto r = job.run(core::ExecMode::kAdaptive);
   if (!r.ok()) return -1.0;
   if (chunks_out) *chunks_out = r->chunks;
   return r->phases.total_s;

@@ -97,7 +97,7 @@ double run_once(core::Application& app, const storage::Device& dev,
   jc.num_map_threads = 4;
   jc.num_reduce_threads = 4;
   core::MapReduceJob job(app, src, jc);
-  auto r = job.run();
+  auto r = job.run(core::ExecMode::kOriginal);
   if (!r.ok()) {
     std::printf("run failed: %s\n", r.status().to_string().c_str());
     return -1;

@@ -75,7 +75,7 @@ SharedResult run_shared(const std::string& text, std::uint64_t chunk) {
   jc.num_reduce_threads = 2;
   core::MapReduceJob job(app, src, jc);
   const auto t0 = std::chrono::steady_clock::now();
-  auto r = chunk == 0 ? job.run() : job.run_ingestMR();
+  auto r = chunk == 0 ? job.run(core::ExecMode::kOriginal) : job.run(core::ExecMode::kIngestMR);
   const double fg_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();

@@ -28,7 +28,7 @@ double run(bool unpooled, const std::string& text, std::uint64_t chunk) {
   jc.num_reduce_threads = 4;
   jc.unpooled_map_waves = unpooled;
   core::MapReduceJob job(app, src, jc);
-  auto r = job.run_ingestMR();
+  auto r = job.run(core::ExecMode::kIngestMR);
   if (!r.ok()) {
     std::printf("run failed: %s\n", r.status().to_string().c_str());
     return -1;

@@ -59,7 +59,7 @@ void real_scale() {
   jc.num_map_threads = 4;
   jc.num_reduce_threads = 4;
   core::MapReduceJob job(app, src, jc);
-  auto mr = job.run_ingestMR();
+  auto mr = job.run(core::ExecMode::kIngestMR);
 
   if (!omp.ok() || !mr.ok()) {
     std::printf("real-scale run failed: %s %s\n",
@@ -72,7 +72,7 @@ void real_scale() {
               "OpenMP-style sort", omp->phases.total_s, omp->phases.read_s,
               omp->phases.map_s, omp->phases.merge_s);
   std::printf("  %-22s total %6.2fs  (read+map %5.2fs merge %5.2fs)\n",
-              "SupMR run_ingestMR", mr->phases.total_s, mr->phases.readmap_s,
+              "SupMR run(kIngestMR)", mr->phases.total_s, mr->phases.readmap_s,
               mr->phases.merge_s);
 }
 

@@ -45,7 +45,7 @@ void real_miniature() {
   jc.num_map_threads = 4;
   jc.num_reduce_threads = 2;
   core::MapReduceJob job(app, src, jc);
-  auto r = job.run_ingestMR();
+  auto r = job.run(core::ExecMode::kIngestMR);
   if (!r.ok()) {
     std::printf("job failed: %s\n", r.status().to_string().c_str());
     return;

@@ -1,5 +1,5 @@
 // Real wall-clock validation of the ingest chunk pipeline (the paper's core
-// mechanism) on actual threads and a throttled device: chunked run_ingestMR
+// mechanism) on actual threads and a throttled device: chunked run(kIngestMR)
 // must beat the original read-then-compute runtime, and the win must come
 // from overlapping ingest with map.
 #include <cstdio>
@@ -37,7 +37,7 @@ RunResult run(bool chunked, const std::string& text, double bw,
   jc.metrics_json_path = obs_config.metrics_json_path;
   jc.trace_out_path = obs_config.trace_out_path;
   core::MapReduceJob job(app, src, jc);
-  auto r = chunked ? job.run_ingestMR() : job.run();
+  auto r = chunked ? job.run(core::ExecMode::kIngestMR) : job.run(core::ExecMode::kOriginal);
   RunResult out;
   if (!r.ok()) {
     std::printf("run failed: %s\n", r.status().to_string().c_str());
@@ -74,7 +74,7 @@ int main(int argc, char** argv) {
   std::printf("  %-18s total %6.2fs  read+map %6.2fs\n", "original run()",
               original.total, original.readmap);
   std::printf("  %-18s total %6.2fs  read+map %6.2fs\n",
-              "SupMR run_ingestMR", supmr.total, supmr.readmap);
+              "SupMR run(kIngestMR)", supmr.total, supmr.readmap);
   if (original.total > 0 && supmr.total > 0) {
     std::printf("\n  time-to-result speedup: %.2fx\n",
                 original.total / supmr.total);

@@ -69,7 +69,7 @@ Row run_pair(MakeApp make_app, const std::string& data,
     auto app = make_app();
     core::MapReduceJob job(*app, src, config(threads));
     const double t0 = now_s();
-    auto r = job.run_ingestMR();
+    auto r = job.run(core::ExecMode::kIngestMR);
     row.sut_s = now_s() - t0;
     if (r.ok()) row.sut_results = r->result_count;
   }

@@ -5,7 +5,7 @@
 // primitives (throttled ingest bandwidth, word-count map cost), feeds them
 // into the same SimJobSpec machinery used for the paper experiments, and
 // compares the model's predicted totals against actual wall-clock runs of
-// run() and run_ingestMR().
+// run(kOriginal) and run(kIngestMR).
 #include <cstdio>
 #include <thread>
 
@@ -42,7 +42,7 @@ double run_real(const std::string& text, bool chunked, double* map_wall) {
   ingest::SingleDeviceSource src(dev, std::make_shared<ingest::LineFormat>(),
                                  chunked ? kChunk : 0);
   core::MapReduceJob job(app, src, config());
-  auto r = chunked ? job.run_ingestMR() : job.run();
+  auto r = chunked ? job.run(core::ExecMode::kIngestMR) : job.run(core::ExecMode::kOriginal);
   if (!r.ok()) return -1;
   if (map_wall != nullptr) *map_wall = r->phases.map_s;
   return r->phases.total_s;
@@ -100,7 +100,7 @@ int main() {
   std::printf("  %-22s %9.2fs %9.2fs %7.1f%%\n", "original run()",
               real_original, sim_original,
               (sim_original / real_original - 1.0) * 100.0);
-  std::printf("  %-22s %9.2fs %9.2fs %7.1f%%\n", "SupMR run_ingestMR()",
+  std::printf("  %-22s %9.2fs %9.2fs %7.1f%%\n", "SupMR run(kIngestMR)",
               real_supmr, sim_supmr,
               (sim_supmr / real_supmr - 1.0) * 100.0);
   std::printf("  %-22s %9.2fx %9.2fx\n", "speedup",

@@ -43,7 +43,7 @@ double run_job(const storage::HdfsSimStore& store,
   jc.num_map_threads = 4;
   jc.num_reduce_threads = 2;
   core::MapReduceJob job(app, src, jc);
-  auto r = pipelined ? job.run_ingestMR() : job.run();
+  auto r = pipelined ? job.run(core::ExecMode::kIngestMR) : job.run(core::ExecMode::kOriginal);
   if (!r.ok()) {
     std::fprintf(stderr, "job failed: %s\n", r.status().to_string().c_str());
     return -1;

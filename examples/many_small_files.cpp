@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
   jc.num_map_threads = 4;
   jc.num_reduce_threads = 2;
   core::MapReduceJob job(app, source, jc);
-  auto result = job.run_ingestMR();
+  auto result = job.run(core::ExecMode::kIngestMR);
   if (!result.ok()) {
     std::fprintf(stderr, "job failed: %s\n",
                  result.status().to_string().c_str());

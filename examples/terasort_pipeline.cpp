@@ -121,7 +121,7 @@ int main(int argc, char** argv) {
     core::JobConfig jc;
     jc.merge_mode = core::MergeMode::kPairwise;
     core::MapReduceJob job(app, src, jc);
-    auto r = job.run();
+    auto r = job.run(core::ExecMode::kOriginal);
     if (!r.ok()) {
       std::fprintf(stderr, "original run failed: %s\n",
                    r.status().to_string().c_str());
@@ -147,7 +147,7 @@ int main(int argc, char** argv) {
     core::ProcStatSampler sampler(0.1);
     const bool trace = core::ProcStatSampler::available();
     if (trace) sampler.start();
-    auto r = job.run_ingestMR();
+    auto r = job.run(core::ExecMode::kIngestMR);
     if (!r.ok()) {
       std::fprintf(stderr, "SupMR run failed: %s\n",
                    r.status().to_string().c_str());

@@ -1,0 +1,119 @@
+#include "apps/chains.hpp"
+
+#include <utility>
+
+#include "apps/doc_term_count.hpp"
+#include "apps/inverted_index.hpp"
+#include "apps/pair_count.hpp"
+#include "apps/pmi.hpp"
+#include "apps/scatter.hpp"
+#include "apps/tera_sort.hpp"
+#include "apps/tfidf.hpp"
+#include "apps/word_count.hpp"
+#include "ingest/record_format.hpp"
+#include "ingest/source.hpp"
+
+namespace supmr::apps {
+namespace {
+
+core::JobConfig stage_config(const core::ReplaySpec& spec) {
+  core::JobConfig cfg;
+  cfg.mode = spec.mode;
+  cfg.merge_mode = spec.merge_mode;
+  cfg.num_map_threads = spec.threads;
+  cfg.num_reduce_threads = spec.threads;
+  cfg.num_merge_partitions = spec.merge_partitions;
+  cfg.io = spec.io;
+  return cfg;
+}
+
+graph::StageOptions stage(const core::ReplaySpec& spec, std::string name,
+                          std::shared_ptr<const ingest::RecordFormat> format) {
+  graph::StageOptions opts;
+  opts.name = std::move(name);
+  opts.config = stage_config(spec);
+  opts.format = std::move(format);
+  opts.chunk_bytes = spec.chunk_bytes;
+  opts.io = spec.io;
+  return opts;
+}
+
+}  // namespace
+
+StatusOr<graph::JobGraph> make_chain(const core::ReplaySpec& spec,
+                                     const ChainInputs& inputs) {
+  graph::JobGraph g;
+  if (spec.app == "pmi") {
+    if (inputs.device == nullptr)
+      return Status::InvalidArgument("chains: pmi needs a corpus device");
+    auto line = std::make_shared<ingest::LineFormat>();
+    const std::size_t wc = g.add_stage(
+        [] { return std::make_unique<WordCountApp>(); },
+        stage(spec, "wordcount", line));
+    const std::size_t pc = g.add_stage(
+        [] { return std::make_unique<PairCountApp>(); },
+        stage(spec, "paircount", line));
+    const std::size_t join = g.add_stage(
+        [] { return std::make_unique<PmiApp>(); }, stage(spec, "pmi", line));
+    SUPMR_RETURN_IF_ERROR(g.set_source(
+        wc, std::make_shared<ingest::SingleDeviceSource>(
+                inputs.device, line, spec.chunk_bytes, spec.io)));
+    SUPMR_RETURN_IF_ERROR(g.set_source(
+        pc, std::make_shared<ingest::SingleDeviceSource>(
+                inputs.device, line, spec.chunk_bytes, spec.io)));
+    SUPMR_RETURN_IF_ERROR(g.add_edge(wc, join));
+    SUPMR_RETURN_IF_ERROR(g.add_edge(pc, join));
+    return g;
+  }
+  if (spec.app == "tfidf") {
+    if (inputs.files.empty())
+      return Status::InvalidArgument("chains: tfidf needs corpus files");
+    auto line = std::make_shared<ingest::LineFormat>();
+    const std::size_t index = g.add_stage(
+        [] { return std::make_unique<InvertedIndexApp>(); },
+        stage(spec, "index", line));
+    const std::size_t dtc = g.add_stage(
+        [] { return std::make_unique<DocTermCountApp>(); },
+        stage(spec, "doctermcount", line));
+    const std::size_t join = g.add_stage(
+        [] { return std::make_unique<TfIdfApp>(); },
+        stage(spec, "tfidf", line));
+    SUPMR_RETURN_IF_ERROR(g.set_source(
+        index, std::make_shared<ingest::MultiFileSource>(
+                   inputs.files,
+                   static_cast<std::size_t>(spec.files_per_chunk), spec.io)));
+    SUPMR_RETURN_IF_ERROR(g.set_source(
+        dtc, std::make_shared<ingest::MultiFileSource>(
+                 inputs.files,
+                 static_cast<std::size_t>(spec.files_per_chunk), spec.io)));
+    SUPMR_RETURN_IF_ERROR(g.add_edge(index, join));
+    SUPMR_RETURN_IF_ERROR(g.add_edge(dtc, join));
+    return g;
+  }
+  if (spec.app == "msort") {
+    if (inputs.device == nullptr)
+      return Status::InvalidArgument("chains: msort needs a corpus device");
+    auto crlf = std::make_shared<ingest::CrlfFormat>();
+    ScatterOptions sopt;
+    sopt.key_bytes = static_cast<std::uint32_t>(spec.key_bytes);
+    sopt.record_bytes = static_cast<std::uint32_t>(spec.record_bytes);
+    TeraSortOptions topt;
+    topt.key_bytes = static_cast<std::uint32_t>(spec.key_bytes);
+    topt.record_bytes = static_cast<std::uint32_t>(spec.record_bytes);
+    topt.partitions = spec.app_partitions;
+    const std::size_t scatter = g.add_stage(
+        [sopt] { return std::make_unique<ScatterApp>(sopt); },
+        stage(spec, "scatter", crlf));
+    const std::size_t sort = g.add_stage(
+        [topt] { return std::make_unique<TeraSortApp>(topt); },
+        stage(spec, "terasort", crlf));
+    SUPMR_RETURN_IF_ERROR(g.set_source(
+        scatter, std::make_shared<ingest::SingleDeviceSource>(
+                     inputs.device, crlf, spec.chunk_bytes, spec.io)));
+    SUPMR_RETURN_IF_ERROR(g.add_edge(scatter, sort));
+    return g;
+  }
+  return Status::InvalidArgument("chains: not a graph app: " + spec.app);
+}
+
+}  // namespace supmr::apps

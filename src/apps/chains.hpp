@@ -1,0 +1,37 @@
+// Chained-app graph assembly: the JobGraphs behind the pmi | tfidf | msort
+// replay apps (docs/graphs.md).
+//
+// Each builder returns a JobGraph whose stage geometry (threads, ExecMode,
+// merge mode, chunking, io) comes from the ReplaySpec cell. The graph holds
+// app FACTORIES, so the same graph object serves both the SUT executor
+// (graph::run_graph) and the sequential oracle (ref::run_graph) — each
+// instantiates fresh applications. Callers provide the corpus as devices
+// and keep them alive for the graph's lifetime.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/status.hpp"
+#include "core/replay.hpp"
+#include "graph/job_graph.hpp"
+#include "storage/device.hpp"
+
+namespace supmr::apps {
+
+// Corpus roots for make_chain: pmi and msort read `device` (text / terasort
+// records); tfidf reads `files` (multi-text).
+struct ChainInputs {
+  std::shared_ptr<const storage::Device> device;
+  std::vector<std::shared_ptr<const storage::Device>> files;
+};
+
+// Builds the chain for spec.app:
+//   pmi   — wordcount + paircount over the same text -> PMI join
+//   tfidf — inverted index + doc-term counts over the same files -> TF-IDF
+//   msort — scatter (bucket by key prefix) -> terasort, CrlfFormat edge
+// InvalidArgument for non-graph apps or missing inputs.
+StatusOr<graph::JobGraph> make_chain(const core::ReplaySpec& spec,
+                                     const ChainInputs& inputs);
+
+}  // namespace supmr::apps

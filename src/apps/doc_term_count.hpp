@@ -1,0 +1,55 @@
+// Per-document term counts — a root stage of the TF-IDF chain
+// (docs/graphs.md).
+//
+// The multi-file sibling of word count: map tokenizes every file of the
+// coalesced chunk and folds ("<file_id>\t<word>", 1) into the hash
+// container, so the reduce/merge output is the per-document term frequency
+// table. Like the inverted index it REQUIRES intra-file chunking
+// (MultiFileSource): file identity comes from the chunk's FileSpans and
+// must survive coalescing. Canonical lines are "<file_id>\t<word>\t<count>"
+// in composite-key order.
+#pragma once
+
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "containers/combiners.hpp"
+#include "containers/hash_container.hpp"
+#include "core/application.hpp"
+
+namespace supmr::apps {
+
+class DocTermCountApp final : public core::Application {
+ public:
+  using Result = std::pair<std::string, std::uint64_t>;
+
+  void init(std::size_t num_map_threads) override;
+  Status prepare_round(const ingest::IngestChunk& chunk) override;
+  std::size_t round_tasks() const override { return tasks_.size(); }
+  void map_task(std::size_t task, std::size_t thread_id) override;
+  Status reduce(ThreadPool& pool, std::size_t num_partitions) override;
+  Status merge(ThreadPool& pool, const core::MergePlan& plan,
+               merge::MergeStats* stats) override;
+  std::uint64_t result_count() const override { return results_.size(); }
+  std::string canonical_output() const override;
+
+  // ("<file_id>\t<word>", count) sorted by the composite key.
+  const std::vector<Result>& results() const { return results_; }
+
+ private:
+  struct FileTask {
+    std::span<const char> text;
+    std::uint32_t file_id = 0;
+  };
+
+  std::size_t num_mappers_ = 0;
+  containers::HashContainer<containers::SumCombiner<std::uint64_t>>
+      container_;
+  std::vector<std::vector<FileTask>> tasks_;
+  std::vector<std::vector<Result>> partitions_;
+  std::vector<Result> results_;
+};
+
+}  // namespace supmr::apps

@@ -172,7 +172,7 @@ StatusOr<KMeansResult> run_kmeans(
   for (std::size_t iter = 0; iter < max_iters; ++iter) {
     KMeansApp app(options, result.centroids);
     core::MapReduceJob job(app, source, config);
-    SUPMR_ASSIGN_OR_RETURN(core::JobResult jr, job.run_ingestMR());
+    SUPMR_ASSIGN_OR_RETURN(core::JobResult jr, job.run(core::ExecMode::kIngestMR));
     (void)jr;
     result.points = app.points_assigned();
     double shift = 0.0;

@@ -1,0 +1,60 @@
+// PMI join — the sink stage of the PMI chain (docs/graphs.md).
+//
+// Input is the concatenation of two upstream canonical outputs over the
+// SAME text corpus: WordCountApp ("word\tcount\n") and PairCountApp
+// ("w1 w2\tcount\n"). Every line is "key\tcount" with a globally unique key
+// — a key with a space is a bigram, without is a unigram — so the join
+// needs no combining, only a global sort. Merge computes, for every pair,
+// the pointwise mutual information
+//
+//   pmi(w1, w2) = ln( (c12 / N_pairs) / ((c1 / N_words) * (c2 / N_words)) )
+//
+// and emits "w1 w2\t<pmi>\n" (fixed "%.6f" formatting, so the bytes are
+// deterministic) in pair-key order. This is the YTsaurus-style chained
+// MapReduce shape: two map-heavy jobs fan into a cheap join.
+#pragma once
+
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/application.hpp"
+
+namespace supmr::apps {
+
+class PmiApp final : public core::Application {
+ public:
+  struct Entry {
+    std::string key;
+    std::uint64_t count = 0;
+  };
+
+  void init(std::size_t num_map_threads) override;
+  Status prepare_round(const ingest::IngestChunk& chunk) override;
+  std::size_t round_tasks() const override { return splits_.size(); }
+  void map_task(std::size_t task, std::size_t thread_id) override;
+  Status reduce(ThreadPool& pool, std::size_t num_partitions) override;
+  Status merge(ThreadPool& pool, const core::MergePlan& plan,
+               merge::MergeStats* stats) override;
+  std::uint64_t result_count() const override { return pmi_.size(); }
+  std::string canonical_output() const override;
+
+  // ("w1 w2", pmi) sorted by the pair key.
+  const std::vector<std::pair<std::string, double>>& results() const {
+    return pmi_;
+  }
+  // Lines whose shape was not "key\tcount" (should be zero in a chain).
+  std::uint64_t malformed_lines() const { return malformed_; }
+
+ private:
+  std::size_t num_mappers_ = 0;
+  std::vector<std::span<const char>> splits_;
+  std::vector<std::vector<Entry>> stripes_;      // per-thread parsed lines
+  std::vector<std::uint64_t> malformed_stripes_;
+  std::vector<Entry> entries_;                   // all lines, sorted in merge
+  std::vector<std::pair<std::string, double>> pmi_;
+  std::uint64_t malformed_ = 0;
+};
+
+}  // namespace supmr::apps

@@ -1,0 +1,107 @@
+#include "apps/scatter.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "merge/introsort.hpp"
+
+namespace supmr::apps {
+
+void ScatterApp::init(std::size_t num_map_threads) {
+  num_mappers_ = num_map_threads;
+  stripes_.assign(num_map_threads, {});
+  staged_.clear();
+  routed_.clear();
+  output_.clear();
+  records_ = 0;
+  malformed_ = 0;
+}
+
+Status ScatterApp::prepare_round(const ingest::IngestChunk& chunk) {
+  const std::span<const char> bytes = chunk.bytes();
+  const std::uint64_t rb = options_.record_bytes;
+  if (rb == 0) return Status::InvalidArgument("scatter: record_bytes == 0");
+  const std::uint64_t num_records = bytes.size() / rb;
+  if (bytes.size() % rb != 0) ++malformed_;
+  if (chunk.offset % rb != 0) {
+    return Status::InvalidArgument(
+        "scatter: chunk offset not record-aligned (need CrlfFormat-style "
+        "fixed-record chunking)");
+  }
+
+  // Stage the records now — the chunk's bytes are only valid for this
+  // round, and merge materializes from the staged copy.
+  const std::uint64_t stage_at = staged_.size();
+  staged_.insert(staged_.end(), bytes.begin(),
+                 bytes.begin() + static_cast<std::ptrdiff_t>(num_records * rb));
+
+  // Contiguous record ranges, one per mapper.
+  tasks_.clear();
+  const std::uint64_t per_task =
+      (num_records + num_mappers_ - 1) / std::max<std::uint64_t>(num_mappers_, 1);
+  for (std::uint64_t first = 0; first < num_records; first += per_task) {
+    RoundTask t;
+    t.num_records = std::min(per_task, num_records - first);
+    t.chunk_offset = chunk.offset + first * rb;
+    t.stage_at = stage_at + first * rb;
+    tasks_.push_back(t);
+  }
+  return Status::Ok();
+}
+
+void ScatterApp::map_task(std::size_t task, std::size_t thread_id) {
+  assert(task < tasks_.size() && thread_id < num_mappers_);
+  const RoundTask& t = tasks_[task];
+  const std::uint64_t rb = options_.record_bytes;
+  auto& stripe = stripes_[thread_id];
+  stripe.reserve(stripe.size() + t.num_records);
+  for (std::uint64_t r = 0; r < t.num_records; ++r) {
+    const std::uint64_t src = t.stage_at + r * rb;
+    const auto first_byte = static_cast<unsigned char>(staged_[src]);
+    const std::uint64_t bucket =
+        static_cast<std::uint64_t>(first_byte) * options_.buckets / 256;
+    const std::uint64_t global_index = (t.chunk_offset + r * rb) / rb;
+    stripe.push_back(Routed{bucket << 48 | global_index, src});
+  }
+}
+
+Status ScatterApp::reduce(ThreadPool&, std::size_t) {
+  // Routing entries carry a globally unique order key; reduce just gathers
+  // the per-thread stripes.
+  std::size_t total = 0;
+  for (const auto& s : stripes_) total += s.size();
+  routed_.clear();
+  routed_.reserve(total);
+  for (auto& s : stripes_) {
+    routed_.insert(routed_.end(), s.begin(), s.end());
+    s.clear();
+  }
+  return Status::Ok();
+}
+
+Status ScatterApp::merge(ThreadPool&, const core::MergePlan&,
+                         merge::MergeStats* stats) {
+  merge::introsort(
+      routed_.begin(), routed_.end(),
+      [](const Routed& a, const Routed& b) { return a.order < b.order; });
+  const std::uint64_t rb = options_.record_bytes;
+  output_.resize(routed_.size() * rb);
+  char* dst = output_.data();
+  for (const Routed& r : routed_) {
+    std::memcpy(dst, staged_.data() + r.src, rb);
+    dst += rb;
+  }
+  records_ = routed_.size();
+  routed_.clear();
+  staged_.clear();
+  staged_.shrink_to_fit();
+  if (stats != nullptr) *stats = merge::MergeStats{};
+  return Status::Ok();
+}
+
+std::string ScatterApp::canonical_output() const {
+  return std::string(output_.begin(), output_.end());
+}
+
+}  // namespace supmr::apps

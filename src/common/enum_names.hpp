@@ -1,0 +1,59 @@
+// Table-driven enum <-> string mapping.
+//
+// Every user-facing enum (ExecMode, MergeMode, IoMode, corpus kind, graph
+// handoff mode) used to carry its own hand-rolled switch for the name
+// direction and an if-chain per parser (CLI flags, ReplaySpec, serve spec).
+// The chains drifted independently — adding an enumerator meant finding
+// every copy. Now each enum declares ONE constexpr table next to its
+// definition and every direction goes through these two helpers; the graph
+// spec parser, the CLI, and both JSON spec readers share the same tables.
+//
+//   inline constexpr EnumName<ExecMode> kExecModeNames[] = {
+//       {ExecMode::kOriginal, "original"}, ...};
+//   enum_to_name(kExecModeNames, mode)           -> "original"
+//   enum_from_name(kExecModeNames, s, "exec mode") -> StatusOr<ExecMode>
+//
+// enum_from_name's error lists the accepted names, so a typo in a spec or
+// flag tells the user what would have worked.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "common/status.hpp"
+
+namespace supmr {
+
+template <typename E>
+struct EnumName {
+  E value;
+  std::string_view name;
+};
+
+template <typename E, std::size_t N>
+constexpr std::string_view enum_to_name(const EnumName<E> (&table)[N],
+                                        E value) {
+  for (const EnumName<E>& entry : table) {
+    if (entry.value == value) return entry.name;
+  }
+  return "unknown";
+}
+
+template <typename E, std::size_t N>
+StatusOr<E> enum_from_name(const EnumName<E> (&table)[N],
+                           std::string_view name, std::string_view what) {
+  for (const EnumName<E>& entry : table) {
+    if (entry.name == name) return entry.value;
+  }
+  std::string accepted;
+  for (const EnumName<E>& entry : table) {
+    if (!accepted.empty()) accepted += "|";
+    accepted += std::string(entry.name);
+  }
+  return Status::InvalidArgument("unknown " + std::string(what) + ": " +
+                                 std::string(name) + " (want " + accepted +
+                                 ")");
+}
+
+}  // namespace supmr

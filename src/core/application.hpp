@@ -7,7 +7,7 @@
 // — is prepare_round(chunk) here: the runtime dictates which part of memory
 // the callbacks operate on.
 //
-// Lifecycle, in run_ingestMR() order:
+// Lifecycle, in run(kIngestMR) order:
 //   init(mappers)                      once   (persistent container init)
 //   for each ingest chunk:
 //     prepare_round(chunk)             multiple  (split; claim container space)

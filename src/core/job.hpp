@@ -20,9 +20,6 @@
 // algorithm) and the fault layer: JobConfig::recovery gives the ingest path
 // chunk-level retry/backoff and an optional degrade mode (skip poisoned
 // chunks with accounting). See docs/fault-tolerance.md.
-//
-// The per-mode methods run() / run_ingestMR() / run_ingestMR_adaptive() are
-// DEPRECATED thin wrappers kept for source compatibility.
 #pragma once
 
 #include <memory>
@@ -90,23 +87,6 @@ class MapReduceJob {
   void set_adaptive(const storage::Device& device,
                     const ingest::RecordFormat& format,
                     ingest::ChunkSizeController& controller);
-
-  // ------------------------------------------------------------------
-  // DEPRECATED compatibility wrappers (use run(ExecMode)).
-
-  // DEPRECATED: use run(ExecMode::kOriginal).
-  StatusOr<JobResult> run() { return run(ExecMode::kOriginal); }
-
-  // DEPRECATED: use run(ExecMode::kIngestMR).
-  StatusOr<JobResult> run_ingestMR() { return run(ExecMode::kIngestMR); }
-
-  // DEPRECATED: use set_adaptive(...) + run(ExecMode::kAdaptive).
-  StatusOr<JobResult> run_ingestMR_adaptive(
-      const storage::Device& device, const ingest::RecordFormat& format,
-      ingest::ChunkSizeController& controller) {
-    set_adaptive(device, format, controller);
-    return run(ExecMode::kAdaptive);
-  }
 
   const JobConfig& config() const { return config_; }
 

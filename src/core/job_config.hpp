@@ -6,6 +6,7 @@
 #include <string_view>
 #include <thread>
 
+#include "common/enum_names.hpp"
 #include "fault/retry_policy.hpp"
 #include "ingest/chunk.hpp"
 
@@ -33,6 +34,21 @@ enum class ExecMode {
   kOriginal,  // read ALL chunks, then map rounds (the paper's baseline)
   kIngestMR,  // SupMR: the ingest chunk pipeline (combined read+map phase)
   kAdaptive,  // SupMR with controller-driven chunk sizing (§VIII)
+};
+
+// Shared name tables (common/enum_names.hpp): the CLI flags, the
+// replay/serve/graph spec parsers, and log labels all map through these —
+// one row per enumerator, no per-parser if-chains.
+inline constexpr EnumName<ExecMode> kExecModeNames[] = {
+    {ExecMode::kOriginal, "original"},
+    {ExecMode::kIngestMR, "supmr"},
+    {ExecMode::kAdaptive, "adaptive"},
+};
+
+inline constexpr EnumName<MergeMode> kMergeModeNames[] = {
+    {MergeMode::kPairwise, "pairwise"},
+    {MergeMode::kPWay, "pway"},
+    {MergeMode::kPartitioned, "partitioned"},
 };
 
 std::string_view exec_mode_name(ExecMode mode);
@@ -104,12 +120,7 @@ struct JobConfig {
 };
 
 inline std::string_view exec_mode_name(ExecMode mode) {
-  switch (mode) {
-    case ExecMode::kOriginal: return "original";
-    case ExecMode::kIngestMR: return "supmr";
-    case ExecMode::kAdaptive: return "adaptive";
-  }
-  return "unknown";
+  return enum_to_name(kExecModeNames, mode);
 }
 
 }  // namespace supmr::core

@@ -9,32 +9,27 @@
 namespace supmr::core {
 
 std::string_view merge_mode_name(MergeMode mode) {
-  switch (mode) {
-    case MergeMode::kPairwise: return "pairwise";
-    case MergeMode::kPWay: return "pway";
-    case MergeMode::kPartitioned: return "partitioned";
-  }
-  return "unknown";
+  return enum_to_name(kMergeModeNames, mode);
+}
+
+std::string_view graph_handoff_name(GraphHandoff handoff) {
+  return enum_to_name(kGraphHandoffNames, handoff);
 }
 
 StatusOr<ExecMode> exec_mode_from_name(std::string_view name) {
-  if (name == "original") return ExecMode::kOriginal;
-  if (name == "supmr") return ExecMode::kIngestMR;
-  if (name == "adaptive") return ExecMode::kAdaptive;
-  return Status::InvalidArgument("unknown exec mode: " + std::string(name));
+  return enum_from_name(kExecModeNames, name, "exec mode");
 }
 
 StatusOr<MergeMode> merge_mode_from_name(std::string_view name) {
-  if (name == "pairwise") return MergeMode::kPairwise;
-  if (name == "pway") return MergeMode::kPWay;
-  if (name == "partitioned") return MergeMode::kPartitioned;
-  return Status::InvalidArgument("unknown merge mode: " + std::string(name));
+  return enum_from_name(kMergeModeNames, name, "merge mode");
 }
 
 StatusOr<IoMode> io_mode_from_name(std::string_view name) {
-  if (name == "read") return IoMode::kRead;
-  if (name == "mmap") return IoMode::kMmap;
-  return Status::InvalidArgument("unknown io mode: " + std::string(name));
+  return enum_from_name(ingest::kIoModeNames, name, "io mode");
+}
+
+StatusOr<GraphHandoff> graph_handoff_from_name(std::string_view name) {
+  return enum_from_name(kGraphHandoffNames, name, "graph handoff");
 }
 
 std::string ReplaySpec::to_json() const {
@@ -71,6 +66,13 @@ std::string ReplaySpec::to_json() const {
   w.kv("degrade", degrade);
   w.kv("fault_plan", fault_plan);
   w.kv("retry_attempts", retry_attempts);
+  w.end_object();
+  // Graph cells only; written for every spec, optional on parse (specs
+  // checked in before graphs existed omit the whole object).
+  w.key("graph");
+  w.begin_object();
+  w.kv("handoff", graph_handoff_name(graph_handoff));
+  w.kv("budget", graph_budget);
   w.end_object();
   w.end_object();
   return w.str();
@@ -259,6 +261,17 @@ class Fields {
     return take_string(key, out);
   }
 
+  // take_u64, but a missing key yields `def` (same backward-compat contract
+  // as take_string_or).
+  Status take_u64_or(const std::string& key, std::uint64_t& out,
+                     std::uint64_t def) {
+    if (values_.find(key) == values_.end()) {
+      out = def;
+      return Status::Ok();
+    }
+    return take_u64(key, out);
+  }
+
   Status check_empty() const {
     if (values_.empty()) return Status::Ok();
     return Status::InvalidArgument("replay spec: unknown key " +
@@ -324,13 +337,21 @@ StatusOr<ReplaySpec> ReplaySpec::from_json(std::string_view text) {
   SUPMR_RETURN_IF_ERROR(fields.take_string("cell.fault_plan", spec.fault_plan));
   SUPMR_RETURN_IF_ERROR(
       fields.take_u64("cell.retry_attempts", spec.retry_attempts));
+
+  std::string handoff;
+  SUPMR_RETURN_IF_ERROR(
+      fields.take_string_or("graph.handoff", handoff, "memory"));
+  SUPMR_ASSIGN_OR_RETURN(spec.graph_handoff, graph_handoff_from_name(handoff));
+  SUPMR_RETURN_IF_ERROR(
+      fields.take_u64_or("graph.budget", spec.graph_budget, 0));
   SUPMR_RETURN_IF_ERROR(fields.check_empty());
 
   if (spec.app != "wordcount" && spec.app != "xwordcount" &&
       spec.app != "sort" && spec.app != "grep" && spec.app != "histogram" &&
-      spec.app != "index") {
+      spec.app != "index" && !spec.is_graph()) {
     return Status::InvalidArgument("replay spec: unknown app " + spec.app);
   }
+  SUPMR_RETURN_IF_ERROR(spec.corpus.parsed_kind().status());
   if (spec.threads == 0) {
     return Status::InvalidArgument("replay spec: threads must be >= 1");
   }

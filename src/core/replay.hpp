@@ -19,21 +19,50 @@
 
 namespace supmr::core {
 
-// How to regenerate the cell's input corpus (all generators are seeded and
-// deterministic — src/wload/).
+// The seeded corpus generators a spec can name (all deterministic —
+// src/wload/): text (wload::generate_text) | terasort
+// (wload::teragen_to_string) | numeric (wload::generate_numeric) |
+// multi-text (wload::generate_text_files, for MultiFileSource apps).
+enum class CorpusKind { kText, kTerasort, kNumeric, kMultiText };
+
+inline constexpr EnumName<CorpusKind> kCorpusKindNames[] = {
+    {CorpusKind::kText, "text"},
+    {CorpusKind::kTerasort, "terasort"},
+    {CorpusKind::kNumeric, "numeric"},
+    {CorpusKind::kMultiText, "multi-text"},
+};
+
+// How a graph cell hands a stage's output across an edge to the next stage
+// (src/graph/): in-memory view source (the SupMR path) or write-out to a
+// spill file and re-ingest (the baseline the bench compares against). The
+// executor additionally spills memory edges whose payload exceeds the
+// graph's handoff budget.
+enum class GraphHandoff { kMemory, kFile };
+
+inline constexpr EnumName<GraphHandoff> kGraphHandoffNames[] = {
+    {GraphHandoff::kMemory, "memory"},
+    {GraphHandoff::kFile, "file"},
+};
+
+// How to regenerate the cell's input corpus.
 struct CorpusSpec {
-  // text (wload::generate_text) | terasort (wload::teragen_to_string) |
-  // numeric (wload::generate_numeric) | multi-text
-  // (wload::generate_text_files, for MultiFileSource apps).
+  // One of kCorpusKindNames; kept as the spelled name because specs are
+  // checked-in JSON (parsed_kind() yields the enum).
   std::string kind = "text";
   std::uint64_t bytes = 1 << 17;
   std::uint64_t seed = 1;
   std::uint64_t num_files = 6;  // multi-text only
+
+  StatusOr<CorpusKind> parsed_kind() const {
+    return enum_from_name(kCorpusKindNames, kind, "corpus kind");
+  }
 };
 
 struct ReplaySpec {
-  // wordcount | xwordcount (spilling container) | sort | grep | histogram |
-  // index
+  // Single-round apps: wordcount | xwordcount (spilling container) | sort |
+  // grep | histogram | index. Chained graph apps (src/graph/): pmi | tfidf |
+  // msort — these run a multi-stage JobGraph and compare against
+  // ref::run_graph instead of run_ref.
   std::string app = "wordcount";
   CorpusSpec corpus;
 
@@ -59,6 +88,17 @@ struct ReplaySpec {
   std::string fault_plan;              // fault::FaultPlan grammar; "" = none
   std::uint64_t retry_attempts = 1;
 
+  // Graph cells only (optional in the JSON — single-round specs omit it):
+  // edge handoff policy and the in-memory handoff budget in bytes (0 =
+  // unlimited; a tiny budget forces the spill-at-boundary path).
+  GraphHandoff graph_handoff = GraphHandoff::kMemory;
+  std::uint64_t graph_budget = 0;
+
+  // True for the chained graph apps (pmi | tfidf | msort).
+  bool is_graph() const {
+    return app == "pmi" || app == "tfidf" || app == "msort";
+  }
+
   std::string to_json() const;
   // Strict parse of a spec produced by to_json (or hand-written in the same
   // shape). Unknown keys, malformed JSON, and out-of-range enum names are
@@ -66,11 +106,15 @@ struct ReplaySpec {
   static StatusOr<ReplaySpec> from_json(std::string_view text);
 };
 
-// Enum <-> name helpers shared by the spec and the CLI. exec_mode_name()
+// Enum <-> name helpers shared by the spec parsers and the CLI — thin
+// wrappers over the kExecModeNames / kMergeModeNames / kIoModeNames /
+// kGraphHandoffNames tables (common/enum_names.hpp). exec_mode_name()
 // lives in job_config.hpp; these complete the set.
 std::string_view merge_mode_name(MergeMode mode);
+std::string_view graph_handoff_name(GraphHandoff handoff);
 StatusOr<ExecMode> exec_mode_from_name(std::string_view name);
 StatusOr<MergeMode> merge_mode_from_name(std::string_view name);
 StatusOr<IoMode> io_mode_from_name(std::string_view name);
+StatusOr<GraphHandoff> graph_handoff_from_name(std::string_view name);
 
 }  // namespace supmr::core

@@ -97,6 +97,12 @@ StatusOr<FaultPlan> FaultPlan::parse(std::string_view spec) {
             plan.transient_after,
             parse_uint(value.substr(at + 1), "transient '@' call index"));
       }
+    } else if (key == "fail_call") {
+      for (std::string_view idx : split(value, ',')) {
+        SUPMR_ASSIGN_OR_RETURN(std::uint64_t call,
+                               parse_uint(idx, "fail_call index"));
+        plan.fail_calls.push_back(call);
+      }
     } else if (key == "permanent") {
       for (std::string_view range : split(value, ',')) {
         const std::size_t dash = range.find('-');
@@ -138,6 +144,13 @@ std::string FaultPlan::to_string() const {
   if (transient_p > 0.0) {
     out += ";transient=" + format_double(transient_p);
     if (transient_after > 0) out += "@" + std::to_string(transient_after);
+  }
+  if (!fail_calls.empty()) {
+    out += ";fail_call=";
+    for (std::size_t i = 0; i < fail_calls.size(); ++i) {
+      if (i != 0) out += ",";
+      out += std::to_string(fail_calls[i]);
+    }
   }
   if (!permanent.empty()) {
     out += ";permanent=";

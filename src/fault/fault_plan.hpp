@@ -1,8 +1,8 @@
 // FaultPlan: declarative, seeded, probabilistic fault specification.
 //
-// Replaces storage::FaultDevice's ad-hoc setters (fail_on_call /
-// fail_on_range) with one composable value that a CLI flag, a test, or a
-// stress harness can construct and hand to any fault-injecting wrapper.
+// One composable value that a CLI flag, a test, or a stress harness can
+// construct and hand to any fault-injecting wrapper (it replaced
+// storage::FaultDevice's pre-PR-3 ad-hoc mutating setters, now removed).
 // Three fault classes, matching what a real degraded device does:
 //
 //   * transient — a read fails once with an I/O error; the identical retry
@@ -23,10 +23,15 @@
 //   spec    := clause (';' clause)*
 //   clause  := 'seed=' UINT
 //            | 'transient=' PROB ['@' UINT]     e.g. transient=0.05@12
+//            | 'fail_call=' UINT (',' UINT)*    e.g. fail_call=3,9
 //            | 'permanent=' RANGE (',' RANGE)*  e.g. permanent=4096-8192
 //            | 'slow=' PROB ':' DURATION        e.g. slow=0.01:5ms
 //   RANGE   := LO '-' HI        (bytes, half-open [LO, HI))
 //   DURATION:= FLOAT ('s'|'ms'|'us')
+//
+// fail_call is the deterministic sibling of transient: the listed accounted
+// read indices (0-based) fail once with an I/O error, independent of the
+// seed — "fail exactly the Nth read" tests stay declarative and replayable.
 #pragma once
 
 #include <cstdint>
@@ -49,6 +54,17 @@ struct FaultPlan {
   // spare the planning reads and hit the data path).
   std::uint64_t transient_after = 0;
 
+  // Deterministic transients: these accounted read indices (0-based) fail
+  // once each — the retry lands on the next index and passes through.
+  std::vector<std::uint64_t> fail_calls;
+
+  bool fails_call(std::uint64_t call) const {
+    for (std::uint64_t c : fail_calls) {
+      if (c == call) return true;
+    }
+    return false;
+  }
+
   // Permanent faults: every read overlapping a poisoned [lo, hi) fails.
   std::vector<std::pair<std::uint64_t, std::uint64_t>> permanent;
 
@@ -57,7 +73,8 @@ struct FaultPlan {
   double slow_delay_s = 0.0;
 
   bool empty() const {
-    return transient_p <= 0.0 && permanent.empty() && slow_p <= 0.0;
+    return transient_p <= 0.0 && fail_calls.empty() && permanent.empty() &&
+           slow_p <= 0.0;
   }
 
   bool poisons(std::uint64_t offset, std::uint64_t length) const {

@@ -21,6 +21,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/enum_names.hpp"
+
 namespace supmr::ingest {
 
 // How a source moves bytes from the device into chunks (--io).
@@ -32,12 +34,15 @@ enum class IoMode {
           // page fault)
 };
 
+// Shared name table (common/enum_names.hpp): the CLI's --io flag, the
+// replay/serve spec parsers, and metric labels all go through this.
+inline constexpr EnumName<IoMode> kIoModeNames[] = {
+    {IoMode::kRead, "read"},
+    {IoMode::kMmap, "mmap"},
+};
+
 inline std::string_view io_mode_name(IoMode mode) {
-  switch (mode) {
-    case IoMode::kRead: return "read";
-    case IoMode::kMmap: return "mmap";
-  }
-  return "unknown";
+  return enum_to_name(kIoModeNames, mode);
 }
 
 // A contiguous region of one source file placed inside a chunk.

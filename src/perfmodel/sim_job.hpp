@@ -3,7 +3,7 @@
 //
 // The schedule mirrors core::MapReduceJob exactly:
 //   original runtime:  [ingest all] -> [map wave] -> [reduce] -> [merge]
-//   run_ingestMR:      n+1 pipeline rounds — ingest(c_{i+1}) overlapped with
+//   run(kIngestMR):      n+1 pipeline rounds — ingest(c_{i+1}) overlapped with
 //                      map(c_i) — then reduce and merge.
 // The chunk plan uses the same arithmetic as ingest planning (equal chunks,
 // short tail), the map waves use the same "<= mappers tasks per round" rule,

@@ -11,6 +11,7 @@
 #include <string_view>
 #include <vector>
 
+#include "apps/chains.hpp"
 #include "apps/external_word_count.hpp"
 #include "apps/grep.hpp"
 #include "apps/histogram.hpp"
@@ -19,8 +20,10 @@
 #include "apps/word_count.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/retrying_device.hpp"
+#include "graph/job_graph.hpp"
 #include "ingest/record_format.hpp"
 #include "ingest/source.hpp"
+#include "ref/ref_graph.hpp"
 #include "ref/ref_job.hpp"
 #include "runtime/job_manager.hpp"
 #include "storage/fault_device.hpp"
@@ -159,9 +162,92 @@ namespace {
 using RunSut = std::function<StatusOr<core::JobResult>(
     core::Application&, const ingest::IngestSource&, const core::JobConfig&)>;
 
+// Graph (chained-app) cells: build the spec's JobGraph twice from the same
+// corpus devices — once for the executor (each stage funneled through
+// `run_sut`, so managed cells lease every stage), once for the sequential
+// oracle — and byte-compare the sink outputs.
+StatusOr<ConformanceOutcome> run_graph_cell(const core::ReplaySpec& spec,
+                                            const std::string* corpus_override,
+                                            const RunSut& run_sut) {
+  if (!spec.fault_plan.empty() || spec.degrade) {
+    return Status::InvalidArgument(
+        "conformance: graph cells do not take fault plans (stage handoff "
+        "devices are not faultable)");
+  }
+  if (spec.mode == core::ExecMode::kAdaptive) {
+    return Status::InvalidArgument(
+        "conformance: graph stages run without an adaptive controller");
+  }
+
+  apps::ChainInputs inputs;
+  if (spec.app == "tfidf") {
+    if (spec.corpus.kind != "multi-text") {
+      return Status::InvalidArgument(
+          "conformance: tfidf cells need corpus kind multi-text");
+    }
+    if (corpus_override != nullptr) {
+      return Status::InvalidArgument(
+          "conformance: corpus overrides need a single-device graph app");
+    }
+    wload::TextCorpusConfig tcfg;
+    tcfg.seed = spec.corpus.seed;
+    const std::uint64_t per_file = std::max<std::uint64_t>(
+        1, spec.corpus.bytes /
+               std::max<std::uint64_t>(1, spec.corpus.num_files));
+    inputs.files = wload::generate_text_files(
+        tcfg, static_cast<std::size_t>(spec.corpus.num_files), per_file);
+  } else {
+    std::string data;
+    if (corpus_override != nullptr) {
+      data = *corpus_override;
+    } else {
+      SUPMR_ASSIGN_OR_RETURN(data, make_corpus(spec));
+    }
+    inputs.device = std::make_shared<storage::MemDevice>(
+        std::move(data), "conformance-input");
+  }
+
+  SUPMR_ASSIGN_OR_RETURN(graph::JobGraph sut_graph,
+                         apps::make_chain(spec, inputs));
+  // The oracle twin: the same chain, but the boring sort variant (no
+  // map-time partitioning) — the graph analog of make_app(for_ref).
+  core::ReplaySpec ref_spec = spec;
+  ref_spec.app_partitions = 0;
+  SUPMR_ASSIGN_OR_RETURN(graph::JobGraph oracle_graph,
+                         apps::make_chain(ref_spec, inputs));
+
+  graph::GraphOptions gopts;
+  gopts.handoff = spec.graph_handoff;
+  gopts.memory_budget = spec.graph_budget;
+  SUPMR_ASSIGN_OR_RETURN(
+      graph::GraphResult sut,
+      graph::run_graph(sut_graph, gopts,
+                       [&](std::size_t, core::Application& app,
+                           const ingest::IngestSource& source,
+                           const core::JobConfig& cfg) {
+                         return run_sut(app, source, cfg);
+                       }));
+  SUPMR_ASSIGN_OR_RETURN(GraphRefResult oracle, ref::run_graph(oracle_graph));
+
+  ConformanceOutcome outcome;
+  if (!sut.stages.empty()) outcome.job = sut.stages.back().job;
+  outcome.graph_stages = sut.stages.size();
+  outcome.graph_handoff_bytes = sut.handoff_bytes;
+  outcome.graph_spill_bytes = sut.spill_bytes;
+  outcome.graph_spill_files = sut.spill_files;
+  outcome.sut_canonical = std::move(sut.final_output);
+  outcome.ref_canonical = std::move(oracle.canonical);
+  outcome.match = outcome.sut_canonical == outcome.ref_canonical;
+  outcome.diff = outcome.match ? "identical"
+                               : diff_summary(outcome.sut_canonical,
+                                              outcome.ref_canonical);
+  return outcome;
+}
+
 StatusOr<ConformanceOutcome> run_cell_impl(const core::ReplaySpec& spec,
                                            const std::string* corpus_override,
                                            const RunSut& run_sut) {
+  if (spec.is_graph()) return run_graph_cell(spec, corpus_override, run_sut);
   const bool multi = spec.corpus.kind == "multi-text";
   if (spec.app == "index" && !multi) {
     return Status::InvalidArgument(

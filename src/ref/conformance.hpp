@@ -33,7 +33,14 @@ struct ConformanceOutcome {
   std::string diff;           // human-readable first-divergence summary
   std::string sut_canonical;  // the lattice cell's canonical output
   std::string ref_canonical;  // the reference runtime's canonical output
-  core::JobResult job;        // the SUT run's result (degrade accounting...)
+  core::JobResult job;        // the SUT run's result (degrade accounting...);
+                              // for graph cells, the sink stage's result
+  // Graph cells only (spec.is_graph()): stage-handoff accounting from the
+  // executor, so the harness can assert a forced-spill cell really spilled.
+  std::uint64_t graph_stages = 0;
+  std::uint64_t graph_handoff_bytes = 0;
+  std::uint64_t graph_spill_bytes = 0;
+  std::uint64_t graph_spill_files = 0;
 };
 
 // Regenerates the cell's seeded corpus (single-device kinds; the

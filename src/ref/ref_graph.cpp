@@ -1,0 +1,48 @@
+#include "ref/ref_graph.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "ingest/source.hpp"
+#include "ref/ref_job.hpp"
+#include "storage/mem_device.hpp"
+
+namespace supmr::ref {
+
+StatusOr<GraphRefResult> run_graph(const graph::JobGraph& graph) {
+  SUPMR_ASSIGN_OR_RETURN(std::vector<std::size_t> order, graph.topo_order());
+
+  GraphRefResult result;
+  std::vector<std::string> payloads(graph.num_stages());
+  for (std::size_t idx : order) {
+    const graph::JobGraph::Stage& stage = graph.stage(idx);
+    std::unique_ptr<core::Application> app = stage.make_app();
+    if (app == nullptr)
+      return Status::Internal("ref graph: app factory returned null");
+
+    RefResult ref;
+    if (stage.source != nullptr) {
+      SUPMR_ASSIGN_OR_RETURN(ref, run_ref(*app, *stage.source));
+    } else {
+      std::string input;
+      for (std::size_t up : stage.inputs) input += payloads[up];
+      auto dev = std::make_shared<storage::MemDevice>(
+          std::move(input), "ref-graph-edge");
+      // chunk_bytes = 0: the oracle sees each interior input as one round.
+      ingest::SingleDeviceSource source(dev, stage.options.format, 0);
+      SUPMR_ASSIGN_OR_RETURN(ref, run_ref(*app, source));
+    }
+    payloads[idx] = app->canonical_output();
+    result.stage_names.push_back(stage.options.name.empty()
+                                     ? "#" + std::to_string(idx)
+                                     : stage.options.name);
+    if (stage.outputs.empty()) {
+      result.canonical = std::move(payloads[idx]);
+      result.result_count = ref.result_count;
+      payloads[idx].clear();
+    }
+  }
+  return result;
+}
+
+}  // namespace supmr::ref

@@ -1,0 +1,28 @@
+// Sequential reference execution of a JobGraph: the chained-app oracle.
+//
+// Runs every stage through ref::run_ref (one mapper, plan order, one reduce
+// partition, pairwise merge) in topological order, handing canonical
+// outputs across edges as plain in-memory strings — no executor, no spill
+// policy, no shared runtime. Stage JobConfigs and GraphOptions are
+// deliberately ignored: whatever handoff/budget/lease geometry the SUT
+// executor picks, its final bytes must match this boring walk.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "graph/job_graph.hpp"
+
+namespace supmr::ref {
+
+struct GraphRefResult {
+  std::string canonical;                 // the sink stage's canonical output
+  std::vector<std::string> stage_names;  // executed (topological) order
+  std::uint64_t result_count = 0;        // the sink stage's result count
+};
+
+StatusOr<GraphRefResult> run_graph(const graph::JobGraph& graph);
+
+}  // namespace supmr::ref

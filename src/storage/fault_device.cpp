@@ -15,21 +15,18 @@ StatusOr<std::size_t> FaultDevice::read_at(std::uint64_t offset,
                                            std::span<char> out) const {
   // Permanent faults first, without consuming a call index: a poisoned
   // range kills the read no matter how often it is retried, and call
-  // accounting (fail_on_call / transient '@' gates) must not drift when a
-  // range is added to the plan.
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (plan_.poisons(offset, out.size())) {
-      range_hits_.fetch_add(1, std::memory_order_relaxed);
-      SUPMR_COUNTER_ADD("fault.injected_permanent", 1);
-      return Status::IoError(
-          "injected permanent fault: poisoned range overlaps offset " +
-          std::to_string(offset));
-    }
+  // accounting (fail_call lists / transient '@' gates) must not drift when
+  // a range is added to the plan.
+  if (plan_.poisons(offset, out.size())) {
+    range_hits_.fetch_add(1, std::memory_order_relaxed);
+    SUPMR_COUNTER_ADD("fault.injected_permanent", 1);
+    return Status::IoError(
+        "injected permanent fault: poisoned range overlaps offset " +
+        std::to_string(offset));
   }
 
   const std::uint64_t call = calls_.fetch_add(1, std::memory_order_relaxed);
-  if (call == fail_call_) {
+  if (plan_.fails_call(call)) {
     transients_.fetch_add(1, std::memory_order_relaxed);
     SUPMR_COUNTER_ADD("fault.injected_transient", 1);
     return Status::IoError("injected fault on call " + std::to_string(call));

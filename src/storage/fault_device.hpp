@@ -11,16 +11,16 @@
 // Accounting contract: permanent (poisoned-range) failures are checked
 // FIRST and do not consume a call index — calls() counts only reads that
 // reach the transient/pass-through path. This keeps call-indexed faults
-// (fail_on_call, transient '@' gates) composable with poisoned ranges:
+// (fail_call lists, transient '@' gates) composable with poisoned ranges:
 // adding a range to a plan never shifts which call a transient lands on.
 //
-// The legacy setter API (fail_on_call / fail_on_range) survives as a thin
-// compat shim over the plan for tests slated for migration.
+// The plan is immutable after construction — the pre-PR-3 mutating setters
+// are gone; build the equivalent FaultPlan (fail_call= / permanent=
+// clauses) and construct a fresh wrapper instead.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <limits>
 #include <memory>
 #include <mutex>
 
@@ -32,22 +32,13 @@ namespace supmr::storage {
 
 class FaultDevice final : public Device {
  public:
-  // Fault-free until a plan (or legacy setter) is applied.
+  // A pass-through wrapper: fault-free with an empty plan.
   explicit FaultDevice(const Device* base)
       : FaultDevice(base, fault::FaultPlan{}) {}
   FaultDevice(const Device* base, fault::FaultPlan plan)
       : FaultDevice(std::shared_ptr<const Device>(base, [](const Device*) {}),
                     std::move(plan)) {}
   FaultDevice(std::shared_ptr<const Device> base, fault::FaultPlan plan);
-
-  // Legacy compat shims (DEPRECATED — build a FaultPlan instead).
-  // Fail the `n`-th accounted read_at call (0-based), once.
-  void fail_on_call(std::uint64_t n) { fail_call_ = n; }
-  // Fail any read overlapping [lo, hi) — folds into plan().permanent.
-  void fail_on_range(std::uint64_t lo, std::uint64_t hi) {
-    std::lock_guard<std::mutex> lock(mu_);
-    plan_.permanent.emplace_back(lo, hi);
-  }
 
   const fault::FaultPlan& plan() const { return plan_; }
 
@@ -76,9 +67,8 @@ class FaultDevice final : public Device {
 
  private:
   std::shared_ptr<const Device> base_;
-  fault::FaultPlan plan_;
-  std::uint64_t fail_call_ = std::numeric_limits<std::uint64_t>::max();
-  mutable std::mutex mu_;  // guards rng_ and plan_.permanent growth
+  const fault::FaultPlan plan_;
+  mutable std::mutex mu_;  // guards rng_ (the plan itself is immutable)
   mutable Xoshiro256 rng_;
   mutable std::atomic<std::uint64_t> calls_{0};
   mutable std::atomic<std::uint64_t> range_hits_{0};

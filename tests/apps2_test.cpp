@@ -78,7 +78,7 @@ TEST(KMeans, SingleIterationAssignsAllPoints) {
   KMeansApp app({.clusters = 3, .dim = 2}, centers);
   SingleDeviceSource src(mem(data), std::make_shared<LineFormat>(), 16384);
   core::MapReduceJob job(app, src, small_config());
-  ASSERT_TRUE(job.run_ingestMR().ok());
+  ASSERT_TRUE(job.run(core::ExecMode::kIngestMR).ok());
   EXPECT_EQ(app.points_assigned(), 2000u);
   EXPECT_EQ(app.new_centroids().size(), 3u);
 }
@@ -147,7 +147,7 @@ TEST(KMeans, EmptyClusterKeepsCentroid) {
   KMeansApp app({.clusters = 2, .dim = 2}, init);
   SingleDeviceSource src(mem(data), std::make_shared<LineFormat>(), 0);
   core::MapReduceJob job(app, src, small_config());
-  ASSERT_TRUE(job.run_ingestMR().ok());
+  ASSERT_TRUE(job.run(core::ExecMode::kIngestMR).ok());
   EXPECT_DOUBLE_EQ(app.new_centroids()[1][0], 1000.0);
   EXPECT_NEAR(app.new_centroids()[0][0], 0.5, 1e-12);
 }
@@ -168,7 +168,7 @@ TEST(LinearRegression, RecoversLine) {
   LinearRegressionApp app;
   SingleDeviceSource src(mem(data), std::make_shared<LineFormat>(), 32768);
   core::MapReduceJob job(app, src, small_config());
-  ASSERT_TRUE(job.run_ingestMR().ok());
+  ASSERT_TRUE(job.run(core::ExecMode::kIngestMR).ok());
   EXPECT_EQ(app.totals().n, 20000u);
   EXPECT_NEAR(app.slope(), 2.5, 0.01);
   EXPECT_NEAR(app.intercept(), -7.0, 0.5);
@@ -179,7 +179,7 @@ TEST(LinearRegression, NoiseFreeIsExact) {
   LinearRegressionApp app;
   SingleDeviceSource src(mem(data), std::make_shared<LineFormat>(), 0);
   core::MapReduceJob job(app, src, small_config());
-  ASSERT_TRUE(job.run().ok());
+  ASSERT_TRUE(job.run(core::ExecMode::kOriginal).ok());
   EXPECT_NEAR(app.slope(), -1.25, 1e-6);
   EXPECT_NEAR(app.intercept(), 4.0, 1e-3);
 }
@@ -191,8 +191,8 @@ TEST(LinearRegression, ChunkedEqualsUnchunked) {
   SingleDeviceSource src_b(mem(data), std::make_shared<LineFormat>(), 4096);
   core::MapReduceJob ja(a, src_a, small_config());
   core::MapReduceJob jb(b, src_b, small_config());
-  ASSERT_TRUE(ja.run().ok());
-  ASSERT_TRUE(jb.run_ingestMR().ok());
+  ASSERT_TRUE(ja.run(core::ExecMode::kOriginal).ok());
+  ASSERT_TRUE(jb.run(core::ExecMode::kIngestMR).ok());
   EXPECT_EQ(a.totals().n, b.totals().n);
   // Summation order differs across chunkings; equality is up to fp
   // reassociation error.
@@ -207,7 +207,7 @@ TEST(LinearRegression, MalformedLinesSkipped) {
   LinearRegressionApp app;
   SingleDeviceSource src(mem(data), std::make_shared<LineFormat>(), 0);
   core::MapReduceJob job(app, src, small_config());
-  ASSERT_TRUE(job.run().ok());
+  ASSERT_TRUE(job.run(core::ExecMode::kOriginal).ok());
   EXPECT_EQ(app.totals().n, 2u);
   EXPECT_NEAR(app.slope(), 2.0, 1e-9);
 }

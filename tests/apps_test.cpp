@@ -103,7 +103,7 @@ TEST(WordCount, MatchesReferenceOriginalRuntime) {
   WordCountApp app;
   SingleDeviceSource src(mem(text), std::make_shared<LineFormat>(), 0);
   MapReduceJob job(app, src, small_config());
-  auto result = job.run();
+  auto result = job.run(core::ExecMode::kOriginal);
   ASSERT_TRUE(result.ok()) << result.status().to_string();
 
   ASSERT_EQ(app.results().size(), expected.size());
@@ -126,12 +126,12 @@ TEST(WordCount, ChunkedEqualsUnchunked) {
   WordCountApp unchunked;
   SingleDeviceSource src0(mem(text), std::make_shared<LineFormat>(), 0);
   MapReduceJob job0(unchunked, src0, small_config());
-  ASSERT_TRUE(job0.run().ok());
+  ASSERT_TRUE(job0.run(core::ExecMode::kOriginal).ok());
 
   WordCountApp chunked;
   SingleDeviceSource src1(mem(text), std::make_shared<LineFormat>(), 9973);
   MapReduceJob job1(chunked, src1, small_config());
-  auto result = job1.run_ingestMR();
+  auto result = job1.run(core::ExecMode::kIngestMR);
   ASSERT_TRUE(result.ok()) << result.status().to_string();
   EXPECT_GT(result->chunks, 2u);
   EXPECT_EQ(result->map_rounds, result->chunks);
@@ -154,8 +154,8 @@ TEST(WordCount, PairwiseAndPwayMergeAgree) {
   SingleDeviceSource src_a(mem(text), std::make_shared<LineFormat>(), 0);
   SingleDeviceSource src_b(mem(text), std::make_shared<LineFormat>(), 0);
   MapReduceJob ja(a, src_a, cfg_pway), jb(b, src_b, cfg_pair);
-  ASSERT_TRUE(ja.run().ok());
-  ASSERT_TRUE(jb.run().ok());
+  ASSERT_TRUE(ja.run(core::ExecMode::kOriginal).ok());
+  ASSERT_TRUE(jb.run(core::ExecMode::kOriginal).ok());
   EXPECT_EQ(a.results(), b.results());
 }
 
@@ -163,7 +163,7 @@ TEST(WordCount, EmptyInput) {
   WordCountApp app;
   SingleDeviceSource src(mem(""), std::make_shared<LineFormat>(), 0);
   MapReduceJob job(app, src, small_config());
-  auto result = job.run();
+  auto result = job.run(core::ExecMode::kOriginal);
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(app.results().empty());
 }
@@ -176,7 +176,7 @@ TEST(WordCount, SingleThreadConfig) {
   SingleDeviceSource src(mem("a b a\nc a b\n"),
                          std::make_shared<LineFormat>(), 4);
   MapReduceJob job(app, src, cfg);
-  ASSERT_TRUE(job.run_ingestMR().ok());
+  ASSERT_TRUE(job.run(core::ExecMode::kIngestMR).ok());
   ASSERT_EQ(app.results().size(), 3u);
   EXPECT_EQ(app.results()[0], (WordCountApp::Result{"a", 3}));
   EXPECT_EQ(app.results()[1], (WordCountApp::Result{"b", 2}));
@@ -223,7 +223,7 @@ TEST(TeraSort, SortsOriginalRuntime) {
   SingleDeviceSource src(mem(input),
                          std::make_shared<ingest::CrlfFormat>(), 0);
   MapReduceJob job(app, src, small_config());
-  auto result = job.run();
+  auto result = job.run(core::ExecMode::kOriginal);
   ASSERT_TRUE(result.ok()) << result.status().to_string();
   EXPECT_EQ(result->result_count, cfg.num_records);
   EXPECT_EQ(app.malformed_records(), 0u);
@@ -240,8 +240,8 @@ TEST(TeraSort, ChunkedEqualsUnchunked) {
   SingleDeviceSource src_b(mem(input),
                            std::make_shared<ingest::CrlfFormat>(), 37700);
   MapReduceJob ja(a, src_a, small_config()), jb(b, src_b, small_config());
-  ASSERT_TRUE(ja.run().ok());
-  auto rb = jb.run_ingestMR();
+  ASSERT_TRUE(ja.run(core::ExecMode::kOriginal).ok());
+  auto rb = jb.run(core::ExecMode::kIngestMR);
   ASSERT_TRUE(rb.ok());
   EXPECT_GT(rb->chunks, 5u);
   EXPECT_EQ(a.sorted_data(), b.sorted_data());
@@ -257,7 +257,7 @@ TEST(TeraSort, PairwiseMergeModeSortsToo) {
   SingleDeviceSource src(mem(input),
                          std::make_shared<ingest::CrlfFormat>(), 0);
   MapReduceJob job(app, src, jc);
-  auto result = job.run();
+  auto result = job.run(core::ExecMode::kOriginal);
   ASSERT_TRUE(result.ok());
   EXPECT_GT(result->merge_stats.num_rounds(), 1u);  // iterative rounds
   expect_terasorted(app, input, cfg);
@@ -270,7 +270,7 @@ TEST(TeraSort, PwayMergeSingleRound) {
   SingleDeviceSource src(mem(input),
                          std::make_shared<ingest::CrlfFormat>(), 0);
   MapReduceJob job(app, src, small_config());  // default kPWay
-  auto result = job.run();
+  auto result = job.run(core::ExecMode::kOriginal);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->merge_stats.num_rounds(), 1u);
 }
@@ -281,7 +281,7 @@ TEST(TeraSort, RejectsTornChunk) {
   SingleDeviceSource src(mem(std::string(150, 'x')),
                          std::make_shared<ingest::FixedFormat>(1), 0);
   MapReduceJob job(app, src, small_config());
-  auto result = job.run();
+  auto result = job.run(core::ExecMode::kOriginal);
   EXPECT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
 }
@@ -295,7 +295,7 @@ TEST(TeraSort, CountsMalformedRecords) {
   SingleDeviceSource src(mem(input),
                          std::make_shared<ingest::FixedFormat>(100), 0);
   MapReduceJob job(app, src, small_config());
-  ASSERT_TRUE(job.run().ok());
+  ASSERT_TRUE(job.run(core::ExecMode::kOriginal).ok());
   EXPECT_EQ(app.malformed_records(), 1u);
 }
 
@@ -316,7 +316,7 @@ TEST(Grep, CountsPatternsAcrossLines) {
   GrepApp app({"cat", "the", "zebra"});
   SingleDeviceSource src(mem(text), std::make_shared<LineFormat>(), 0);
   MapReduceJob job(app, src, small_config());
-  ASSERT_TRUE(job.run().ok());
+  ASSERT_TRUE(job.run(core::ExecMode::kOriginal).ok());
   ASSERT_EQ(app.results().size(), 2u);  // zebra absent
   EXPECT_EQ(app.results()[0], (GrepApp::Result{"cat", 2}));
   EXPECT_EQ(app.results()[1], (GrepApp::Result{"the", 2}));
@@ -332,8 +332,8 @@ TEST(Grep, ChunkedEqualsUnchunked) {
   SingleDeviceSource src_a(mem(text), std::make_shared<LineFormat>(), 0);
   SingleDeviceSource src_b(mem(text), std::make_shared<LineFormat>(), 4096);
   MapReduceJob ja(a, src_a, small_config()), jb(b, src_b, small_config());
-  ASSERT_TRUE(ja.run().ok());
-  ASSERT_TRUE(jb.run_ingestMR().ok());
+  ASSERT_TRUE(ja.run(core::ExecMode::kOriginal).ok());
+  ASSERT_TRUE(jb.run(core::ExecMode::kIngestMR).ok());
   EXPECT_EQ(a.results(), b.results());
   EXPECT_EQ(a.lines_scanned(), b.lines_scanned());
 }
@@ -347,7 +347,7 @@ TEST(InvertedIndex, BuildsPostings) {
   InvertedIndexApp app;
   MultiFileSource src(files, 2);
   MapReduceJob job(app, src, small_config());
-  auto result = job.run_ingestMR();
+  auto result = job.run(core::ExecMode::kIngestMR);
   ASSERT_TRUE(result.ok()) << result.status().to_string();
   ASSERT_EQ(app.index().size(), 3u);
   EXPECT_EQ(app.index()[0].word, "apple");
@@ -363,7 +363,7 @@ TEST(InvertedIndex, RequiresFileSpans) {
   SingleDeviceSource src(mem("words here\n"),
                          std::make_shared<LineFormat>(), 0);
   MapReduceJob job(app, src, small_config());
-  auto result = job.run();
+  auto result = job.run(core::ExecMode::kOriginal);
   EXPECT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
 }
@@ -377,7 +377,7 @@ TEST(InvertedIndex, ChunkingInvariantToFilesPerChunk) {
     InvertedIndexApp app;
     MultiFileSource src(files, per_chunk);
     MapReduceJob job(app, src, small_config());
-    ASSERT_TRUE(job.run_ingestMR().ok());
+    ASSERT_TRUE(job.run(core::ExecMode::kIngestMR).ok());
     outputs.push_back(app.index());
   }
   for (std::size_t i = 1; i < outputs.size(); ++i) {
@@ -395,7 +395,7 @@ TEST(InvertedIndex, DuplicateWordsInOneFileDeduplicated) {
   InvertedIndexApp app;
   MultiFileSource src(files, 1);
   MapReduceJob job(app, src, small_config());
-  ASSERT_TRUE(job.run_ingestMR().ok());
+  ASSERT_TRUE(job.run(core::ExecMode::kIngestMR).ok());
   ASSERT_EQ(app.index().size(), 1u);
   EXPECT_EQ(app.index()[0].files, (std::vector<std::uint32_t>{0}));
 }

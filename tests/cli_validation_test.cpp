@@ -69,9 +69,14 @@ TEST(CliValidation, UnknownFlagNamesTheFlag) {
 }
 
 TEST(CliValidation, BadEnumValuesAreNamed) {
-  expect_rejected("wordcount whatever --mode=warp", "bad --mode: warp");
+  // The shared enum-name tables (common/enum_names.hpp) name the bad value
+  // AND list what would have been accepted.
+  expect_rejected("wordcount whatever --mode=warp",
+                  "unknown exec mode: warp (want original|supmr|adaptive)");
   expect_rejected("wordcount whatever --merge=psychic",
-                  "bad --merge: psychic");
+                  "unknown merge mode: psychic (want pairwise|pway|partitioned)");
+  expect_rejected("wordcount whatever --io=psychic",
+                  "unknown io mode: psychic (want read|mmap)");
 }
 
 TEST(CliValidation, RetryAttemptsMustBePositive) {

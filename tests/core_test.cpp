@@ -74,7 +74,7 @@ TEST(MapReduceJob, LifecycleOriginalRuntime) {
   SingleDeviceSource src(mem("aa\nbb\ncc\n"),
                          std::make_shared<LineFormat>(), 0);
   MapReduceJob job(app, src, cfg());
-  auto result = job.run();
+  auto result = job.run(ExecMode::kOriginal);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(app.inits_, 1);
   EXPECT_EQ(app.rounds_, 1);  // whole input = one round
@@ -95,7 +95,7 @@ TEST(MapReduceJob, LifecycleIngestMR) {
   SingleDeviceSource src(mem("aa\nbb\ncc\ndd\n"),
                          std::make_shared<LineFormat>(), 3);
   MapReduceJob job(app, src, cfg());
-  auto result = job.run_ingestMR();
+  auto result = job.run(ExecMode::kIngestMR);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(app.inits_, 1);  // persistent container: init once
   EXPECT_EQ(app.rounds_, 4);
@@ -115,7 +115,7 @@ TEST(MapReduceJob, PhaseTimesArePopulated) {
   SingleDeviceSource src(mem(wload::generate_text(tc)),
                          std::make_shared<LineFormat>(), 32 * 1024);
   MapReduceJob job(app, src, cfg());
-  auto result = job.run_ingestMR();
+  auto result = job.run(ExecMode::kIngestMR);
   ASSERT_TRUE(result.ok());
   EXPECT_GT(result->phases.total_s, 0.0);
   EXPECT_GT(result->phases.readmap_s, 0.0);
@@ -150,7 +150,7 @@ TEST(MapReduceJob, OversubscribedRoundRunsInWaves) {
   OverSubscribingApp app;
   SingleDeviceSource src(mem("x\n"), std::make_shared<LineFormat>(), 0);
   MapReduceJob job(app, src, cfg(/*mappers=*/2));
-  auto result = job.run();
+  auto result = job.run(ExecMode::kOriginal);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(app.map_tasks_.load(), 7);
   EXPECT_LT(app.max_thread_id_, 2u);  // never outside the mapper count
@@ -173,7 +173,7 @@ TEST(MapReduceJob, PrepareRoundErrorAborts) {
   SingleDeviceSource src(mem("aa\nbb\ncc\n"),
                          std::make_shared<LineFormat>(), 3);
   MapReduceJob job(app, src, cfg());
-  auto result = job.run_ingestMR();
+  auto result = job.run(ExecMode::kIngestMR);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kInternal);
   EXPECT_EQ(app.merges_, 0);  // never reached merge
@@ -181,19 +181,25 @@ TEST(MapReduceJob, PrepareRoundErrorAborts) {
 
 TEST(MapReduceJob, IngestIoErrorPropagates) {
   MemDevice base("aaaa\nbbbb\ncccc\n");
-  storage::FaultDevice fault(&base);
+  // Count planning reads on a clean probe stack; plans are deterministic in
+  // the bytes, so the faulted run below replans with the same read count and
+  // its first data read lands on call index `planning_calls`.
+  storage::FaultDevice probe(&base);
+  auto probe_dev = std::shared_ptr<const storage::Device>(
+      &probe, [](const storage::Device*) {});
+  SingleDeviceSource probe_src(probe_dev, std::make_shared<LineFormat>(), 5);
+  ASSERT_TRUE(probe_src.plan().ok());
+  const std::uint64_t planning_calls = probe.calls();
+
+  fault::FaultPlan fplan;
+  fplan.fail_calls.push_back(planning_calls);
+  storage::FaultDevice fault(&base, fplan);
   auto dev = std::shared_ptr<const storage::Device>(
       &fault, [](const storage::Device*) {});
   SingleDeviceSource src(dev, std::make_shared<LineFormat>(), 5);
-  auto plan_probe = src.plan();  // count planning reads
-  ASSERT_TRUE(plan_probe.ok());
-  const std::uint64_t planning_calls = fault.calls();
-  // Re-plan happens inside run_ingestMR; fail the first data read after the
-  // (re-)planning reads.
-  fault.fail_on_call(2 * planning_calls);
   WordCountApp app;
   MapReduceJob job(app, src, cfg());
-  auto result = job.run_ingestMR();
+  auto result = job.run(ExecMode::kIngestMR);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kIoError);
 }
@@ -209,8 +215,8 @@ TEST(MapReduceJob, UnpooledWavesProduceSameResult) {
   SingleDeviceSource src_b(mem(text), std::make_shared<LineFormat>(), 4096);
   MapReduceJob ja(pooled, src_a, cfg());
   MapReduceJob jb(unpooled, src_b, unpooled_cfg);
-  ASSERT_TRUE(ja.run_ingestMR().ok());
-  ASSERT_TRUE(jb.run_ingestMR().ok());
+  ASSERT_TRUE(ja.run(ExecMode::kIngestMR).ok());
+  ASSERT_TRUE(jb.run(ExecMode::kIngestMR).ok());
   EXPECT_EQ(pooled.results(), unpooled.results());
 }
 
@@ -225,7 +231,7 @@ TEST(MapReduceJob, ThrottledDeviceShowsIngestBoundPipeline) {
   WordCountApp app;
   SingleDeviceSource src(dev, std::make_shared<LineFormat>(), 32 * 1024);
   MapReduceJob job(app, src, cfg(2));
-  auto result = job.run_ingestMR();
+  auto result = job.run(ExecMode::kIngestMR);
   ASSERT_TRUE(result.ok());
   EXPECT_GT(result->phases.readmap_s, 0.05);
   EXPECT_GT(result->phases.read_s, result->phases.map_s);

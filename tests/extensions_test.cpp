@@ -149,11 +149,11 @@ TEST(HybridSource, WordCountOverHybridMatchesReference) {
 
   HybridFileSource hybrid_src(files, std::make_shared<LineFormat>(), 10000);
   core::MapReduceJob hybrid_job(hybrid_app, hybrid_src, jc);
-  ASSERT_TRUE(hybrid_job.run_ingestMR().ok());
+  ASSERT_TRUE(hybrid_job.run(core::ExecMode::kIngestMR).ok());
 
   ingest::MultiFileSource plain_src(files, 3);
   core::MapReduceJob plain_job(plain_app, plain_src, jc);
-  ASSERT_TRUE(plain_job.run_ingestMR().ok());
+  ASSERT_TRUE(plain_job.run(core::ExecMode::kIngestMR).ok());
 
   EXPECT_EQ(hybrid_app.results(), plain_app.results());
 }
@@ -291,7 +291,7 @@ TEST(MapReduceJob, AdaptiveRunMatchesFixedRun) {
   ingest::SingleDeviceSource src(mem(text), std::make_shared<LineFormat>(),
                                  16 * 1024);
   core::MapReduceJob fixed_job(fixed_app, src, jc);
-  ASSERT_TRUE(fixed_job.run_ingestMR().ok());
+  ASSERT_TRUE(fixed_job.run(core::ExecMode::kIngestMR).ok());
 
   apps::WordCountApp adaptive_app;
   MemDevice dev(text);
@@ -300,7 +300,8 @@ TEST(MapReduceJob, AdaptiveRunMatchesFixedRun) {
   // The job still needs a source for construction; it is unused by the
   // adaptive entry point.
   core::MapReduceJob adaptive_job(adaptive_app, src, jc);
-  auto r = adaptive_job.run_ingestMR_adaptive(dev, format, ctl);
+  adaptive_job.set_adaptive(dev, format, ctl);
+  auto r = adaptive_job.run(core::ExecMode::kAdaptive);
   ASSERT_TRUE(r.ok()) << r.status().to_string();
   EXPECT_TRUE(r->phases.has_combined_readmap);
   EXPECT_GE(r->chunks, 1u);
@@ -385,7 +386,7 @@ TEST(Histogram, CountsMatchReference) {
   jc.num_map_threads = 4;
   jc.num_reduce_threads = 2;
   core::MapReduceJob job(app, src, jc);
-  ASSERT_TRUE(job.run_ingestMR().ok());
+  ASSERT_TRUE(job.run(core::ExecMode::kIngestMR).ok());
 
   EXPECT_EQ(app.values_parsed(), 20000u);
   std::uint64_t total = 0;
@@ -410,7 +411,7 @@ TEST(Histogram, TriangularShape) {
   jc.num_map_threads = 2;
   jc.num_reduce_threads = 2;
   core::MapReduceJob job(app, src, jc);
-  ASSERT_TRUE(job.run().ok());
+  ASSERT_TRUE(job.run(core::ExecMode::kOriginal).ok());
   // Middle bins outnumber edge bins.
   EXPECT_GT(app.counts()[3], app.counts()[0] * 2);
   EXPECT_GT(app.counts()[4], app.counts()[7] * 2);
@@ -425,7 +426,7 @@ TEST(Histogram, OutOfRangeAndMalformedDropped) {
   jc.num_map_threads = 1;
   jc.num_reduce_threads = 1;
   core::MapReduceJob job(app, src, jc);
-  ASSERT_TRUE(job.run().ok());
+  ASSERT_TRUE(job.run(core::ExecMode::kOriginal).ok());
   EXPECT_EQ(app.values_parsed(), 2u);
   EXPECT_EQ(app.values_out_of_range(), 3u);
   EXPECT_EQ(app.counts()[5], 1u);
@@ -446,8 +447,8 @@ TEST(Histogram, ChunkedEqualsUnchunked) {
   ingest::SingleDeviceSource src_b(mem(data), std::make_shared<LineFormat>(),
                                    7001);
   core::MapReduceJob ja(a, src_a, jc), jb(b, src_b, jc);
-  ASSERT_TRUE(ja.run().ok());
-  ASSERT_TRUE(jb.run_ingestMR().ok());
+  ASSERT_TRUE(ja.run(core::ExecMode::kOriginal).ok());
+  ASSERT_TRUE(jb.run(core::ExecMode::kIngestMR).ok());
   EXPECT_EQ(a.counts(), b.counts());
 }
 

@@ -180,6 +180,19 @@ TEST(FaultPlan, RejectsBadSpecs) {
   EXPECT_FALSE(FaultPlan::parse("transient=1.5").ok());    // p > 1
   EXPECT_FALSE(FaultPlan::parse("permanent=20-10").ok());  // inverted range
   EXPECT_FALSE(FaultPlan::parse("slow=0.1").ok());         // missing delay
+  EXPECT_FALSE(FaultPlan::parse("fail_call=x").ok());      // not an index
+}
+
+TEST(FaultPlan, FailCallListParsesAndRoundTrips) {
+  auto plan = FaultPlan::parse("seed=3;fail_call=0,7,19");
+  ASSERT_TRUE(plan.ok()) << plan.status().to_string();
+  EXPECT_EQ(plan->fail_calls, (std::vector<std::uint64_t>{0, 7, 19}));
+  EXPECT_FALSE(plan->empty());
+  EXPECT_TRUE(plan->fails_call(7));
+  EXPECT_FALSE(plan->fails_call(8));
+  auto again = FaultPlan::parse(plan->to_string());
+  ASSERT_TRUE(again.ok()) << plan->to_string();
+  EXPECT_EQ(again->fail_calls, plan->fail_calls);
 }
 
 TEST(FaultPlan, PoisonsUsesHalfOpenOverlap) {
@@ -213,8 +226,8 @@ TEST(FaultDevice, CallFaultLandsOnSameCallWithRangesPresent) {
   MemDevice base(std::string(100, 'p'));
   FaultPlan plan;
   plan.permanent.emplace_back(90, 100);
+  plan.fail_calls.push_back(1);
   FaultDevice dev(&base, plan);
-  dev.fail_on_call(1);
   char buf[10];
   EXPECT_FALSE(dev.read_at(95, std::span<char>(buf, 5)).ok());  // range hit
   EXPECT_TRUE(dev.read_at(0, std::span<char>(buf, 10)).ok());   // call 0
@@ -278,8 +291,9 @@ TEST(FaultDevice, SlowReadsCompleteWithData) {
 
 TEST(RetryingDevice, AbsorbsTransientFault) {
   MemDevice base("abcdefgh");
-  FaultDevice fault(&base);
-  fault.fail_on_call(0);  // first read fails once, the retry succeeds
+  FaultPlan plan;
+  plan.fail_calls.push_back(0);  // first read fails once, the retry succeeds
+  FaultDevice fault(&base, plan);
   RetryingDevice dev(&fault, fast_policy(3));
   char buf[8];
   auto n = dev.read_at(0, std::span<char>(buf, 8));
@@ -350,13 +364,20 @@ std::shared_ptr<const storage::Device> borrow(const storage::Device* dev) {
 TEST(PipelineRecovery, TransientChunkReadRetriesAndSucceeds) {
   const std::string text(8 * 100, 'a');  // 8 fixed chunks of 100 bytes
   MemDevice base(text);
-  FaultDevice fault(&base);
+  // Count planning reads on a clean probe stack (plans are deterministic in
+  // the bytes), then build the real device with a fail_call plan targeting a
+  // mid-stream data read.
+  FaultDevice probe(&base);
+  ingest::SingleDeviceSource probe_src(
+      borrow(&probe), std::make_shared<ingest::FixedFormat>(100), 100);
+  auto plan = probe_src.plan();
+  ASSERT_TRUE(plan.ok());
+  const std::uint64_t planning_calls = probe.calls();
+  FaultPlan fplan;
+  fplan.fail_calls.push_back(planning_calls + 2);
+  FaultDevice fault(&base, fplan);
   ingest::SingleDeviceSource src(
       borrow(&fault), std::make_shared<ingest::FixedFormat>(100), 100);
-  auto plan = src.plan();
-  ASSERT_TRUE(plan.ok());
-  const std::uint64_t planning_calls = fault.calls();
-  fault.fail_on_call(planning_calls + 2);  // a mid-stream data read
 
   fault::Recovery recovery;
   recovery.policy = fast_policy(3);
@@ -483,7 +504,7 @@ TEST(UnifiedRun, LegacyWrappersStillRun) {
   config.num_map_threads = 2;
   config.num_reduce_threads = 2;
   core::MapReduceJob job(app, src, config);
-  auto result = job.run_ingestMR();  // deprecated wrapper
+  auto result = job.run(core::ExecMode::kIngestMR);  // deprecated wrapper
   ASSERT_TRUE(result.ok()) << result.status().to_string();
   EXPECT_GT(result->result_count, 0u);
 }
@@ -546,8 +567,9 @@ TEST(ExternalSorterRetry, SpillReadsRetryThroughFaultyDevice) {
       -> StatusOr<std::shared_ptr<const storage::Device>> {
     SUPMR_ASSIGN_OR_RETURN(auto file, storage::FileDevice::open(path));
     std::shared_ptr<const storage::Device> base = std::move(file);
-    auto fault = std::make_unique<storage::FaultDevice>(base, FaultPlan{});
-    fault->fail_on_call(0);  // first read of every run fails once
+    FaultPlan fp;
+    fp.fail_calls.push_back(0);  // first read of every run fails once
+    auto fault = std::make_unique<storage::FaultDevice>(base, fp);
     auto* raw = fault.get();
     fault_stack.push_back(std::move(fault));
     return std::shared_ptr<const storage::Device>(

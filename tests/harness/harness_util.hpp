@@ -126,4 +126,28 @@ inline core::ReplaySpec spec_index(std::uint64_t salt = 0) {
   return s;
 }
 
+// Chained graph apps (docs/graphs.md): the cell's mode/merge/io/thread axes
+// apply to EVERY stage, and graph_handoff/graph_budget steer the edge
+// handoff policy.
+inline core::ReplaySpec spec_pmi(std::uint64_t salt = 0) {
+  core::ReplaySpec s = spec_wordcount(salt);
+  s.app = "pmi";
+  s.corpus.bytes = 96 * 1024;
+  return s;
+}
+
+inline core::ReplaySpec spec_tfidf(std::uint64_t salt = 0) {
+  core::ReplaySpec s = spec_index(salt);
+  s.app = "tfidf";
+  return s;
+}
+
+inline core::ReplaySpec spec_msort(std::uint64_t salt = 0) {
+  core::ReplaySpec s = spec_sort(salt);
+  s.app = "msort";
+  s.corpus.bytes = 80 * 1024;  // 800 records of 100 bytes
+  s.chunk_bytes = 100 * 80;    // record-aligned chunks -> several rounds
+  return s;
+}
+
 }  // namespace supmr::harness

@@ -122,8 +122,9 @@ TEST(AdjustSplit, CrlfStraddlingScanWindows) {
 
 TEST(AdjustSplit, FixedFormatNeverReadsDevice) {
   MemDevice base(std::string(100, 'x'));
-  storage::FaultDevice dev(&base);
-  dev.fail_on_call(0);  // any read would fail
+  auto plan = fault::FaultPlan::parse("permanent=0-100");  // any read fails
+  ASSERT_TRUE(plan.ok());
+  storage::FaultDevice dev(&base, *plan);
   FixedFormat f(10);
   auto split = f.adjust_split(dev, 25);
   ASSERT_TRUE(split.ok());
@@ -340,15 +341,19 @@ TEST(IngestPipeline, IngestOverlapsProcessing) {
 }
 
 TEST(IngestPipeline, ProducerErrorSurfacesAfterDrain) {
-  MemDevice base(std::string(100, 'x') + "\n" + std::string(100, 'y') + "\n");
-  storage::FaultDevice dev(&base);
-  auto shared = std::shared_ptr<const storage::Device>(
-      &dev, [](const storage::Device*) {});
-  SingleDeviceSource src(shared, std::make_shared<LineFormat>(), 100);
-  auto plan = src.plan();
+  // Plan on the clean device (planning probes are fail-fast and would trip
+  // the poisoned range), then run the planned extents over a faulted stack
+  // whose second chunk's data read hits the range.
+  auto clean = std::make_shared<MemDevice>(
+      std::string(100, 'x') + "\n" + std::string(100, 'y') + "\n");
+  SingleDeviceSource planner(clean, std::make_shared<LineFormat>(), 100);
+  auto plan = planner.plan();
   ASSERT_TRUE(plan.ok());
-  // Planning consumed some reads; fail the second chunk's data read.
-  dev.fail_on_range(150, 160);
+  auto fault_plan = fault::FaultPlan::parse("permanent=150-160");
+  ASSERT_TRUE(fault_plan.ok());
+  auto faulted =
+      std::make_shared<storage::FaultDevice>(clean, *fault_plan);
+  SingleDeviceSource src(faulted, std::make_shared<LineFormat>(), 100);
   IngestPipeline pipeline(src);
   int processed = 0;
   auto stats = pipeline.run_planned(*plan, [&](IngestChunk&) {

@@ -66,7 +66,7 @@ TEST(Integration, TeraSortOverThrottledRaid0) {
   apps::TeraSortApp app;
   SingleDeviceSource src(raid, std::make_shared<CrlfFormat>(), 500000);
   core::MapReduceJob job(app, src, small_config());
-  auto result = job.run_ingestMR();
+  auto result = job.run(core::ExecMode::kIngestMR);
   ASSERT_TRUE(result.ok()) << result.status().to_string();
   EXPECT_EQ(result->result_count, cfg.num_records);
   EXPECT_EQ(app.malformed_records(), 0u);
@@ -100,12 +100,12 @@ TEST(Integration, WordCountFromHdfsSimMatchesLocal) {
   SingleDeviceSource remote_src(remote_dev, std::make_shared<LineFormat>(),
                                 16 * 1024);
   core::MapReduceJob remote_job(remote_app, remote_src, small_config());
-  ASSERT_TRUE(remote_job.run_ingestMR().ok());
+  ASSERT_TRUE(remote_job.run(core::ExecMode::kIngestMR).ok());
 
   SingleDeviceSource local_src(std::make_shared<MemDevice>(corpus, "l"),
                                std::make_shared<LineFormat>(), 16 * 1024);
   core::MapReduceJob local_job(local_app, local_src, small_config());
-  ASSERT_TRUE(local_job.run_ingestMR().ok());
+  ASSERT_TRUE(local_job.run(core::ExecMode::kIngestMR).ok());
 
   EXPECT_EQ(remote_app.results(), local_app.results());
 }
@@ -133,7 +133,7 @@ TEST(Integration, HybridChunksFromHdfsFiles) {
                                12 * 1024);
   apps::WordCountApp app;
   core::MapReduceJob job(app, src, small_config());
-  auto result = job.run_ingestMR();
+  auto result = job.run(core::ExecMode::kIngestMR);
   ASSERT_TRUE(result.ok()) << result.status().to_string();
   EXPECT_GT(result->chunks, 1u);
   EXPECT_GT(app.results().size(), 100u);
@@ -145,15 +145,16 @@ TEST(Integration, FaultMidJobSurfacesCleanly) {
   wload::TextCorpusConfig tc;
   tc.total_bytes = 64 * 1024;
   MemDevice base(wload::generate_text(tc));
-  storage::FaultDevice fault(&base);
-  fault.fail_on_range(40 * 1024, 41 * 1024);
+  auto plan = fault::FaultPlan::parse("permanent=40960-41984");
+  ASSERT_TRUE(plan.ok());
+  storage::FaultDevice fault(&base, *plan);
   auto dev = std::shared_ptr<const storage::Device>(
       &fault, [](const storage::Device*) {});
 
   apps::WordCountApp app;
   SingleDeviceSource src(dev, std::make_shared<LineFormat>(), 8 * 1024);
   core::MapReduceJob job(app, src, small_config());
-  auto result = job.run_ingestMR();
+  auto result = job.run(core::ExecMode::kIngestMR);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kIoError);
 }
@@ -172,13 +173,14 @@ TEST(Integration, AllModesAgreeOnGrep) {
                            mode == 0 ? 0 : 6000);
     core::MapReduceJob job(app, src, small_config());
     if (mode == 0) {
-      EXPECT_TRUE(job.run().ok());
+      EXPECT_TRUE(job.run(core::ExecMode::kOriginal).ok());
     } else if (mode == 1) {
-      EXPECT_TRUE(job.run_ingestMR().ok());
+      EXPECT_TRUE(job.run(core::ExecMode::kIngestMR).ok());
     } else {
       LineFormat format;
       ingest::RateMatchingController ctl;
-      EXPECT_TRUE(job.run_ingestMR_adaptive(*dev, format, ctl).ok());
+      job.set_adaptive(*dev, format, ctl);
+      EXPECT_TRUE(job.run(core::ExecMode::kAdaptive).ok());
     }
     return app.results();
   };
@@ -197,7 +199,7 @@ TEST(Integration, PipelineStatsConservation) {
   SingleDeviceSource src(std::make_shared<MemDevice>(text, "c"),
                          std::make_shared<LineFormat>(), 9000);
   core::MapReduceJob job(app, src, small_config());
-  auto result = job.run_ingestMR();
+  auto result = job.run(core::ExecMode::kIngestMR);
   ASSERT_TRUE(result.ok());
   const auto& p = result->pipeline;
   EXPECT_EQ(p.total_bytes, text.size());
@@ -228,7 +230,7 @@ TEST(Integration, BackToBackJobsOnOneSource) {
   for (int run = 0; run < 2; ++run) {
     apps::TeraSortApp app;
     core::MapReduceJob job(app, src, small_config());
-    auto result = job.run_ingestMR();
+    auto result = job.run(core::ExecMode::kIngestMR);
     ASSERT_TRUE(result.ok());
     if (run == 0) {
       checksum = app.key_checksum();

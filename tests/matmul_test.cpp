@@ -63,7 +63,7 @@ TEST(MatrixMultiply, MatchesNaiveReference) {
   ingest::SingleDeviceSource src(
       dev, std::make_shared<ingest::FixedFormat>(n * sizeof(double)), 0);
   core::MapReduceJob job(app, src, small_config());
-  ASSERT_TRUE(job.run().ok());
+  ASSERT_TRUE(job.run(core::ExecMode::kOriginal).ok());
   expect_matches_reference(app, ref, n);
 }
 
@@ -81,7 +81,7 @@ TEST(MatrixMultiply, ChunkedEqualsUnchunked) {
       std::make_shared<ingest::FixedFormat>(n * sizeof(double)),
       5 * n * sizeof(double));
   core::MapReduceJob job(app, src, small_config());
-  auto result = job.run_ingestMR();
+  auto result = job.run(core::ExecMode::kIngestMR);
   ASSERT_TRUE(result.ok());
   EXPECT_GT(result->chunks, 4u);
   expect_matches_reference(app, ref, n);
@@ -98,7 +98,7 @@ TEST(MatrixMultiply, IdentityPreservesB) {
           MatrixMultiplyApp::columns_to_records(b, n), "B"),
       std::make_shared<ingest::FixedFormat>(n * sizeof(double)), 0);
   core::MapReduceJob job(app, src, small_config());
-  ASSERT_TRUE(job.run().ok());
+  ASSERT_TRUE(job.run(core::ExecMode::kOriginal).ok());
   expect_matches_reference(app, b, n);
 }
 
@@ -113,7 +113,7 @@ TEST(MatrixMultiply, FrobeniusNormComputed) {
           MatrixMultiplyApp::columns_to_records(ones, n), "B"),
       std::make_shared<ingest::FixedFormat>(n * sizeof(double)), 0);
   core::MapReduceJob job(app, src, small_config());
-  ASSERT_TRUE(job.run().ok());
+  ASSERT_TRUE(job.run(core::ExecMode::kOriginal).ok());
   // C = 2*ones: frobenius = sqrt(n*n*4).
   EXPECT_NEAR(app.frobenius_norm(), std::sqrt(double(n * n) * 4.0), 1e-9);
 }
@@ -127,7 +127,7 @@ TEST(MatrixMultiply, RejectsTornColumns) {
                                            "bad"),
       std::make_shared<ingest::FixedFormat>(1), 0);
   core::MapReduceJob job(app, src, small_config());
-  EXPECT_FALSE(job.run().ok());
+  EXPECT_FALSE(job.run(core::ExecMode::kOriginal).ok());
 }
 
 }  // namespace

@@ -96,14 +96,14 @@ TEST_P(PipelineFuzz, RandomConfigurationsProduceCorrectCounts) {
                                  std::make_shared<ingest::LineFormat>(),
                                  chunk);
     core::MapReduceJob job(app, src, jc);
-    auto result = job.run_ingestMR();
+    auto result = job.run(core::ExecMode::kIngestMR);
     ASSERT_TRUE(result.ok()) << result.status().to_string();
   } else {
     ingest::SingleDeviceSource src(std::make_shared<MemDevice>(text, "m"),
                                    std::make_shared<ingest::LineFormat>(),
                                    chunk);
     core::MapReduceJob job(app, src, jc);
-    auto result = rng.uniform(2) ? job.run_ingestMR() : job.run();
+    auto result = rng.uniform(2) ? job.run(core::ExecMode::kIngestMR) : job.run(core::ExecMode::kOriginal);
     ASSERT_TRUE(result.ok()) << result.status().to_string();
   }
   expect_matches(app, ref);
@@ -119,10 +119,11 @@ TEST_P(FaultFuzz, RandomFaultsFailCleanlyOrSucceed) {
   const auto ref = reference_counts(text);
 
   MemDevice base(text);
-  storage::FaultDevice fault(&base);
   // Fault a random call index; planning performs a data-dependent number of
   // probe reads, so this lands anywhere in plan or ingest.
-  fault.fail_on_call(rng.uniform(40));
+  fault::FaultPlan fplan;
+  fplan.fail_calls.push_back(rng.uniform(40));
+  storage::FaultDevice fault(&base, fplan);
   auto dev = std::shared_ptr<const storage::Device>(
       &fault, [](const storage::Device*) {});
 
@@ -133,7 +134,7 @@ TEST_P(FaultFuzz, RandomFaultsFailCleanlyOrSucceed) {
   jc.num_map_threads = 2;
   jc.num_reduce_threads = 2;
   core::MapReduceJob job(app, src, jc);
-  auto result = job.run_ingestMR();
+  auto result = job.run(core::ExecMode::kIngestMR);
   if (result.ok()) {
     // The fault landed past the job's reads — results must still be right.
     expect_matches(app, ref);

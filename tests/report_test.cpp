@@ -90,7 +90,7 @@ TEST(Report, JobResultJsonShape) {
   jc.num_map_threads = 2;
   jc.num_reduce_threads = 1;
   core::MapReduceJob job(app, src, jc);
-  auto result = job.run_ingestMR();
+  auto result = job.run(core::ExecMode::kIngestMR);
   ASSERT_TRUE(result.ok());
   const std::string json = core::job_result_to_json(*result);
   EXPECT_EQ(test::validate_json(json), "");
@@ -150,7 +150,7 @@ TEST(Report, UnchunkedRunPhasesAreSelfConsistent) {
   jc.num_map_threads = 2;
   jc.num_reduce_threads = 1;
   core::MapReduceJob job(app, src, jc);
-  auto result = job.run();
+  auto result = job.run(core::ExecMode::kOriginal);
   ASSERT_TRUE(result.ok());
   EXPECT_GT(result->chunks, 1u);
   EXPECT_EQ(result->phases.num_chunks, result->chunks);
@@ -172,7 +172,7 @@ TEST(Report, ChunkedRunPhasesFlagChunked) {
   jc.num_map_threads = 2;
   jc.num_reduce_threads = 1;
   core::MapReduceJob job(app, src, jc);
-  auto result = job.run_ingestMR();
+  auto result = job.run(core::ExecMode::kIngestMR);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->phases.num_chunks, result->chunks);
   EXPECT_TRUE(result->phases.chunked);
@@ -190,7 +190,7 @@ TEST(Report, JobResultJsonCarriesMetricsObject) {
   jc.num_map_threads = 1;
   jc.num_reduce_threads = 1;
   core::MapReduceJob job(app, src, jc);
-  auto result = job.run();
+  auto result = job.run(core::ExecMode::kOriginal);
   ASSERT_TRUE(result.ok());
   const std::string json = core::job_result_to_json(*result);
   EXPECT_EQ(test::validate_json(json), "");

@@ -135,7 +135,7 @@ TEST(ExternalWordCount, MatchesInMemoryAppAtAnyBudget) {
       std::make_shared<storage::MemDevice>(text, "m"),
       std::make_shared<ingest::LineFormat>(), 8192);
   core::MapReduceJob ref_job(reference, ref_src, jc);
-  ASSERT_TRUE(ref_job.run_ingestMR().ok());
+  ASSERT_TRUE(ref_job.run(core::ExecMode::kIngestMR).ok());
 
   for (std::uint64_t budget : {std::uint64_t(16 * 1024), std::uint64_t(1 << 24)}) {
     apps::ExternalWordCountApp app(opts(budget));
@@ -143,7 +143,7 @@ TEST(ExternalWordCount, MatchesInMemoryAppAtAnyBudget) {
         std::make_shared<storage::MemDevice>(text, "m"),
         std::make_shared<ingest::LineFormat>(), 8192);
     core::MapReduceJob job(app, src, jc);
-    auto result = job.run_ingestMR();
+    auto result = job.run(core::ExecMode::kIngestMR);
     ASSERT_TRUE(result.ok()) << result.status().to_string();
     EXPECT_EQ(app.results(), reference.results()) << "budget=" << budget;
     if (budget == 16 * 1024) {
@@ -162,7 +162,7 @@ TEST(ExternalWordCount, OriginalRuntimeModeWorksToo) {
   jc.num_map_threads = 2;
   jc.num_reduce_threads = 1;
   core::MapReduceJob job(app, src, jc);
-  ASSERT_TRUE(job.run().ok());
+  ASSERT_TRUE(job.run(core::ExecMode::kOriginal).ok());
   ASSERT_EQ(app.results().size(), 3u);
   EXPECT_EQ(app.results()[0],
             (apps::ExternalWordCountApp::Result{"a", 3}));

@@ -310,8 +310,9 @@ TEST(HdfsSim, ListsFiles) {
 
 TEST(FaultDevice, FailsOnNthCall) {
   MemDevice base("abcdef");
-  FaultDevice dev(&base);
-  dev.fail_on_call(1);
+  auto plan = fault::FaultPlan::parse("fail_call=1");
+  ASSERT_TRUE(plan.ok());
+  FaultDevice dev(&base, *plan);
   char buf[2];
   EXPECT_TRUE(dev.read_at(0, std::span<char>(buf, 2)).ok());
   EXPECT_FALSE(dev.read_at(2, std::span<char>(buf, 2)).ok());
@@ -321,8 +322,9 @@ TEST(FaultDevice, FailsOnNthCall) {
 
 TEST(FaultDevice, FailsOnPoisonedRange) {
   MemDevice base(std::string(100, 'p'));
-  FaultDevice dev(&base);
-  dev.fail_on_range(50, 60);
+  auto plan = fault::FaultPlan::parse("permanent=50-60");
+  ASSERT_TRUE(plan.ok());
+  FaultDevice dev(&base, *plan);
   char buf[10];
   EXPECT_TRUE(dev.read_at(0, std::span<char>(buf, 10)).ok());
   EXPECT_FALSE(dev.read_at(55, std::span<char>(buf, 10)).ok());

@@ -94,15 +94,19 @@ TEST_P(FaultStress, PermanentFaultSurfacesCleanStatus) {
   test::SchedFuzz::Stream sched(fuzz, 0);
   const std::string text = make_text(400);
   MemDevice base(text);
-  storage::FaultDevice fault(&base);
-  ingest::SingleDeviceSource src(
-      borrow(&fault), std::make_shared<ingest::LineFormat>(), 256);
-  auto extents = src.plan();
+  // Plan on the clean device (planning probes would trip a poisoned range),
+  // then run the planned extents through a device poisoning a random chunk.
+  ingest::SingleDeviceSource planner(
+      borrow(&base), std::make_shared<ingest::LineFormat>(), 256);
+  auto extents = planner.plan();
   ASSERT_TRUE(extents.ok());
   ASSERT_GT(extents->size(), 4u);
-  // Poison a random chunk's extent.
   const auto& victim = (*extents)[sched.rand() % extents->size()];
-  fault.fail_on_range(victim.offset, victim.offset + victim.length);
+  fault::FaultPlan fplan;
+  fplan.permanent.emplace_back(victim.offset, victim.offset + victim.length);
+  storage::FaultDevice fault(&base, fplan);
+  ingest::SingleDeviceSource src(
+      borrow(&fault), std::make_shared<ingest::LineFormat>(), 256);
 
   ingest::IngestPipeline pipeline(src, fast_recovery(3));
   auto stats = pipeline.run_planned(*extents, [&](IngestChunk&) {
@@ -121,17 +125,22 @@ TEST_P(FaultStress, DegradeModeAccountsForEveryChunk) {
   test::SchedFuzz::Stream sched(fuzz, 0);
   const std::string text = make_text(400);
   MemDevice base(text);
-  storage::FaultDevice fault(&base);
-  ingest::SingleDeviceSource src(
-      borrow(&fault), std::make_shared<ingest::LineFormat>(), 256);
-  auto extents = src.plan();
+  // Plan clean, then poison 1-3 random extents (possibly duplicates —
+  // overlap is fine) in the plan of the device the pipeline reads from.
+  ingest::SingleDeviceSource planner(
+      borrow(&base), std::make_shared<ingest::LineFormat>(), 256);
+  auto extents = planner.plan();
   ASSERT_TRUE(extents.ok());
-  // Poison 1-3 random extents (possibly duplicates — overlap is fine).
+  fault::FaultPlan fplan;
   const int poisoned = 1 + int(sched.rand() % 3);
   for (int i = 0; i < poisoned; ++i) {
     const auto& victim = (*extents)[sched.rand() % extents->size()];
-    fault.fail_on_range(victim.offset, victim.offset + victim.length);
+    fplan.permanent.emplace_back(victim.offset,
+                                 victim.offset + victim.length);
   }
+  storage::FaultDevice fault(&base, fplan);
+  ingest::SingleDeviceSource src(
+      borrow(&fault), std::make_shared<ingest::LineFormat>(), 256);
 
   ingest::IngestPipeline pipeline(src, fast_recovery(2, /*degrade=*/true));
   std::uint64_t bytes = 0;

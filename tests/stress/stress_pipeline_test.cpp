@@ -106,8 +106,9 @@ TEST_P(PipelineStress, ProducerIoErrorSurfacesAfterDrain) {
   test::SchedFuzz fuzz(GetParam());
   test::SchedFuzz::Stream sched(fuzz, 0);
   MemDevice base(make_text(400));
-  storage::FaultDevice fault(&base);
-  fault.fail_on_call(sched.rand() % 12);
+  fault::FaultPlan fplan;
+  fplan.fail_calls.push_back(sched.rand() % 12);
+  storage::FaultDevice fault(&base, fplan);
   auto dev = std::shared_ptr<const storage::Device>(
       &fault, [](const storage::Device*) {});
   auto src = make_source(dev);

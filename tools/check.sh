@@ -28,6 +28,11 @@
 #               conformance harness with racing tenants, the seeded
 #               JobManager stress, and the `supmr serve` CLI smoke)
 #               under ThreadSanitizer
+#   graph-smoke — the chained-app JobGraph suites (ctest -L graph: DAG
+#               validation + handoff unit tests and the pmi/tfidf/msort
+#               differential lattice) under ThreadSanitizer, then the
+#               checked-in graph spec through the instrumented
+#               `supmr graph` CLI — must report "conformance: PASS"
 #
 # Usage:
 #   tools/check.sh            # all stages
@@ -45,7 +50,7 @@ SUPP="${ROOT}/tools/sanitizers"
 STAGES=("$@")
 [ ${#STAGES[@]} -eq 0 ] &&
   STAGES=(plain tsan asan obs-smoke fault-smoke coverage harness harness-asan
-    jobmix-smoke)
+    jobmix-smoke graph-smoke)
 
 # Branch-point line-coverage floors for the merge-critical layers (the
 # coverage stage fails if a change lets these regress).
@@ -237,8 +242,27 @@ run_stage() {
         TSAN_OPTIONS="suppressions=${SUPP}/tsan.supp halt_on_error=1 second_deadlock_stack=1" \
         ctest -L jobmix --output-on-failure -j "${JOBS}")
       ;;
+    graph-smoke)
+      # Chained-app graphs under TSan: stage handoff (in-memory edges, file
+      # spill) plus every graph lattice cell must be race-free and
+      # byte-identical to ref::run_graph. Reuses the tsan build tree;
+      # `graph` selects the JobGraph unit suite and the graph differential
+      # lattice, then the checked-in spec runs through the instrumented CLI.
+      configure_and_build "${ROOT}/build-check-tsan" \
+        -DSUPMR_SANITIZE=thread -DSUPMR_BUILD_BENCH=OFF \
+        -DSUPMR_BUILD_EXAMPLES=OFF
+      (cd "${ROOT}/build-check-tsan" &&
+        TSAN_OPTIONS="suppressions=${SUPP}/tsan.supp halt_on_error=1 second_deadlock_stack=1" \
+        ctest -L graph --output-on-failure -j "${JOBS}")
+      TSAN_OPTIONS="suppressions=${SUPP}/tsan.supp halt_on_error=1 second_deadlock_stack=1" \
+        "${ROOT}/build-check-tsan/tools/supmr" graph \
+        "--spec=${ROOT}/tests/harness/replay_graph_smoke.json" |
+        grep -q 'conformance: PASS' ||
+        { echo "graph-smoke: checked-in graph spec is not conformant" >&2
+          return 1; }
+      ;;
     *)
-      echo "unknown stage '${stage}' (want plain, tsan, asan, obs-smoke, fault-smoke, coverage, harness, harness-asan, or jobmix-smoke)" >&2
+      echo "unknown stage '${stage}' (want plain, tsan, asan, obs-smoke, fault-smoke, coverage, harness, harness-asan, jobmix-smoke, or graph-smoke)" >&2
       return 2
       ;;
   esac

@@ -19,6 +19,14 @@
 //                                 is oracle-checked against the sequential
 //                                 reference; exits non-zero on any failure
 //                                 or divergence
+//   supmr graph --spec=<spec.json>  run a chained-app JobGraph cell (app
+//                                 pmi | tfidf | msort; docs/graphs.md):
+//                                 stages hand output across edges in memory
+//                                 (or spill per "graph":{...}), and the
+//                                 final output is byte-checked against
+//                                 ref::run_graph. `supmr replay` accepts
+//                                 the same specs; this spelling prints the
+//                                 stage/handoff breakdown
 //
 // Common flags:
 //   --mode=supmr|original|adaptive   runtime (default supmr)
@@ -97,13 +105,13 @@ const std::set<std::string> kCommonFlags = {
     "verbose", "json",    "budget",  "clusters",   "dim",
     "iters",  "metrics-json", "trace-out",
     "retry-attempts", "retry-backoff", "retry-backoff-max",
-    "retry-deadline", "retry-seed", "fault-plan", "degrade", "jobs"};
+    "retry-deadline", "retry-seed", "fault-plan", "degrade", "jobs", "spec"};
 
 void usage() {
   std::fprintf(stderr,
                "usage: supmr <command> [args] [flags]\n"
                "commands: wordcount sort grep histogram index kmeans generate"
-               " replay serve\n"
+               " replay serve graph\n"
                "see tools/supmr_cli.cpp header for the full flag list\n");
 }
 
@@ -131,34 +139,15 @@ StatusOr<double> get_duration(const Flags& flags, const std::string& name,
 
 StatusOr<CommonConfig> common_config(const Flags& flags) {
   CommonConfig cfg;
+  // Enum flags parse through the shared name tables (common/enum_names.hpp)
+  // — the same vocabulary the replay/serve/graph spec parsers accept.
   cfg.mode = flags.get_or("mode", "supmr");
-  if (cfg.mode == "supmr") {
-    cfg.job.mode = core::ExecMode::kIngestMR;
-  } else if (cfg.mode == "original") {
-    cfg.job.mode = core::ExecMode::kOriginal;
-  } else if (cfg.mode == "adaptive") {
-    cfg.job.mode = core::ExecMode::kAdaptive;
-  } else {
-    return Status::InvalidArgument("bad --mode: " + cfg.mode);
-  }
+  SUPMR_ASSIGN_OR_RETURN(cfg.job.mode, core::exec_mode_from_name(cfg.mode));
   const std::string merge = flags.get_or("merge", "pway");
-  if (merge == "pway") {
-    cfg.job.merge_mode = core::MergeMode::kPWay;
-  } else if (merge == "pairwise") {
-    cfg.job.merge_mode = core::MergeMode::kPairwise;
-  } else if (merge == "partitioned") {
-    cfg.job.merge_mode = core::MergeMode::kPartitioned;
-  } else {
-    return Status::InvalidArgument("bad --merge: " + merge);
-  }
+  SUPMR_ASSIGN_OR_RETURN(cfg.job.merge_mode,
+                         core::merge_mode_from_name(merge));
   const std::string io = flags.get_or("io", "read");
-  if (io == "read") {
-    cfg.job.io = core::IoMode::kRead;
-  } else if (io == "mmap") {
-    cfg.job.io = core::IoMode::kMmap;
-  } else {
-    return Status::InvalidArgument("bad --io: " + io);
-  }
+  SUPMR_ASSIGN_OR_RETURN(cfg.job.io, core::io_mode_from_name(io));
   SUPMR_ASSIGN_OR_RETURN(std::uint64_t partitions,
                          flags.get_int("partitions", 0));
   cfg.job.num_merge_partitions = partitions;
@@ -608,6 +597,63 @@ Status cmd_replay(const std::string& path) {
   return Status::Internal("replayed cell diverges from the reference");
 }
 
+// Runs a chained-app (JobGraph) conformance cell from a spec file
+// (docs/graphs.md): executes the spec's multi-stage graph with the spec's
+// handoff policy, byte-checks the sink against the sequential graph oracle,
+// and prints the per-stage and handoff accounting. Non-zero exit iff the
+// graph diverges or fails.
+Status cmd_graph(const Flags& flags) {
+  std::string path = flags.get_or("spec", "");
+  if (path.empty() && !flags.positional().empty()) {
+    path = flags.positional()[0];
+  }
+  if (path.empty()) {
+    return Status::InvalidArgument("graph needs --spec=<spec.json>");
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+
+  SUPMR_ASSIGN_OR_RETURN(core::ReplaySpec spec,
+                         core::ReplaySpec::from_json(text));
+  if (!spec.is_graph()) {
+    return Status::InvalidArgument(
+        "graph needs a chained app (pmi | tfidf | msort), got: " + spec.app);
+  }
+  std::printf("graph: app=%s corpus=%s/%llu seed=%llu mode=%s merge=%s "
+              "io=%s threads=%llu chunk=%llu handoff=%s budget=%llu\n",
+              spec.app.c_str(), spec.corpus.kind.c_str(),
+              (unsigned long long)spec.corpus.bytes,
+              (unsigned long long)spec.corpus.seed,
+              std::string(core::exec_mode_name(spec.mode)).c_str(),
+              std::string(core::merge_mode_name(spec.merge_mode)).c_str(),
+              std::string(core::io_mode_name(spec.io)).c_str(),
+              (unsigned long long)spec.threads,
+              (unsigned long long)spec.chunk_bytes,
+              std::string(core::graph_handoff_name(spec.graph_handoff))
+                  .c_str(),
+              (unsigned long long)spec.graph_budget);
+  SUPMR_ASSIGN_OR_RETURN(ref::ConformanceOutcome outcome,
+                         ref::run_cell(spec));
+  std::printf("graph: %llu stages, handoff %llu bytes in memory, "
+              "spilled %llu bytes across %llu file(s)\n",
+              (unsigned long long)outcome.graph_stages,
+              (unsigned long long)outcome.graph_handoff_bytes,
+              (unsigned long long)outcome.graph_spill_bytes,
+              (unsigned long long)outcome.graph_spill_files);
+  if (outcome.match) {
+    std::printf("conformance: PASS (%llu output bytes)\n",
+                (unsigned long long)outcome.sut_canonical.size());
+    return Status::Ok();
+  }
+  std::printf("conformance: FAIL\n%s\n", outcome.diff.c_str());
+  return Status::Internal("graph cell diverges from the reference");
+}
+
 // Multi-tenant mode (docs/runtime.md): one JobManager, many concurrent
 // jobs. Every entry in the --jobs spec is a conformance cell: a client
 // thread submits it through the manager (honoring priority / lease
@@ -761,6 +807,7 @@ int run_main(int argc, char** argv) {
     }
   }
   else if (command == "serve") st = cmd_serve(flags);
+  else if (command == "graph") st = cmd_graph(flags);
   else usage();
 
   if (!st.ok()) {
