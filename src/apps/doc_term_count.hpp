@@ -16,7 +16,7 @@
 #include <vector>
 
 #include "containers/combiners.hpp"
-#include "containers/hash_container.hpp"
+#include "containers/combining.hpp"
 #include "core/application.hpp"
 
 namespace supmr::apps {
@@ -35,6 +35,17 @@ class DocTermCountApp final : public core::Application {
   std::uint64_t result_count() const override { return results_.size(); }
   std::string canonical_output() const override;
 
+  core::CombinerKind combiner_kind() const override {
+    return core::CombinerKind::kSum;
+  }
+  Status use_container(core::ContainerMode mode) override {
+    container_.select(mode);
+    return Status::Ok();
+  }
+  core::CombineStats combine_stats() const override {
+    return container_.stats();
+  }
+
   // ("<file_id>\t<word>", count) sorted by the composite key.
   const std::vector<Result>& results() const { return results_; }
 
@@ -45,7 +56,7 @@ class DocTermCountApp final : public core::Application {
   };
 
   std::size_t num_mappers_ = 0;
-  containers::HashContainer<containers::SumCombiner<std::uint64_t>>
+  containers::SwitchedContainer<containers::SumCombiner<std::uint64_t>>
       container_;
   std::vector<std::vector<FileTask>> tasks_;
   std::vector<std::vector<Result>> partitions_;

@@ -24,6 +24,22 @@ std::vector<std::span<const char>> split_lines(std::span<const char> text,
   return splits;
 }
 
+// Fixed-width big-endian bin keys: unique per bin, lossless to decode, and
+// ordered the same way as the bin indices.
+void encode_bin_key(std::uint64_t bin, char out[8]) {
+  for (int i = 7; i >= 0; --i) {
+    out[i] = static_cast<char>(bin & 0xff);
+    bin >>= 8;
+  }
+}
+
+std::uint64_t decode_bin_key(std::string_view key) {
+  assert(key.size() == 8);
+  std::uint64_t bin = 0;
+  for (unsigned char c : key) bin = (bin << 8) | c;
+  return bin;
+}
+
 }  // namespace
 
 std::size_t HistogramApp::bin_of(std::int64_t value) const {
@@ -38,10 +54,25 @@ std::size_t HistogramApp::bin_of(std::int64_t value) const {
   return static_cast<std::size_t>(offset * options_.bins / range);
 }
 
+Status HistogramApp::use_container(core::ContainerMode mode) {
+  if (container_.initialized() || combining_.initialized())
+    return Status::FailedPrecondition(
+        "use_container: histogram container already initialized");
+  container_mode_ = mode;
+  return Status::Ok();
+}
+
+core::CombineStats HistogramApp::combine_stats() const {
+  return combining() ? combining_.stats() : core::CombineStats{};
+}
+
 void HistogramApp::init(std::size_t num_map_threads) {
   assert(options_.hi > options_.lo && options_.bins > 0);
   num_mappers_ = num_map_threads;
-  container_.init(num_map_threads, options_.bins);
+  if (combining())
+    combining_.init(num_map_threads, options_.bins);
+  else
+    container_.init(num_map_threads, options_.bins);
   parsed_per_thread_.assign(num_map_threads, 0);
   dropped_per_thread_.assign(num_map_threads, 0);
   counts_.clear();
@@ -69,7 +100,14 @@ void HistogramApp::map_task(std::size_t task, std::size_t thread_id) {
         std::from_chars(split.data() + begin, split.data() + end, value);
     if (ec == std::errc{} && ptr == split.data() + end) {
       if (value >= options_.lo && value < options_.hi) {
-        container_.emit(thread_id, bin_of(value), std::uint64_t{1});
+        if (combining()) {
+          char key[8];
+          encode_bin_key(bin_of(value), key);
+          combining_.emit(thread_id, std::string_view(key, sizeof(key)),
+                          std::uint64_t{1});
+        } else {
+          container_.emit(thread_id, bin_of(value), std::uint64_t{1});
+        }
         ++parsed;
       } else {
         ++dropped;
@@ -85,16 +123,29 @@ void HistogramApp::map_task(std::size_t task, std::size_t thread_id) {
 
 Status HistogramApp::reduce(ThreadPool& pool, std::size_t num_partitions) {
   counts_.assign(options_.bins, 0);
-  const std::size_t per =
-      (options_.bins + num_partitions - 1) / num_partitions;
   std::vector<std::function<void(std::size_t)>> tasks;
-  for (std::size_t p = 0; p < num_partitions; ++p) {
-    const std::size_t first = p * per;
-    if (first >= options_.bins) break;
-    const std::size_t last = std::min(first + per, options_.bins);
-    tasks.push_back([this, first, last](std::size_t) {
-      container_.reduce_range(first, last, counts_.data() + first);
-    });
+  if (combining()) {
+    // Hash partitions instead of bin ranges: each bin key lives in exactly
+    // one partition, so the tasks write disjoint counts_ entries.
+    for (std::size_t p = 0; p < num_partitions; ++p) {
+      tasks.push_back([this, p, num_partitions](std::size_t) {
+        for (const auto& [key, count] :
+             combining_.reduce_partition(p, num_partitions)) {
+          counts_[decode_bin_key(key)] += count;
+        }
+      });
+    }
+  } else {
+    const std::size_t per =
+        (options_.bins + num_partitions - 1) / num_partitions;
+    for (std::size_t p = 0; p < num_partitions; ++p) {
+      const std::size_t first = p * per;
+      if (first >= options_.bins) break;
+      const std::size_t last = std::min(first + per, options_.bins);
+      tasks.push_back([this, first, last](std::size_t) {
+        container_.reduce_range(first, last, counts_.data() + first);
+      });
+    }
   }
   if (!pool.run_wave(tasks))
     return Status::Internal("reduce wave dropped: thread pool shut down");

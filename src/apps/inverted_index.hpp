@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "containers/combiners.hpp"
-#include "containers/hash_container.hpp"
+#include "containers/combining.hpp"
 #include "core/application.hpp"
 
 namespace supmr::apps {
@@ -34,6 +34,17 @@ class InvertedIndexApp final : public core::Application {
   std::uint64_t result_count() const override { return index_.size(); }
   std::string canonical_output() const override;
 
+  core::CombinerKind combiner_kind() const override {
+    return core::CombinerKind::kAppend;
+  }
+  Status use_container(core::ContainerMode mode) override {
+    container_.select(mode);
+    return Status::Ok();
+  }
+  core::CombineStats combine_stats() const override {
+    return container_.stats();
+  }
+
   // The index, sorted by word.
   const std::vector<Posting>& index() const { return index_; }
 
@@ -44,7 +55,7 @@ class InvertedIndexApp final : public core::Application {
   };
 
   std::size_t num_mappers_ = 0;
-  containers::HashContainer<containers::AppendCombiner<std::uint32_t>>
+  containers::SwitchedContainer<containers::AppendCombiner<std::uint32_t>>
       container_;
   // Each round task covers one or more whole files (file identity must not
   // be split across mappers mid-file for position-free postings; the span

@@ -16,7 +16,7 @@
 #include <vector>
 
 #include "containers/combiners.hpp"
-#include "containers/hash_container.hpp"
+#include "containers/combining.hpp"
 #include "core/application.hpp"
 
 namespace supmr::apps {
@@ -35,12 +35,23 @@ class PairCountApp final : public core::Application {
   std::uint64_t result_count() const override { return results_.size(); }
   std::string canonical_output() const override;
 
+  core::CombinerKind combiner_kind() const override {
+    return core::CombinerKind::kSum;
+  }
+  Status use_container(core::ContainerMode mode) override {
+    container_.select(mode);
+    return Status::Ok();
+  }
+  core::CombineStats combine_stats() const override {
+    return container_.stats();
+  }
+
   // Final output: ("w1 w2", count) sorted by the pair key.
   const std::vector<Result>& results() const { return results_; }
 
  private:
   std::size_t num_mappers_ = 0;
-  containers::HashContainer<containers::SumCombiner<std::uint64_t>>
+  containers::SwitchedContainer<containers::SumCombiner<std::uint64_t>>
       container_;
   std::vector<std::span<const char>> splits_;
   std::vector<std::vector<Result>> partitions_;

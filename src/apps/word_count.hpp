@@ -17,7 +17,7 @@
 #include <vector>
 
 #include "containers/combiners.hpp"
-#include "containers/hash_container.hpp"
+#include "containers/combining.hpp"
 #include "core/application.hpp"
 
 namespace supmr::apps {
@@ -36,6 +36,17 @@ class WordCountApp final : public core::Application {
   std::uint64_t result_count() const override { return results_.size(); }
   std::string canonical_output() const override;
 
+  core::CombinerKind combiner_kind() const override {
+    return core::CombinerKind::kSum;
+  }
+  Status use_container(core::ContainerMode mode) override {
+    container_.select(mode);
+    return Status::Ok();
+  }
+  core::CombineStats combine_stats() const override {
+    return container_.stats();
+  }
+
   // Final output: (word, count) sorted by word.
   const std::vector<Result>& results() const { return results_; }
 
@@ -44,7 +55,7 @@ class WordCountApp final : public core::Application {
 
  private:
   std::size_t num_mappers_ = 0;
-  containers::HashContainer<containers::SumCombiner<std::uint64_t>>
+  containers::SwitchedContainer<containers::SumCombiner<std::uint64_t>>
       container_;
   std::vector<std::span<const char>> splits_;
   std::vector<std::uint64_t> words_per_thread_;

@@ -35,6 +35,40 @@
 
 namespace supmr::core {
 
+// The associative fold an application declares for in-mapper combining
+// (containers/combining.hpp). kNone means the app has no combiner and
+// rejects ContainerMode::kCombining.
+enum class CombinerKind {
+  kNone,
+  kSum,
+  kMin,
+  kMax,
+  kAppend,
+};
+
+inline constexpr EnumName<CombinerKind> kCombinerKindNames[] = {
+    {CombinerKind::kNone, "none"},   {CombinerKind::kSum, "sum"},
+    {CombinerKind::kMin, "min"},     {CombinerKind::kMax, "max"},
+    {CombinerKind::kAppend, "append"},
+};
+
+inline std::string_view combiner_kind_name(CombinerKind kind) {
+  return enum_to_name(kCombinerKindNames, kind);
+}
+
+// Fold-effectiveness accounting for a combining run (all zero when the app
+// ran its default container). bytes_emitted is the intermediate volume a
+// non-combining container would have carried into reduce/merge (every emit's
+// key+value payload); bytes_into_merge is what actually survived the
+// emit-time fold.
+struct CombineStats {
+  std::uint64_t emits = 0;
+  std::uint64_t keys_folded = 0;  // emits absorbed into an existing key
+  std::uint64_t bytes_emitted = 0;
+  std::uint64_t bytes_into_merge = 0;
+  std::uint64_t table_bytes = 0;  // peak combining-table footprint
+};
+
 class Application {
  public:
   virtual ~Application() = default;
@@ -69,6 +103,26 @@ class Application {
 
   // Number of output records/pairs — used for result validation.
   virtual std::uint64_t result_count() const = 0;
+
+  // The associative combiner this app can fold with at emit time. kNone
+  // (the default) means the app only runs its own container.
+  virtual CombinerKind combiner_kind() const { return CombinerKind::kNone; }
+
+  // Selects the intermediate container before init(). Construction sites
+  // (CLI, conformance harness, quickstart) call this with
+  // JobConfig::container; apps that declare a combiner override it to switch
+  // their emit seam. The default rejects everything but kDefault, so an app
+  // without a combiner can never silently fall back.
+  virtual Status use_container(ContainerMode mode) {
+    if (mode == ContainerMode::kDefault) return Status::Ok();
+    return Status::InvalidArgument(
+        "container=" + std::string(container_mode_name(mode)) +
+        ": this application declares no combiner");
+  }
+
+  // Fold-effectiveness accounting, valid after merge. All-zero unless the
+  // app ran with ContainerMode::kCombining.
+  virtual CombineStats combine_stats() const { return {}; }
 
   // Canonical byte encoding of the final output, for differential
   // comparison against the sequential reference runtime (src/ref/ and

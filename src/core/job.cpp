@@ -81,6 +81,19 @@ Status MapReduceJob::finish(JobResult& result, PhaseClock& clock) {
   result.merge_stats = merge_stats_;
   result.result_count = app_.result_count();
   result.map_rounds = rounds_;
+
+  // Fold effectiveness (containers/combining.hpp). The container is not
+  // mutated after the map waves, so reading here — after reduce/merge —
+  // sees the final fold counters.
+  result.combine = app_.combine_stats();
+  if (result.combine.emits != 0) {
+    SUPMR_COUNTER_ADD("container.emits", result.combine.emits);
+    SUPMR_COUNTER_ADD("container.keys_folded", result.combine.keys_folded);
+    SUPMR_COUNTER_ADD("container.bytes_emitted", result.combine.bytes_emitted);
+    SUPMR_COUNTER_ADD("container.bytes_into_merge",
+                      result.combine.bytes_into_merge);
+    SUPMR_GAUGE_SET("container.table_bytes", result.combine.table_bytes);
+  }
   return Status::Ok();
 }
 

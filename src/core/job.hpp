@@ -39,6 +39,9 @@ struct JobResult {
   PhaseBreakdown phases;
   ingest::PipelineStats pipeline;   // populated by the pipelined modes
   merge::MergeStats merge_stats;
+  // Fold-effectiveness accounting (Application::combine_stats): all-zero
+  // unless the app ran with ContainerMode::kCombining.
+  CombineStats combine;
   obs::MetricsSnapshot metrics;     // registry snapshot taken at run end
   std::uint64_t result_count = 0;
   std::uint64_t map_rounds = 0;

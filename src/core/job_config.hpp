@@ -36,6 +36,17 @@ enum class ExecMode {
   kAdaptive,  // SupMR with controller-driven chunk sizing (§VIII)
 };
 
+// Which intermediate container the application uses (--container). kDefault
+// keeps each app's own choice (hash, fixed array, ...); kCombining swaps in
+// the in-mapper CombiningContainer (containers/combining.hpp), which folds
+// duplicate keys at emit time with the app-declared combiner. Only apps that
+// declare a combiner (Application::combiner_kind() != kNone) accept
+// kCombining — the CLI and ReplaySpec reject it elsewhere.
+enum class ContainerMode {
+  kDefault,
+  kCombining,
+};
+
 // Shared name tables (common/enum_names.hpp): the CLI flags, the
 // replay/serve/graph spec parsers, and log labels all map through these —
 // one row per enumerator, no per-parser if-chains.
@@ -51,7 +62,13 @@ inline constexpr EnumName<MergeMode> kMergeModeNames[] = {
     {MergeMode::kPartitioned, "partitioned"},
 };
 
+inline constexpr EnumName<ContainerMode> kContainerModeNames[] = {
+    {ContainerMode::kDefault, "default"},
+    {ContainerMode::kCombining, "combining"},
+};
+
 std::string_view exec_mode_name(ExecMode mode);
+std::string_view container_mode_name(ContainerMode mode);
 
 // How ingest moves bytes from the device into chunks (--io). Defined next
 // to the chunk structures (ingest/chunk.hpp); aliased here because it is a
@@ -77,6 +94,10 @@ struct JobConfig {
   // Ingest byte movement (--io): copying reads (default) or zero-copy mmap
   // views. Sources receive this at construction; see docs/ARCHITECTURE.md §2.
   IoMode io = IoMode::kRead;
+
+  // Intermediate container (--container). Applied by construction sites via
+  // Application::use_container(); carried here so replay/report see it.
+  ContainerMode container = ContainerMode::kDefault;
 
   // Key-space partitions for MergeMode::kPartitioned (--partitions).
   // 0 = auto: one partition per hardware context, so the per-partition
@@ -121,6 +142,10 @@ struct JobConfig {
 
 inline std::string_view exec_mode_name(ExecMode mode) {
   return enum_to_name(kExecModeNames, mode);
+}
+
+inline std::string_view container_mode_name(ContainerMode mode) {
+  return enum_to_name(kContainerModeNames, mode);
 }
 
 }  // namespace supmr::core

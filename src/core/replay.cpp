@@ -32,6 +32,15 @@ StatusOr<GraphHandoff> graph_handoff_from_name(std::string_view name) {
   return enum_from_name(kGraphHandoffNames, name, "graph handoff");
 }
 
+StatusOr<ContainerMode> container_mode_from_name(std::string_view name) {
+  return enum_from_name(kContainerModeNames, name, "container mode");
+}
+
+bool app_has_combiner(std::string_view app) {
+  return app == "wordcount" || app == "histogram" || app == "index" ||
+         app == "paircount" || app == "doctermcount";
+}
+
 std::string ReplaySpec::to_json() const {
   JsonWriter w;
   w.begin_object();
@@ -59,6 +68,7 @@ std::string ReplaySpec::to_json() const {
   w.kv("mode", exec_mode_name(mode));
   w.kv("merge", merge_mode_name(merge_mode));
   w.kv("io", io_mode_name(io));
+  w.kv("container", container_mode_name(container));
   w.kv("threads", threads);
   w.kv("merge_partitions", merge_partitions);
   w.kv("chunk_bytes", chunk_bytes);
@@ -320,13 +330,16 @@ StatusOr<ReplaySpec> ReplaySpec::from_json(std::string_view text) {
   SUPMR_RETURN_IF_ERROR(
       fields.take_u64("params.memory_budget", spec.memory_budget));
 
-  std::string mode, merge, io;
+  std::string mode, merge, io, container;
   SUPMR_RETURN_IF_ERROR(fields.take_string("cell.mode", mode));
   SUPMR_RETURN_IF_ERROR(fields.take_string("cell.merge", merge));
   SUPMR_RETURN_IF_ERROR(fields.take_string_or("cell.io", io, "read"));
+  SUPMR_RETURN_IF_ERROR(
+      fields.take_string_or("cell.container", container, "default"));
   SUPMR_ASSIGN_OR_RETURN(spec.mode, exec_mode_from_name(mode));
   SUPMR_ASSIGN_OR_RETURN(spec.merge_mode, merge_mode_from_name(merge));
   SUPMR_ASSIGN_OR_RETURN(spec.io, io_mode_from_name(io));
+  SUPMR_ASSIGN_OR_RETURN(spec.container, container_mode_from_name(container));
   SUPMR_RETURN_IF_ERROR(fields.take_u64("cell.threads", spec.threads));
   SUPMR_RETURN_IF_ERROR(
       fields.take_u64("cell.merge_partitions", spec.merge_partitions));
@@ -348,8 +361,15 @@ StatusOr<ReplaySpec> ReplaySpec::from_json(std::string_view text) {
 
   if (spec.app != "wordcount" && spec.app != "xwordcount" &&
       spec.app != "sort" && spec.app != "grep" && spec.app != "histogram" &&
-      spec.app != "index" && !spec.is_graph()) {
+      spec.app != "index" && spec.app != "paircount" &&
+      spec.app != "doctermcount" && !spec.is_graph()) {
     return Status::InvalidArgument("replay spec: unknown app " + spec.app);
+  }
+  if (spec.container == ContainerMode::kCombining &&
+      !app_has_combiner(spec.app)) {
+    return Status::InvalidArgument(
+        "replay spec: container=combining: app " + spec.app +
+        " declares no combiner");
   }
   SUPMR_RETURN_IF_ERROR(spec.corpus.parsed_kind().status());
   if (spec.threads == 0) {

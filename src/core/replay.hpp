@@ -60,9 +60,9 @@ struct CorpusSpec {
 
 struct ReplaySpec {
   // Single-round apps: wordcount | xwordcount (spilling container) | sort |
-  // grep | histogram | index. Chained graph apps (src/graph/): pmi | tfidf |
-  // msort — these run a multi-stage JobGraph and compare against
-  // ref::run_graph instead of run_ref.
+  // grep | histogram | index | paircount | doctermcount. Chained graph apps
+  // (src/graph/): pmi | tfidf | msort — these run a multi-stage JobGraph and
+  // compare against ref::run_graph instead of run_ref.
   std::string app = "wordcount";
   CorpusSpec corpus;
 
@@ -80,6 +80,11 @@ struct ReplaySpec {
   ExecMode mode = ExecMode::kIngestMR;
   MergeMode merge_mode = MergeMode::kPWay;
   IoMode io = IoMode::kRead;  // optional in the JSON (older specs omit it)
+  // Intermediate container; optional in the JSON (older specs omit it).
+  // container=combining is only legal for apps that declare a combiner
+  // (wordcount, histogram, index, paircount, doctermcount) — from_json
+  // rejects the rest so a spec can never silently fall back.
+  ContainerMode container = ContainerMode::kDefault;
   std::uint64_t threads = 2;
   std::uint64_t merge_partitions = 0;  // 0 = auto
   std::uint64_t chunk_bytes = 64 * 1024;
@@ -116,5 +121,11 @@ StatusOr<ExecMode> exec_mode_from_name(std::string_view name);
 StatusOr<MergeMode> merge_mode_from_name(std::string_view name);
 StatusOr<IoMode> io_mode_from_name(std::string_view name);
 StatusOr<GraphHandoff> graph_handoff_from_name(std::string_view name);
+StatusOr<ContainerMode> container_mode_from_name(std::string_view name);
+
+// Whether the named spec app declares a combiner, i.e. accepts
+// container=combining. Shared by from_json and the CLI so both reject the
+// same set.
+bool app_has_combiner(std::string_view app);
 
 }  // namespace supmr::core

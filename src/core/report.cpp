@@ -94,6 +94,17 @@ std::string job_result_to_json(const JobResult& result) {
   }
   w.end_array();
 
+  // In-mapper combining accounting (docs/containers.md); all-zero unless
+  // the app ran with --container=combining.
+  w.key("combine");
+  w.begin_object();
+  w.kv("emits", result.combine.emits);
+  w.kv("keys_folded", result.combine.keys_folded);
+  w.kv("bytes_emitted", result.combine.bytes_emitted);
+  w.kv("bytes_into_merge", result.combine.bytes_into_merge);
+  w.kv("table_bytes", result.combine.table_bytes);
+  w.end_object();
+
   // Partitioned-shuffle geometry (docs/merge.md); partitions = 0 means the
   // merge ran as a single global round.
   w.key("merge_partitioned");

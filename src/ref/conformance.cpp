@@ -12,10 +12,12 @@
 #include <vector>
 
 #include "apps/chains.hpp"
+#include "apps/doc_term_count.hpp"
 #include "apps/external_word_count.hpp"
 #include "apps/grep.hpp"
 #include "apps/histogram.hpp"
 #include "apps/inverted_index.hpp"
+#include "apps/pair_count.hpp"
 #include "apps/tera_sort.hpp"
 #include "apps/word_count.hpp"
 #include "fault/fault_plan.hpp"
@@ -85,7 +87,19 @@ StatusOr<std::unique_ptr<core::Application>> make_app(
   if (spec.app == "index") {
     return std::unique_ptr<core::Application>(new apps::InvertedIndexApp());
   }
+  if (spec.app == "paircount") {
+    return std::unique_ptr<core::Application>(new apps::PairCountApp());
+  }
+  if (spec.app == "doctermcount") {
+    return std::unique_ptr<core::Application>(new apps::DocTermCountApp());
+  }
   return Status::InvalidArgument("conformance: unknown app " + spec.app);
+}
+
+// Apps that require intra-file chunking (MultiFileSource): file identity
+// must survive chunk coalescing.
+bool needs_multi_text(const core::ReplaySpec& spec) {
+  return spec.app == "index" || spec.app == "doctermcount";
 }
 
 std::shared_ptr<const ingest::RecordFormat> make_format(
@@ -178,6 +192,10 @@ StatusOr<ConformanceOutcome> run_graph_cell(const core::ReplaySpec& spec,
     return Status::InvalidArgument(
         "conformance: graph stages run without an adaptive controller");
   }
+  if (spec.container != core::ContainerMode::kDefault) {
+    return Status::InvalidArgument(
+        "conformance: graph cells run each stage's default container");
+  }
 
   apps::ChainInputs inputs;
   if (spec.app == "tfidf") {
@@ -249,14 +267,14 @@ StatusOr<ConformanceOutcome> run_cell_impl(const core::ReplaySpec& spec,
                                            const RunSut& run_sut) {
   if (spec.is_graph()) return run_graph_cell(spec, corpus_override, run_sut);
   const bool multi = spec.corpus.kind == "multi-text";
-  if (spec.app == "index" && !multi) {
-    return Status::InvalidArgument(
-        "conformance: index cells need corpus kind multi-text");
+  if (needs_multi_text(spec) && !multi) {
+    return Status::InvalidArgument("conformance: " + spec.app +
+                                   " cells need corpus kind multi-text");
   }
-  if (multi && (spec.app != "index" || corpus_override != nullptr)) {
+  if (multi && (!needs_multi_text(spec) || corpus_override != nullptr)) {
     return Status::InvalidArgument(
-        "conformance: multi-text corpus only supports the index app "
-        "without a corpus override");
+        "conformance: multi-text corpus only supports multi-file apps "
+        "(index, doctermcount) without a corpus override");
   }
   if (multi && spec.mode == core::ExecMode::kAdaptive) {
     return Status::InvalidArgument(
@@ -288,9 +306,14 @@ StatusOr<ConformanceOutcome> run_cell_impl(const core::ReplaySpec& spec,
   cfg.recovery.policy.backoff_max_s = 1e-3;
   cfg.recovery.degrade = spec.degrade;
   cfg.io = spec.io;
+  cfg.container = spec.container;
 
   SUPMR_ASSIGN_OR_RETURN(auto sut_app, make_app(spec, /*for_ref=*/false));
   SUPMR_ASSIGN_OR_RETURN(auto ref_app, make_app(spec, /*for_ref=*/true));
+  // The container axis applies to the SUT only: the oracle twin always runs
+  // each app's default container, so a combining cell is a true differential
+  // (an app without a combiner rejects here instead of falling back).
+  SUPMR_RETURN_IF_ERROR(sut_app->use_container(spec.container));
 
   ConformanceOutcome outcome;
   RefResult ref;

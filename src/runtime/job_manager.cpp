@@ -381,6 +381,26 @@ void JobManager::run_job(std::shared_ptr<Pending> job) {
   }();
   SUPMR_HIST_OBSERVE("jobmgr.job_run_us", seconds_since(run_start) * 1e6);
 
+  // Combining tables are job-private map-side state, so their footprint is
+  // accounted against the job's memory lease after the fact (the table grows
+  // with distinct keys, which nobody knows at admission). Exceeding the lease
+  // is not an error — the bytes were real and the job already ran — but it is
+  // the signal that the caller's request.memory_bytes was too small.
+  if (result.ok() && result->combine.table_bytes != 0) {
+    SUPMR_COUNTER_ADD("jobmgr.combining_table_bytes",
+                      result->combine.table_bytes);
+    if (result->combine.table_bytes > job->lease.memory_bytes()) {
+      SUPMR_COUNTER_ADD("jobmgr.combining_lease_exceeded", 1);
+      SUPMR_LOG_WARN(
+          "jobmgr: job %llu (%s) combining table (%llu bytes) exceeded its "
+          "memory lease (%llu bytes)",
+          static_cast<unsigned long long>(job->shared->id),
+          job->shared->name.c_str(),
+          static_cast<unsigned long long>(result->combine.table_bytes),
+          static_cast<unsigned long long>(job->lease.memory_bytes()));
+    }
+  }
+
   const bool ok = result.ok();
   if (!ok) {
     SUPMR_LOG_WARN("jobmgr: job %llu (%s) failed: %s",

@@ -79,6 +79,74 @@ TEST(CliValidation, BadEnumValuesAreNamed) {
                   "unknown io mode: psychic (want read|mmap)");
 }
 
+TEST(CliValidation, BadContainerModeIsNamed) {
+  expect_rejected("wordcount whatever --container=psychic",
+                  "unknown container mode: psychic (want default|combining)");
+}
+
+// Writes a small real input file: the combiner-capability check runs after
+// the input is opened (it sits at the app seam, not in flag parsing), so a
+// nonexistent path would fail earlier with the wrong error.
+std::string write_temp_corpus(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  FILE* f = std::fopen(path.c_str(), "w");
+  EXPECT_NE(f, nullptr);
+  std::fputs("alpha beta alpha\n", f);
+  std::fclose(f);
+  return path;
+}
+
+TEST(CliValidation, CombiningRejectedForAppsWithoutCombiner) {
+  // Silent-acceptance gap: an app with no declared combiner must refuse
+  // --container=combining loudly instead of quietly running its default.
+  const std::string corpus = write_temp_corpus("cli_container_corpus.txt");
+  expect_rejected("sort " + corpus + " --container=combining",
+                  "declares no combiner");
+  expect_rejected("grep th " + corpus + " --container=combining",
+                  "declares no combiner");
+  // The spilling external wordcount has no emit-time fold either.
+  expect_rejected(
+      "wordcount " + corpus + " --budget=32KB --container=combining",
+      "declares no combiner");
+  std::remove(corpus.c_str());
+}
+
+TEST(CliValidation, CombiningRejectedForKmeans) {
+  // kmeans builds its apps internally, so the rejection fires during flag
+  // validation — before the input path is even opened.
+  expect_rejected("kmeans nonexistent.txt --container=combining",
+                  "declares no combiner");
+}
+
+TEST(CliValidation, CombiningAcceptedForWordCount) {
+  const std::string corpus = write_temp_corpus("cli_combining_ok.txt");
+  const CliResult r = run_cli("wordcount " + corpus + " --container=combining");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  std::remove(corpus.c_str());
+}
+
+TEST(CliValidation, ReplaySpecRejectsCombiningForCombinerlessApp) {
+  const std::string path = ::testing::TempDir() + "/combining_sort_spec.json";
+  FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs(
+      "{\"app\": \"sort\",\n"
+      " \"corpus\": {\"kind\": \"terasort\", \"bytes\": 10000, \"seed\": 1,"
+      " \"num_files\": 6},\n"
+      " \"params\": {\"key_bytes\": 10, \"record_bytes\": 100,"
+      " \"app_partitions\": 0, \"hist_lo\": 0, \"hist_hi\": 256,"
+      " \"hist_bins\": 32, \"grep_patterns\": \"th\","
+      " \"memory_budget\": 0},\n"
+      " \"cell\": {\"mode\": \"supmr\", \"merge\": \"pway\","
+      " \"container\": \"combining\", \"threads\": 2, \"merge_partitions\": 0,"
+      " \"chunk_bytes\": 16384, \"files_per_chunk\": 3, \"degrade\": false,"
+      " \"fault_plan\": \"\", \"retry_attempts\": 1}}",
+      f);
+  std::fclose(f);
+  expect_rejected("replay " + path, "declares no combiner");
+  std::remove(path.c_str());
+}
+
 TEST(CliValidation, RetryAttemptsMustBePositive) {
   expect_rejected("wordcount whatever --retry-attempts=0",
                   "--retry-attempts must be >= 1");

@@ -1,0 +1,342 @@
+// Differential and property tests for the in-mapper combining container
+// (src/containers/combining.hpp, docs/containers.md).
+//
+// The core claim under test: folding duplicate keys at emit time is
+// semantically invisible. For any emit sequence, CombiningContainer's
+// reduce_partition output must equal HashContainer's (the Phoenix++ default)
+// and a sort-fold reference built with plain std::map — across combiners
+// (Sum/Min/Max/Append), key shapes (inline and arena-spilled, lengths
+// straddling the comparator's 8-byte word boundary), partition counts, and
+// SchedFuzz-perturbed concurrent fills. Plus the non-vacuity check the
+// differential alone cannot give: the fold must actually fold.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "containers/combining.hpp"
+#include "containers/combiners.hpp"
+#include "containers/hash_container.hpp"
+#include "tests/stress/sched_fuzz.hpp"
+#include "tests/testdata.hpp"
+
+namespace supmr::containers {
+namespace {
+
+// One recorded emit: (stripe, key index into a pool, value).
+struct Emit {
+  std::size_t thread_id;
+  std::size_t key;
+  std::uint64_t value;
+};
+
+// Zipf-weighted emit stream over `pool`, spread round-robin across stripes.
+std::vector<Emit> zipf_emits(std::size_t n, std::size_t distinct,
+                             std::size_t num_threads, std::uint64_t seed) {
+  const auto stream = testdata::zipf_stream(n, distinct, seed);
+  Xoshiro256 rng(seed ^ 0x5eedULL);
+  std::vector<Emit> emits;
+  emits.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    emits.push_back({i % num_threads, stream[i], rng.uniform(1000)});
+  }
+  return emits;
+}
+
+// Sorted (key, value) pairs via partitioned reduce — the shape merge sees.
+template <typename Container>
+std::vector<std::pair<std::string, std::uint64_t>> drain(
+    const Container& c, std::size_t num_parts) {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  for (std::size_t p = 0; p < num_parts; ++p) {
+    auto part = c.reduce_partition(p, num_parts);
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+template <typename Combiner>
+std::vector<std::pair<std::string, std::uint64_t>> reference_fold(
+    const std::vector<std::string>& pool, const std::vector<Emit>& emits) {
+  std::map<std::string, std::uint64_t> folded;
+  for (const Emit& e : emits) {
+    auto [it, inserted] =
+        folded.emplace(pool[e.key], Combiner::identity());
+    Combiner::combine(it->second, e.value);
+  }
+  return {folded.begin(), folded.end()};
+}
+
+template <typename Combiner>
+void expect_differential(const std::vector<std::string>& pool,
+                         const std::vector<Emit>& emits,
+                         std::size_t num_threads) {
+  CombiningContainer<Combiner> combining;
+  HashContainer<Combiner> hash;
+  combining.init(num_threads);
+  hash.init(num_threads);
+  for (const Emit& e : emits) {
+    combining.emit(e.thread_id, pool[e.key], e.value);
+    hash.emit(e.thread_id, pool[e.key], e.value);
+  }
+  const auto expected = reference_fold<Combiner>(pool, emits);
+  for (std::size_t parts : {std::size_t(1), std::size_t(3), std::size_t(8)}) {
+    EXPECT_EQ(drain(combining, parts), expected)
+        << "combining vs sort-fold reference, parts=" << parts;
+    EXPECT_EQ(drain(combining, parts), drain(hash, parts))
+        << "combining vs HashContainer, parts=" << parts;
+  }
+}
+
+TEST(CombiningDifferential, ZipfCorporaMatchHashAndReference) {
+  for (std::size_t distinct : {std::size_t(1), std::size_t(7),
+                               std::size_t(200), std::size_t(3000)}) {
+    const auto pool = testdata::key_pool(distinct);
+    const auto emits = zipf_emits(20000, distinct, 3, 42 + distinct);
+    expect_differential<SumCombiner<std::uint64_t>>(pool, emits, 3);
+  }
+}
+
+TEST(CombiningDifferential, FoldingActuallyOccurs) {
+  // Non-vacuity: on a duplicate-heavy stream the differential above would
+  // pass even if emit never folded (HashContainer folds too). Assert the
+  // combining table really absorbed duplicates.
+  const auto pool = testdata::key_pool(16);
+  const auto emits = zipf_emits(10000, 16, 2, 7);
+  CombiningContainer<SumCombiner<std::uint64_t>> c;
+  c.init(2);
+  for (const Emit& e : emits) c.emit(e.thread_id, pool[e.key], e.value);
+  EXPECT_EQ(c.emits(), 10000u);
+  EXPECT_LE(c.raw_entries(), 2 * 16u);  // at most one entry per key per stripe
+  EXPECT_GT(c.keys_folded(), 9000u);
+  EXPECT_LT(c.bytes_into_merge(), c.bytes_emitted() / 100);
+}
+
+TEST(CombiningDifferential, KeysStraddlingComparatorWordBoundary) {
+  // Key lengths around the merge comparator's 8-byte word (7/8/9), the
+  // inline-storage edge (15/16/17), and well past it. Shared prefixes force
+  // the comparator and the probe's key_of() compare past the first word.
+  std::vector<std::string> pool;
+  for (std::size_t len : {std::size_t(1), std::size_t(7), std::size_t(8),
+                          std::size_t(9), std::size_t(15), std::size_t(16),
+                          std::size_t(17), std::size_t(24), std::size_t(40)}) {
+    for (char c : {'a', 'b'}) {
+      std::string key(len, 'k');
+      key.back() = c;
+      pool.push_back(key);
+    }
+  }
+  Xoshiro256 rng(99);
+  std::vector<Emit> emits;
+  for (std::size_t i = 0; i < 8000; ++i) {
+    emits.push_back({i % 3, rng.uniform(pool.size()), rng.uniform(100)});
+  }
+  expect_differential<SumCombiner<std::uint64_t>>(pool, emits, 3);
+  expect_differential<MinCombiner<std::uint64_t>>(pool, emits, 3);
+  expect_differential<MaxCombiner<std::uint64_t>>(pool, emits, 3);
+}
+
+TEST(CombiningDifferential, AppendCombinerPreservesOrder) {
+  // Append folds to per-key vectors: concatenation order (emit order within
+  // a stripe, stripes in index order) must match HashContainer exactly.
+  const auto pool = testdata::key_pool(12);
+  CombiningContainer<AppendCombiner<std::uint32_t>> combining;
+  HashContainer<AppendCombiner<std::uint32_t>> hash;
+  combining.init(3);
+  hash.init(3);
+  Xoshiro256 rng(5);
+  for (std::uint32_t i = 0; i < 6000; ++i) {
+    const std::size_t tid = i % 3;
+    const std::string& key = pool[rng.uniform(pool.size())];
+    combining.emit(tid, key, i);
+    hash.emit(tid, key, i);
+  }
+  for (std::size_t parts : {std::size_t(1), std::size_t(4)}) {
+    std::vector<std::pair<std::string, std::vector<std::uint32_t>>> a, b;
+    for (std::size_t p = 0; p < parts; ++p) {
+      auto pa = combining.reduce_partition(p, parts);
+      auto pb = hash.reduce_partition(p, parts);
+      a.insert(a.end(), pa.begin(), pa.end());
+      b.insert(b.end(), pb.begin(), pb.end());
+    }
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b) << "append posting lists diverged, parts=" << parts;
+  }
+  EXPECT_EQ(combining.keys_folded(), 6000u - combining.raw_entries());
+}
+
+TEST(CombiningDifferential, PartitionsAreDisjointAndComplete) {
+  const auto pool = testdata::key_pool(500);
+  const auto emits = zipf_emits(15000, 500, 4, 17);
+  CombiningContainer<SumCombiner<std::uint64_t>> c;
+  c.init(4);
+  for (const Emit& e : emits) c.emit(e.thread_id, pool[e.key], e.value);
+  const auto global = drain(c, 1);
+  for (std::size_t parts : {std::size_t(2), std::size_t(5), std::size_t(9)}) {
+    EXPECT_EQ(drain(c, parts), global)
+        << "partition union changed under parts=" << parts;
+  }
+}
+
+// ------------------------------------------------------------- lifecycle
+
+TEST(CombiningLifecycle, InitIsIdempotentAndGeometryChangeThrows) {
+  CombiningContainer<SumCombiner<std::uint64_t>> c;
+  c.init(3);
+  c.emit(0, "abc", 1);
+  c.init(3);  // idempotent: same geometry, keeps contents
+  EXPECT_EQ(c.raw_entries(), 1u);
+  EXPECT_THROW(c.init(4), std::logic_error);
+  c.reset();
+  EXPECT_FALSE(c.initialized());
+  c.init(4);
+  EXPECT_EQ(c.num_stripes(), 4u);
+  EXPECT_EQ(c.raw_entries(), 0u);
+}
+
+TEST(CombiningLifecycle, EmptyAndSparseStripes) {
+  CombiningContainer<SumCombiner<std::uint64_t>> c;
+  c.init(4);
+  EXPECT_EQ(drain(c, 3).size(), 0u);
+  c.emit(2, "only", 5);  // three stripes stay empty
+  const auto out = drain(c, 3);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (std::pair<std::string, std::uint64_t>("only", 5)));
+  EXPECT_EQ(c.keys_folded(), 0u);
+}
+
+TEST(CombiningLifecycle, StatsAccountExactBytes) {
+  CombiningContainer<SumCombiner<std::uint64_t>> c;
+  c.init(1);
+  for (int i = 0; i < 3; ++i) c.emit(0, "abc", std::uint64_t{1});
+  for (int i = 0; i < 2; ++i) c.emit(0, "defghij", std::uint64_t{1});
+  const core::CombineStats s = c.stats();
+  EXPECT_EQ(s.emits, 5u);
+  EXPECT_EQ(s.keys_folded, 3u);
+  // Every emit: key bytes + 8-byte value; survivors: one record per key.
+  EXPECT_EQ(s.bytes_emitted, 3 * (3 + 8) + 2 * (7 + 8));
+  EXPECT_EQ(s.bytes_into_merge, (3 + 8) + (7 + 8));
+  EXPECT_GT(s.table_bytes, 0u);
+}
+
+TEST(CombiningLifecycle, GrowthKeepsLongKeysAndPartitionsStable) {
+  // Enough distinct >16-byte keys to force several doublings and a growing
+  // long-key arena; totals must survive both.
+  CombiningContainer<SumCombiner<std::uint64_t>> c;
+  c.init(2, /*capacity_hint=*/4);
+  std::map<std::string, std::uint64_t> expected;
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    std::string key =
+        "quite-a-long-intermediate-key-" + std::to_string(i % 1700);
+    c.emit(i % 2, key, i);
+    expected[key] += i;
+  }
+  const std::vector<std::pair<std::string, std::uint64_t>> want(
+      expected.begin(), expected.end());
+  EXPECT_EQ(drain(c, 1), want);
+  EXPECT_EQ(drain(c, 7), want);
+}
+
+TEST(SwitchedContainerTest, SelectAfterInitThrows) {
+  SwitchedContainer<SumCombiner<std::uint64_t>> sc;
+  sc.select(core::ContainerMode::kCombining);
+  sc.init(2);
+  sc.emit(0, "k", 1);
+  EXPECT_THROW(sc.select(core::ContainerMode::kDefault), std::logic_error);
+  sc.reset();
+  sc.select(core::ContainerMode::kDefault);  // legal again after reset
+  sc.init(2);
+  sc.emit(0, "k", 2);
+  EXPECT_EQ(sc.stats().emits, 0u);  // default mode tracks no fold counters
+}
+
+TEST(SwitchedContainerTest, ModesProduceIdenticalReductions) {
+  const auto pool = testdata::key_pool(64);
+  const auto emits = zipf_emits(8000, 64, 2, 31);
+  SwitchedContainer<SumCombiner<std::uint64_t>> combining, fallback;
+  combining.select(core::ContainerMode::kCombining);
+  combining.init(2);
+  fallback.init(2);  // default mode
+  for (const Emit& e : emits) {
+    combining.emit(e.thread_id, pool[e.key], e.value);
+    fallback.emit(e.thread_id, pool[e.key], e.value);
+  }
+  EXPECT_EQ(drain(combining, 4), drain(fallback, 4));
+  EXPECT_GT(combining.stats().keys_folded, 0u);
+}
+
+// ------------------------------------------- concurrent fill (SchedFuzz)
+
+// Each map thread owns its stripe, so concurrent fills with distinct
+// thread_ids must be race-free and deterministic: the fuzzed concurrent
+// result must equal a serial replay of the same per-thread streams. Replay a
+// failing schedule with SUPMR_SCHED_SEED=<seed>.
+TEST(CombiningConcurrency, SchedFuzzedFillMatchesSerialReplay) {
+  const std::size_t kThreads = 4;
+  const std::size_t kEmitsPerThread = 12000;
+  const auto pool = testdata::key_pool(300);
+  for (std::uint64_t seed : test::kStressSeeds) {
+    test::SchedFuzz fuzz(seed);
+    CombiningContainer<SumCombiner<std::uint64_t>> concurrent;
+    concurrent.init(kThreads);
+    std::vector<std::thread> threads;
+    for (std::size_t tid = 0; tid < kThreads; ++tid) {
+      threads.emplace_back([&, tid] {
+        test::SchedFuzz::Stream stream(fuzz, tid);
+        Xoshiro256 rng(fuzz.seed() * 31 + tid);
+        for (std::size_t i = 0; i < kEmitsPerThread; ++i) {
+          concurrent.emit(tid, pool[rng.uniform(pool.size())],
+                          rng.uniform(50));
+          if ((i & 255) == 0) stream.yield_point();
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+
+    CombiningContainer<SumCombiner<std::uint64_t>> serial;
+    serial.init(kThreads);
+    for (std::size_t tid = 0; tid < kThreads; ++tid) {
+      Xoshiro256 rng(fuzz.seed() * 31 + tid);
+      for (std::size_t i = 0; i < kEmitsPerThread; ++i) {
+        serial.emit(tid, pool[rng.uniform(pool.size())], rng.uniform(50));
+      }
+    }
+    EXPECT_EQ(drain(concurrent, 5), drain(serial, 5))
+        << "seed=" << fuzz.seed();
+    EXPECT_GT(concurrent.keys_folded(), 0u) << "fold was vacuous";
+  }
+}
+
+// Concurrent reduce over disjoint partitions while the table is quiescent —
+// the contract merge_partitioned relies on.
+TEST(CombiningConcurrency, ConcurrentDisjointPartitionReduces) {
+  const auto pool = testdata::key_pool(1000);
+  const auto emits = zipf_emits(30000, 1000, 3, 77);
+  CombiningContainer<SumCombiner<std::uint64_t>> c;
+  c.init(3);
+  for (const Emit& e : emits) c.emit(e.thread_id, pool[e.key], e.value);
+  const std::size_t kParts = 6;
+  std::vector<std::vector<std::pair<std::string, std::uint64_t>>> parts(
+      kParts);
+  std::vector<std::thread> threads;
+  for (std::size_t p = 0; p < kParts; ++p) {
+    threads.emplace_back(
+        [&, p] { parts[p] = c.reduce_partition(p, kParts); });
+  }
+  for (auto& t : threads) t.join();
+  std::vector<std::pair<std::string, std::uint64_t>> merged;
+  for (auto& part : parts) {
+    merged.insert(merged.end(), part.begin(), part.end());
+  }
+  std::sort(merged.begin(), merged.end());
+  EXPECT_EQ(merged, drain(c, 1));
+}
+
+}  // namespace
+}  // namespace supmr::containers

@@ -103,6 +103,13 @@ inline core::ReplaySpec spec_histogram(std::uint64_t salt = 0) {
   return s;
 }
 
+inline core::ReplaySpec spec_paircount(std::uint64_t salt = 0) {
+  core::ReplaySpec s = spec_wordcount(salt);
+  s.app = "paircount";
+  s.corpus.bytes = 96 * 1024;  // bigram keys fan out harder than words
+  return s;
+}
+
 inline core::ReplaySpec spec_sort(std::uint64_t salt = 0) {
   core::ReplaySpec s;
   s.app = "sort";
@@ -123,6 +130,12 @@ inline core::ReplaySpec spec_index(std::uint64_t salt = 0) {
   s.corpus.seed = harness_seed() + salt;
   s.threads = 3;
   s.files_per_chunk = 3;
+  return s;
+}
+
+inline core::ReplaySpec spec_doctermcount(std::uint64_t salt = 0) {
+  core::ReplaySpec s = spec_index(salt);
+  s.app = "doctermcount";
   return s;
 }
 

@@ -7,6 +7,7 @@
 // checked against the sequential reference for free.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -169,6 +170,67 @@ TEST(Metamorphic, SortRecordPermutationInvariance) {
       cell_output(spec, "sort-perm-permuted", &permuted);
   EXPECT_EQ(base_out, perm_out)
       << "sort output is not invariant under record permutation";
+}
+
+// Record-doubling metamorphic relation for Sum-combined apps: feeding every
+// input line twice must exactly double every count while leaving the key set
+// and its canonical ordering untouched. Runs once per container mode — the
+// in-mapper combining fold and the default container must satisfy the same
+// relation (and each cell is still oracle-checked by run_cell on the way).
+void check_doubling_doubles_counts(core::ReplaySpec spec,
+                                   const std::string& label) {
+  spec.mode = core::ExecMode::kIngestMR;
+  spec.merge_mode = core::MergeMode::kPWay;
+  auto corpus = ref::make_corpus(spec);
+  ASSERT_TRUE(corpus.ok()) << corpus.status().to_string();
+  std::string doubled;
+  doubled.reserve(corpus->size() * 2);
+  for (const std::string& line : split_lines_keep_newline(*corpus)) {
+    doubled += line;
+    if (line.empty() || line.back() != '\n') doubled += '\n';
+    doubled += line;
+  }
+
+  auto parse = [](const std::string& out) {
+    std::vector<std::pair<std::string, std::uint64_t>> rows;
+    for (const std::string& line : split_lines_keep_newline(out)) {
+      const std::size_t tab = line.find('\t');
+      if (tab == std::string::npos) continue;
+      rows.emplace_back(line.substr(0, tab),
+                        std::strtoull(line.c_str() + tab + 1, nullptr, 10));
+    }
+    return rows;
+  };
+  const auto base = parse(cell_output(spec, label + "-single"));
+  const auto twice =
+      parse(cell_output(spec, label + "-doubled", &doubled));
+  ASSERT_EQ(base.size(), twice.size())
+      << label << ": doubling the input changed the key set";
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(base[i].first, twice[i].first)
+        << label << ": key order changed at row " << i;
+    EXPECT_EQ(base[i].second * 2, twice[i].second)
+        << label << ": count for '" << base[i].first
+        << "' did not exactly double";
+  }
+}
+
+TEST(Metamorphic, DoublingDoublesCountsDefaultContainer) {
+  check_doubling_doubles_counts(spec_wordcount(36), "wordcount-x2-default");
+}
+
+TEST(Metamorphic, DoublingDoublesCountsCombiningContainer) {
+  core::ReplaySpec spec = spec_wordcount(36);  // same corpus as the default
+  spec.container = core::ContainerMode::kCombining;
+  check_doubling_doubles_counts(spec, "wordcount-x2-combining");
+}
+
+TEST(Metamorphic, DoublingDoublesCountsPairCountCombining) {
+  // Bigram keys: the doubled corpus doubles every within-line pair without
+  // creating cross-boundary pairs (pairs never span lines).
+  core::ReplaySpec spec = spec_paircount(37);
+  spec.container = core::ContainerMode::kCombining;
+  check_doubling_doubles_counts(spec, "paircount-x2-combining");
 }
 
 // Degrade differential: a permanent fault inside chunk 0's data region (below

@@ -160,6 +160,42 @@ TEST(JobManager, SingleJobSucceedsAndReturnsLease) {
   EXPECT_EQ(manager.queue_depth(), 0u);
 }
 
+TEST(JobManager, CombiningJobAccountsTableAgainstLease) {
+  // A managed job on the combining container must surface its fold
+  // accounting through JobResult so the manager can charge the table
+  // footprint against the memory lease (docs/containers.md).
+  JobManager manager(small_manager(2));
+  Tenant tenant;
+  ASSERT_TRUE(tenant.app.use_container(core::ContainerMode::kCombining).ok());
+  JobRequest request = tenant.request(2);
+  request.memory_bytes = 8ull << 20;
+  auto handle = manager.submit(std::move(request));
+  ASSERT_TRUE(handle.ok()) << handle.status().to_string();
+  auto result = handle->wait();
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  EXPECT_GT(result->result_count, 0u);
+  // The fold really ran: emits were folded and the table footprint the
+  // lease is charged for is real and nonzero.
+  EXPECT_GT(result->combine.emits, 0u);
+  EXPECT_GT(result->combine.keys_folded, 0u);
+  EXPECT_GT(result->combine.table_bytes, 0u);
+  EXPECT_LT(result->combine.bytes_into_merge, result->combine.bytes_emitted);
+  manager.drain();
+  EXPECT_EQ(manager.memory_leased_bytes(), 0u);
+}
+
+TEST(JobManager, DefaultContainerJobReportsNoCombineStats) {
+  JobManager manager(small_manager(2));
+  Tenant tenant;  // default container: no fold accounting to charge
+  auto handle = manager.submit(tenant.request(2));
+  ASSERT_TRUE(handle.ok()) << handle.status().to_string();
+  auto result = handle->wait();
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  EXPECT_EQ(result->combine.emits, 0u);
+  EXPECT_EQ(result->combine.table_bytes, 0u);
+  manager.drain();
+}
+
 TEST(JobManager, FailedJobStillReturnsLease) {
   JobManager manager(small_manager(2));
   Tenant tenant;

@@ -33,6 +33,11 @@
 #               differential lattice) under ThreadSanitizer, then the
 #               checked-in graph spec through the instrumented
 #               `supmr graph` CLI — must report "conformance: PASS"
+#   combining-smoke — the in-mapper combining container suites (ctest -L
+#               combining: the differential/SchedFuzz property suite and
+#               the checked-in combining replay spec) under
+#               ThreadSanitizer, then that spec through the instrumented
+#               CLI — must report "conformance: PASS"
 #
 # Usage:
 #   tools/check.sh            # all stages
@@ -50,7 +55,7 @@ SUPP="${ROOT}/tools/sanitizers"
 STAGES=("$@")
 [ ${#STAGES[@]} -eq 0 ] &&
   STAGES=(plain tsan asan obs-smoke fault-smoke coverage harness harness-asan
-    jobmix-smoke graph-smoke)
+    jobmix-smoke graph-smoke combining-smoke)
 
 # Branch-point line-coverage floors for the merge-critical layers (the
 # coverage stage fails if a change lets these regress).
@@ -99,6 +104,12 @@ mutation_smoke() {
   "${cli}" replay "${specs}/replay_mmap_smoke.json" |
     grep -q 'conformance: PASS' ||
     { echo "harness: mmap smoke spec does not replay clean" >&2; return 1; }
+  # container=combining cell: the emit-time fold must be invisible against
+  # the oracle's default-container run.
+  "${cli}" replay "${specs}/replay_combining_smoke.json" |
+    grep -q 'conformance: PASS' ||
+    { echo "harness: combining smoke spec does not replay clean" >&2
+      return 1; }
   # The mutated replays exit non-zero BY DESIGN, so capture output first
   # (a plain pipeline would trip pipefail even when grep matches) and
   # assert on the explicit verdict string.
@@ -114,7 +125,7 @@ mutation_smoke() {
   grep -q 'conformance: FAIL' <<<"${out}" ||
     { echo "harness: partition-routing mutation was NOT detected" >&2
       return 1; }
-  echo "harness: mutation smoke OK (2 specs x clean+mutated, 1 mmap cell)"
+  echo "harness: mutation smoke OK (2 specs x clean+mutated, 1 mmap cell, 1 combining cell)"
 }
 
 run_stage() {
@@ -261,8 +272,27 @@ run_stage() {
         { echo "graph-smoke: checked-in graph spec is not conformant" >&2
           return 1; }
       ;;
+    combining-smoke)
+      # In-mapper combining under TSan: single-writer stripe counters and
+      # concurrent disjoint-partition reduces must be race-free, and the
+      # checked-in combining spec must replay conformant through the
+      # instrumented CLI. Reuses the tsan build tree; `combining` selects
+      # the property suite and the replay smoke (docs/containers.md).
+      configure_and_build "${ROOT}/build-check-tsan" \
+        -DSUPMR_SANITIZE=thread -DSUPMR_BUILD_BENCH=OFF \
+        -DSUPMR_BUILD_EXAMPLES=OFF
+      (cd "${ROOT}/build-check-tsan" &&
+        TSAN_OPTIONS="suppressions=${SUPP}/tsan.supp halt_on_error=1 second_deadlock_stack=1" \
+        ctest -L combining --output-on-failure -j "${JOBS}")
+      TSAN_OPTIONS="suppressions=${SUPP}/tsan.supp halt_on_error=1 second_deadlock_stack=1" \
+        "${ROOT}/build-check-tsan/tools/supmr" replay \
+        "${ROOT}/tests/harness/replay_combining_smoke.json" |
+        grep -q 'conformance: PASS' ||
+        { echo "combining-smoke: checked-in combining spec is not conformant" >&2
+          return 1; }
+      ;;
     *)
-      echo "unknown stage '${stage}' (want plain, tsan, asan, obs-smoke, fault-smoke, coverage, harness, harness-asan, jobmix-smoke, or graph-smoke)" >&2
+      echo "unknown stage '${stage}' (want plain, tsan, asan, obs-smoke, fault-smoke, coverage, harness, harness-asan, jobmix-smoke, graph-smoke, or combining-smoke)" >&2
       return 2
       ;;
   esac

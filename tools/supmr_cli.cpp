@@ -40,6 +40,12 @@
 //                                    zero-copy mmap views (default read);
 //                                    falls back to read per chunk under
 //                                    --throttle/--fault-plan (docs/cli.md)
+//   --container=default|combining    intermediate container: each app's own
+//                                    choice, or the in-mapper combining
+//                                    hash-aggregate (docs/containers.md).
+//                                    Rejected for apps without a declared
+//                                    combiner (sort, grep, kmeans,
+//                                    wordcount --budget)
 //   --throttle=RATE                  emulate a slow device, e.g. 384MB
 //   --trace=out.csv                  dump a /proc/stat utilization trace
 //   --metrics-json=out.json          dump the runtime metrics snapshot
@@ -100,6 +106,7 @@ namespace {
 
 const std::set<std::string> kCommonFlags = {
     "mode",   "merge",   "partitions", "threads", "chunk", "throttle", "io",
+    "container",
     "trace",  "top",     "out",     "key-bytes",  "record-bytes",
     "lo",     "hi",      "bins",    "files-per-chunk", "size",
     "verbose", "json",    "budget",  "clusters",   "dim",
@@ -148,6 +155,9 @@ StatusOr<CommonConfig> common_config(const Flags& flags) {
                          core::merge_mode_from_name(merge));
   const std::string io = flags.get_or("io", "read");
   SUPMR_ASSIGN_OR_RETURN(cfg.job.io, core::io_mode_from_name(io));
+  const std::string container = flags.get_or("container", "default");
+  SUPMR_ASSIGN_OR_RETURN(cfg.job.container,
+                         core::container_mode_from_name(container));
   SUPMR_ASSIGN_OR_RETURN(std::uint64_t partitions,
                          flags.get_int("partitions", 0));
   cfg.job.num_merge_partitions = partitions;
@@ -250,6 +260,9 @@ StatusOr<core::JobResult> run_app(core::Application& app,
                                   const storage::Device* device,
                                   const ingest::RecordFormat* format,
                                   const CommonConfig& cfg) {
+  // Container selection before init: apps without a combiner reject
+  // --container=combining here instead of silently falling back.
+  SUPMR_RETURN_IF_ERROR(app.use_container(cfg.job.container));
   core::MapReduceJob job(app, source, cfg.job);
   core::ProcStatSampler sampler(0.1);
   const bool tracing =
@@ -480,6 +493,14 @@ Status cmd_kmeans(const Flags& flags) {
     return Status::InvalidArgument("kmeans needs an input points file");
   }
   SUPMR_ASSIGN_OR_RETURN(CommonConfig cfg, common_config(flags));
+  if (cfg.job.container != core::ContainerMode::kDefault) {
+    // run_kmeans owns its apps internally, so the run_app seam never sees
+    // them — reject here with the same vocabulary.
+    return Status::InvalidArgument(
+        "container=" +
+        std::string(core::container_mode_name(cfg.job.container)) +
+        ": this application declares no combiner");
+  }
   SUPMR_ASSIGN_OR_RETURN(auto dev, open_input(flags.positional()[0], cfg));
   SUPMR_ASSIGN_OR_RETURN(std::uint64_t clusters,
                          flags.get_int("clusters", 4));
@@ -570,14 +591,15 @@ Status cmd_replay(const std::string& path) {
   SUPMR_ASSIGN_OR_RETURN(core::ReplaySpec spec,
                          core::ReplaySpec::from_json(text));
   std::printf("replay: app=%s corpus=%s/%llu seed=%llu mode=%s merge=%s "
-              "io=%s threads=%llu chunk=%llu partitions=%llu degrade=%d "
-              "fault-plan=%s\n",
+              "io=%s container=%s threads=%llu chunk=%llu partitions=%llu "
+              "degrade=%d fault-plan=%s\n",
               spec.app.c_str(), spec.corpus.kind.c_str(),
               (unsigned long long)spec.corpus.bytes,
               (unsigned long long)spec.corpus.seed,
               std::string(core::exec_mode_name(spec.mode)).c_str(),
               std::string(core::merge_mode_name(spec.merge_mode)).c_str(),
               std::string(core::io_mode_name(spec.io)).c_str(),
+              std::string(core::container_mode_name(spec.container)).c_str(),
               (unsigned long long)spec.threads,
               (unsigned long long)spec.chunk_bytes,
               (unsigned long long)spec.merge_partitions,
