@@ -37,6 +37,10 @@ class ExternalWordCountApp final : public core::Application {
   std::uint64_t result_count() const override { return results_.size(); }
   std::string canonical_output() const override;
 
+  core::ShardKind shard_kind() const override {
+    return core::ShardKind::kSortedKeys;
+  }
+
   // (word, count) sorted by word — same contract as WordCountApp.
   const std::vector<Result>& results() const { return results_; }
   std::size_t runs_spilled() const { return runs_spilled_; }

@@ -34,6 +34,10 @@ class GrepApp final : public core::Application {
   std::uint64_t result_count() const override { return results_.size(); }
   std::string canonical_output() const override;
 
+  core::ShardKind shard_kind() const override {
+    return core::ShardKind::kSortedKeys;
+  }
+
   // (pattern, total occurrences), sorted by pattern; patterns with zero
   // matches are absent.
   const std::vector<Result>& results() const { return results_; }

@@ -43,6 +43,11 @@ class HistogramApp final : public core::Application {
   core::CombinerKind combiner_kind() const override {
     return core::CombinerKind::kSum;
   }
+  // Dense bins plus the parsed/dropped trailers: every input slice yields
+  // the same line labels, so node outputs fold element-wise.
+  core::ShardKind shard_kind() const override {
+    return core::ShardKind::kAligned;
+  }
   Status use_container(core::ContainerMode mode) override;
   core::CombineStats combine_stats() const override;
 

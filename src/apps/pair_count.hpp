@@ -38,6 +38,9 @@ class PairCountApp final : public core::Application {
   core::CombinerKind combiner_kind() const override {
     return core::CombinerKind::kSum;
   }
+  core::ShardKind shard_kind() const override {
+    return core::ShardKind::kSortedKeys;
+  }
   Status use_container(core::ContainerMode mode) override {
     container_.select(mode);
     return Status::Ok();

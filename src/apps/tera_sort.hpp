@@ -52,6 +52,13 @@ class TeraSortApp final : public core::Application {
   }
   std::string canonical_output() const override;
 
+  // canonical_output() normalizes equal-key ties by full record bytes, so
+  // its global order is exactly full-record memcmp — the kFixedRecords
+  // contract.
+  core::ShardKind shard_kind() const override {
+    return core::ShardKind::kFixedRecords;
+  }
+
   // Sorted output (result_count() * record_bytes bytes), valid after merge.
   const std::vector<char>& sorted_data() const { return sorted_; }
 

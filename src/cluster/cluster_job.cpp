@@ -1,0 +1,388 @@
+#include "cluster/cluster_job.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "cluster/protocol.hpp"
+#include "ingest/source.hpp"
+#include "merge/external_sorter.hpp"
+#include "merge/partitioned.hpp"
+#include "obs/macros.hpp"
+#include "storage/mem_device.hpp"
+#include "storage/rate_limiter.hpp"
+#include "storage/throttled_device.hpp"
+#include "threading/thread_pool.hpp"
+
+namespace supmr::cluster {
+namespace {
+
+// Node input slices: group the deterministic chunk plan's extents into N
+// contiguous runs, so every slice boundary is a record boundary and the
+// concatenation of slices is exactly the input. Nodes past the extent count
+// get empty slices (they still participate in the shuffle as owners).
+StatusOr<std::vector<std::string>> slice_input(const ClusterJob& job,
+                                               std::size_t nodes) {
+  auto device =
+      std::make_shared<storage::MemDevice>(job.input, "cluster-plan");
+  ingest::SingleDeviceSource planner(device, job.format, job.chunk_bytes);
+  SUPMR_ASSIGN_OR_RETURN(std::vector<ingest::ChunkExtent> extents,
+                         planner.plan());
+  std::vector<std::string> slices(nodes);
+  const std::size_t e = extents.size();
+  for (std::size_t k = 0; k < nodes; ++k) {
+    const std::size_t lo = k * e / nodes;
+    const std::size_t hi = (k + 1) * e / nodes;
+    if (lo >= hi) continue;
+    const std::uint64_t begin = extents[lo].offset;
+    const std::uint64_t end = extents[hi - 1].offset + extents[hi - 1].length;
+    slices[k] = job.input.substr(begin, end - begin);
+  }
+  return slices;
+}
+
+struct NodeRun {
+  std::string canonical;
+  NodeStats stats;
+};
+
+// One WorkerNode: a private MemDevice over the slice (throttled to the node
+// disk rate when modeled), a fresh Application, and a full MapReduceJob on
+// the node's own leased thread pool.
+Status run_node(const ClusterJob& job, std::string slice,
+                std::shared_ptr<storage::RateLimiter> disk, NodeRun& out) {
+  core::JobConfig cfg = job.config;
+  cfg.num_nodes = 0;  // the node-local job must not recurse the cluster knobs
+  cfg.node_link_bps = 0.0;
+  cfg.uplink_bps = 0.0;
+  cfg.node_disk_bps = 0.0;
+  cfg.node_memory_budget = 0;
+
+  out.stats.input_bytes = slice.size();
+  std::shared_ptr<const storage::Device> device =
+      std::make_shared<storage::MemDevice>(std::move(slice), "cluster-node");
+  if (disk != nullptr) {
+    device = std::make_shared<storage::ThrottledDevice>(device, disk);
+  }
+  ingest::SingleDeviceSource source(device, job.format, job.chunk_bytes,
+                                    cfg.io);
+
+  std::unique_ptr<core::Application> app = job.make_app();
+  if (app == nullptr) {
+    return Status::InvalidArgument("cluster: application factory returned null");
+  }
+  SUPMR_RETURN_IF_ERROR(app->use_container(cfg.container));
+
+  ThreadPool pool(std::max<std::size_t>(
+      {cfg.num_map_threads, cfg.num_reduce_threads, 1}));
+  core::MapReduceJob mr(*app, source, cfg);
+  mr.attach_runtime(pool);
+  // kAdaptive needs no extra wiring: the device and format auto-derive from
+  // the node's SingleDeviceSource.
+  SUPMR_ASSIGN_OR_RETURN(out.stats.job, mr.run(cfg.mode));
+  out.canonical = app->canonical_output();
+  out.stats.map_output_bytes = out.canonical.size();
+  return Status::Ok();
+}
+
+std::uint64_t run_bytes(const std::vector<std::string_view>& run) {
+  std::uint64_t bytes = 0;
+  for (std::string_view r : run) bytes += r.size();
+  return bytes;
+}
+
+// Owner-side merge of an over-budget fixed-record partition: the YTsaurus
+// split-sort-merge shape via merge::ExternalSorter. key_bytes ==
+// record_bytes because the canonical order IS full-record memcmp.
+StatusOr<std::string> external_merge_fixed(
+    const ClusterJob& job, const std::vector<std::vector<std::string_view>>& runs,
+    std::uint64_t* spill_runs) {
+  merge::ExternalSorterOptions options;
+  options.record_bytes = static_cast<std::uint32_t>(job.record_bytes);
+  options.key_bytes = static_cast<std::uint32_t>(job.record_bytes);
+  options.memory_budget_bytes = job.config.node_memory_budget;
+  options.spill_dir = job.spill_dir;
+  ThreadPool pool(1);
+  merge::ExternalSorter sorter(pool, options);
+  for (const auto& run : runs) {
+    for (std::string_view record : run) {
+      SUPMR_RETURN_IF_ERROR(
+          sorter.add(std::span<const char>(record.data(), record.size())));
+    }
+  }
+  // Snapshot before finish(): the final merge consumes (and forgets) the
+  // spilled runs, so runs_spilled() is back to 0 afterwards.
+  *spill_runs = sorter.runs_spilled();
+  std::string out;
+  SUPMR_ASSIGN_OR_RETURN(
+      merge::MergeStats stats,
+      sorter.finish([&out](std::span<const char> slab) {
+        out.append(slab.data(), slab.size());
+        return Status::Ok();
+      }));
+  (void)stats;
+  return out;
+}
+
+}  // namespace
+
+StatusOr<ClusterResult> run_cluster(const ClusterJob& job) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::size_t N = job.config.num_nodes;
+  if (N == 0) {
+    return Status::InvalidArgument("cluster: nodes must be >= 1");
+  }
+  if (!job.make_app) {
+    return Status::InvalidArgument("cluster: application factory is empty");
+  }
+  if (job.format == nullptr) {
+    return Status::InvalidArgument("cluster: record format is null");
+  }
+  core::ShardKind shard;
+  {
+    std::unique_ptr<core::Application> probe = job.make_app();
+    if (probe == nullptr) {
+      return Status::InvalidArgument(
+          "cluster: application factory returned null");
+    }
+    shard = probe->shard_kind();
+  }
+  if (shard == core::ShardKind::kNone) {
+    return Status::InvalidArgument(
+        "cluster: application declares no shard protocol");
+  }
+  if (shard == core::ShardKind::kFixedRecords && job.record_bytes == 0) {
+    return Status::InvalidArgument(
+        "cluster: fixed-record sharding needs record_bytes");
+  }
+  if (job.config.node_memory_budget > 0 && job.spill_dir.empty()) {
+    return Status::InvalidArgument(
+        "cluster: node_memory_budget needs a spill_dir");
+  }
+
+  SUPMR_ASSIGN_OR_RETURN(std::vector<std::string> slices,
+                         slice_input(job, N));
+
+  // The fabric: per-node NIC limiters, the optional shared uplink every
+  // cross-node byte also crosses, and per-node ingest-disk limiters. A zero
+  // rate leaves that leg unmodeled (infinite bandwidth).
+  std::vector<std::shared_ptr<storage::RateLimiter>> nic(N);
+  std::vector<std::shared_ptr<storage::RateLimiter>> disk(N);
+  std::shared_ptr<storage::RateLimiter> uplink;
+  if (job.config.node_link_bps > 0) {
+    for (auto& limiter : nic) {
+      limiter = std::make_shared<storage::RateLimiter>(job.config.node_link_bps);
+    }
+  }
+  if (job.config.uplink_bps > 0) {
+    uplink = std::make_shared<storage::RateLimiter>(job.config.uplink_bps);
+  }
+  if (job.config.node_disk_bps > 0) {
+    for (auto& limiter : disk) {
+      limiter = std::make_shared<storage::RateLimiter>(job.config.node_disk_bps);
+    }
+  }
+
+  // Phase 1: every node runs its local MapReduceJob, concurrently — the
+  // disk limiters only contend (and ingest only overlaps) if they do.
+  std::vector<NodeRun> runs(N);
+  std::vector<Status> node_status(N, Status::Ok());
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(N);
+    for (std::size_t k = 0; k < N; ++k) {
+      threads.emplace_back([&, k] {
+        try {
+          node_status[k] =
+              run_node(job, std::move(slices[k]), disk[k], runs[k]);
+        } catch (const std::exception& e) {
+          node_status[k] =
+              Status::Internal(std::string("cluster node threw: ") + e.what());
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  for (const Status& st : node_status) SUPMR_RETURN_IF_ERROR(st);
+
+  // Phase 2: split each node's canonical into protocol records.
+  std::vector<std::vector<std::string_view>> records(N);
+  for (std::size_t k = 0; k < N; ++k) {
+    if (shard == core::ShardKind::kFixedRecords) {
+      SUPMR_ASSIGN_OR_RETURN(records[k],
+                             split_fixed(runs[k].canonical, job.record_bytes));
+    } else {
+      SUPMR_ASSIGN_OR_RETURN(records[k], split_lines(runs[k].canonical));
+    }
+  }
+
+  // Owner assignment. Keyed kinds sample splitters over ALL nodes' records
+  // (merge::select_splitters — deterministic, so routing is independent of
+  // scheduling) and node p owns key-range partition p; duplicate-heavy
+  // samples may yield fewer cuts than nodes, leaving high-numbered nodes
+  // ownerless. The aligned kind owns by line-index range instead.
+  std::size_t P = N;
+  std::vector<std::string_view> key_splitters;
+  std::size_t aligned_lines = 0;
+  if (shard == core::ShardKind::kAligned) {
+    for (std::size_t k = 0; k < N; ++k) {
+      if (records[k].empty()) continue;
+      if (aligned_lines != 0 && records[k].size() != aligned_lines) {
+        return Status::InvalidArgument(
+            "cluster: aligned node outputs disagree on line count");
+      }
+      aligned_lines = records[k].size();
+    }
+  } else {
+    std::vector<std::string_view> all;
+    for (const auto& r : records) all.insert(all.end(), r.begin(), r.end());
+    if (shard == core::ShardKind::kSortedKeys) {
+      key_splitters = merge::select_splitters(
+          std::span<const std::string_view>(all), N, SortedKeyLess{});
+    } else {
+      key_splitters = merge::select_splitters(
+          std::span<const std::string_view>(all), N,
+          std::less<std::string_view>{});
+    }
+    P = key_splitters.size() + 1;
+  }
+
+  // Phase 3: shuffle. Sender nodes bucket their records by owner
+  // (merge::partition_of for keyed kinds, line-index ranges for aligned) and
+  // charge every cross-node payload against sender NIC -> uplink -> receiver
+  // NIC. inbox[owner][sender] has exactly one writer, so the concurrent
+  // senders never race; routing itself is deterministic, so the schedule
+  // cannot change placement.
+  std::vector<std::vector<std::vector<std::string_view>>> inbox(
+      P, std::vector<std::vector<std::string_view>>(N));
+  {
+    std::vector<std::thread> senders;
+    senders.reserve(N);
+    for (std::size_t s = 0; s < N; ++s) {
+      senders.emplace_back([&, s] {
+        std::vector<std::vector<std::string_view>> buckets(P);
+        if (shard == core::ShardKind::kAligned) {
+          for (std::size_t o = 0; o < P; ++o) {
+            const std::size_t lo = o * aligned_lines / N;
+            const std::size_t hi = (o + 1) * aligned_lines / N;
+            if (records[s].empty() || lo >= hi) continue;
+            buckets[o].assign(records[s].begin() + lo,
+                              records[s].begin() + hi);
+          }
+        } else if (shard == core::ShardKind::kSortedKeys) {
+          for (std::string_view rec : records[s]) {
+            buckets[merge::partition_of(key_splitters, rec, SortedKeyLess{})]
+                .push_back(rec);
+          }
+        } else {
+          for (std::string_view rec : records[s]) {
+            buckets[merge::partition_of(key_splitters, rec,
+                                        std::less<std::string_view>{})]
+                .push_back(rec);
+          }
+        }
+        for (std::size_t o = 0; o < P; ++o) {
+          const std::uint64_t bytes = run_bytes(buckets[o]);
+          if (o == s) {
+            runs[s].stats.local_bytes += bytes;
+          } else if (bytes > 0) {
+            if (nic[s] != nullptr) nic[s]->acquire(bytes);
+            if (uplink != nullptr) uplink->acquire(bytes);
+            if (o < N && nic[o] != nullptr) nic[o]->acquire(bytes);
+            runs[s].stats.sent_bytes += bytes;
+          }
+          inbox[o][s] = std::move(buckets[o]);
+        }
+      });
+    }
+    for (auto& t : senders) t.join();
+  }
+  for (std::size_t o = 0; o < P; ++o) {
+    for (std::size_t s = 0; s < N; ++s) {
+      if (o == s) continue;
+      runs[o].stats.recv_bytes += run_bytes(inbox[o][s]);
+    }
+  }
+
+  // Phase 4: owner merges, one per partition, concurrently. Fixed-record
+  // partitions over the node memory budget take the ExternalSorter spill
+  // path; everything else merges in memory.
+  std::vector<std::string> outputs(P);
+  std::vector<Status> owner_status(P, Status::Ok());
+  {
+    std::vector<std::thread> owners;
+    owners.reserve(P);
+    for (std::size_t o = 0; o < P; ++o) {
+      owners.emplace_back([&, o] {
+        try {
+          if (shard == core::ShardKind::kSortedKeys) {
+            auto merged = merge_sorted_keys(inbox[o]);
+            if (!merged.ok()) {
+              owner_status[o] = merged.status();
+              return;
+            }
+            outputs[o] = std::move(merged).value();
+          } else if (shard == core::ShardKind::kAligned) {
+            auto folded = fold_aligned(inbox[o]);
+            if (!folded.ok()) {
+              owner_status[o] = folded.status();
+              return;
+            }
+            outputs[o] = std::move(folded).value();
+          } else {
+            std::uint64_t total = 0;
+            for (const auto& run : inbox[o]) total += run_bytes(run);
+            const std::uint64_t budget = job.config.node_memory_budget;
+            if (budget > 0 && total > budget) {
+              // P <= N always, so partition o's owner is node o.
+              auto merged = external_merge_fixed(job, inbox[o],
+                                                 &runs[o].stats.spill_runs);
+              if (!merged.ok()) {
+                owner_status[o] = merged.status();
+                return;
+              }
+              outputs[o] = std::move(merged).value();
+            } else {
+              outputs[o] = merge_fixed_records(inbox[o]);
+            }
+          }
+        } catch (const std::exception& e) {
+          owner_status[o] = Status::Internal(
+              std::string("cluster owner merge threw: ") + e.what());
+        }
+      });
+    }
+    for (auto& t : owners) t.join();
+  }
+  for (const Status& st : owner_status) SUPMR_RETURN_IF_ERROR(st);
+
+  ClusterResult result;
+  result.shard = shard;
+  result.nodes.reserve(N);
+  for (std::size_t k = 0; k < N; ++k) {
+    result.map_output_bytes += runs[k].stats.map_output_bytes;
+    result.shuffle_bytes += runs[k].stats.sent_bytes;
+    result.local_bytes += runs[k].stats.local_bytes;
+    result.nodes.push_back(std::move(runs[k].stats));
+  }
+  for (std::size_t o = 0; o < P; ++o) result.output += outputs[o];
+  result.elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  SUPMR_COUNTER_ADD("cluster.shuffle_bytes", result.shuffle_bytes);
+  SUPMR_COUNTER_ADD("cluster.local_bytes", result.local_bytes);
+  SUPMR_GAUGE_SET("cluster.nodes", N);
+  std::uint64_t recv_max = 0;
+  std::uint64_t recv_min = ~std::uint64_t{0};
+  for (const NodeStats& node : result.nodes) {
+    const std::uint64_t owned = node.recv_bytes + node.local_bytes;
+    recv_max = std::max(recv_max, owned);
+    recv_min = std::min(recv_min, owned);
+  }
+  SUPMR_GAUGE_SET("cluster.node_recv_max_bytes", recv_max);
+  SUPMR_GAUGE_SET("cluster.node_recv_min_bytes", recv_min);
+  return result;
+}
+
+}  // namespace supmr::cluster

@@ -1,0 +1,167 @@
+#include "cluster/protocol.hpp"
+
+#include <algorithm>
+
+namespace supmr::cluster {
+
+StatusOr<std::vector<std::string_view>> split_lines(std::string_view bytes) {
+  std::vector<std::string_view> lines;
+  if (bytes.empty()) return lines;
+  if (bytes.back() != '\n') {
+    return Status::InvalidArgument(
+        "cluster: canonical output is not newline-terminated");
+  }
+  std::size_t start = 0;
+  while (start < bytes.size()) {
+    const std::size_t nl = bytes.find('\n', start);
+    lines.push_back(bytes.substr(start, nl - start + 1));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+StatusOr<std::vector<std::string_view>> split_fixed(std::string_view bytes,
+                                                    std::size_t record_bytes) {
+  if (record_bytes == 0) {
+    return Status::InvalidArgument("cluster: record_bytes must be >= 1");
+  }
+  if (bytes.size() % record_bytes != 0) {
+    return Status::InvalidArgument(
+        "cluster: canonical output is not a whole number of " +
+        std::to_string(record_bytes) + "-byte records");
+  }
+  std::vector<std::string_view> records;
+  records.reserve(bytes.size() / record_bytes);
+  for (std::size_t off = 0; off < bytes.size(); off += record_bytes) {
+    records.push_back(bytes.substr(off, record_bytes));
+  }
+  return records;
+}
+
+std::string_view line_key(std::string_view line) {
+  if (!line.empty() && line.back() == '\n') line.remove_suffix(1);
+  const std::size_t tab = line.rfind('\t');
+  if (tab == std::string_view::npos) return line;
+  return line.substr(0, tab);
+}
+
+StatusOr<std::uint64_t> line_value(std::string_view line) {
+  if (!line.empty() && line.back() == '\n') line.remove_suffix(1);
+  const std::size_t tab = line.rfind('\t');
+  if (tab == std::string_view::npos) {
+    return Status::InvalidArgument("cluster: line has no value field: \"" +
+                                   std::string(line) + "\"");
+  }
+  const std::string_view digits = line.substr(tab + 1);
+  if (digits.empty()) {
+    return Status::InvalidArgument("cluster: empty value in line: \"" +
+                                   std::string(line) + "\"");
+  }
+  std::uint64_t value = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("cluster: non-decimal value in line: \"" +
+                                     std::string(line) + "\"");
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+StatusOr<std::string> merge_sorted_keys(
+    const std::vector<std::vector<std::string_view>>& runs) {
+  std::string out;
+  std::vector<std::size_t> heads(runs.size(), 0);
+  while (true) {
+    // Run counts are small (one per node), so a linear min scan beats a heap.
+    std::string_view min_key;
+    bool have = false;
+    for (std::size_t r = 0; r < runs.size(); ++r) {
+      if (heads[r] >= runs[r].size()) continue;
+      const std::string_view key = line_key(runs[r][heads[r]]);
+      if (!have || key < min_key) {
+        min_key = key;
+        have = true;
+      }
+    }
+    if (!have) return out;
+
+    std::uint64_t sum = 0;
+    for (std::size_t r = 0; r < runs.size(); ++r) {
+      if (heads[r] >= runs[r].size()) continue;
+      const std::string_view line = runs[r][heads[r]];
+      if (line_key(line) != min_key) continue;
+      SUPMR_ASSIGN_OR_RETURN(const std::uint64_t v, line_value(line));
+      sum += v;
+      ++heads[r];
+    }
+    out.append(min_key);
+    out += '\t';
+    out += std::to_string(sum);
+    out += '\n';
+  }
+}
+
+std::string merge_fixed_records(
+    const std::vector<std::vector<std::string_view>>& runs) {
+  std::string out;
+  std::vector<std::size_t> heads(runs.size(), 0);
+  while (true) {
+    std::size_t min_run = runs.size();
+    for (std::size_t r = 0; r < runs.size(); ++r) {
+      if (heads[r] >= runs[r].size()) continue;
+      if (min_run == runs.size() ||
+          runs[r][heads[r]] < runs[min_run][heads[min_run]]) {
+        min_run = r;
+      }
+    }
+    if (min_run == runs.size()) return out;
+    out.append(runs[min_run][heads[min_run]]);
+    ++heads[min_run];
+  }
+}
+
+StatusOr<std::string> fold_aligned(
+    const std::vector<std::vector<std::string_view>>& runs) {
+  std::size_t lines = 0;
+  bool have = false;
+  for (const auto& run : runs) {
+    if (run.empty()) continue;  // a node that owns no slice contributes 0
+    if (have && run.size() != lines) {
+      return Status::InvalidArgument(
+          "cluster: aligned outputs disagree on line count (" +
+          std::to_string(lines) + " vs " + std::to_string(run.size()) + ")");
+    }
+    lines = run.size();
+    have = true;
+  }
+  std::string out;
+  if (!have) return out;
+  for (std::size_t i = 0; i < lines; ++i) {
+    std::string_view label;
+    bool labeled = false;
+    std::uint64_t sum = 0;
+    for (const auto& run : runs) {
+      if (run.empty()) continue;
+      const std::string_view key = line_key(run[i]);
+      if (!labeled) {
+        label = key;
+        labeled = true;
+      } else if (key != label) {
+        return Status::InvalidArgument(
+            "cluster: aligned outputs disagree on line " + std::to_string(i) +
+            " label (\"" + std::string(label) + "\" vs \"" + std::string(key) +
+            "\")");
+      }
+      SUPMR_ASSIGN_OR_RETURN(const std::uint64_t v, line_value(run[i]));
+      sum += v;
+    }
+    out.append(label);
+    out += '\t';
+    out += std::to_string(sum);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace supmr::cluster

@@ -1,0 +1,72 @@
+// Shuffle protocols: how per-node canonical outputs are split into records,
+// routed across worker nodes, and reassembled into the global output.
+//
+// The cluster runtime (cluster_job.hpp) never looks inside an application's
+// containers — it shuffles the app's *canonical output* (the byte encoding
+// every app already defines for oracle conformance). Each ShardKind pins
+// down the record grammar and the owner-side merge that makes the
+// concatenation of owner outputs byte-identical to a sequential run:
+//   kSortedKeys    "key\tu64\n" lines sorted by key, keys unique per run;
+//                  equal keys across runs fold by summing the value.
+//   kFixedRecords  fixed-width records in full-record memcmp order; equal
+//                  records are byte-identical so tie order is immaterial.
+//   kAligned       an input-independent dense line structure; the global
+//                  output is the element-wise sum of per-node values.
+// Everything here is a pure function over string views into the node
+// canonicals — no I/O, no threads — so the error paths are unit-testable in
+// isolation (tests/cluster_property_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace supmr::cluster {
+
+// Splits newline-terminated lines; each view INCLUDES its trailing '\n'.
+// Rejects a non-empty input whose last byte is not '\n'.
+StatusOr<std::vector<std::string_view>> split_lines(std::string_view bytes);
+
+// Splits fixed-width records. Rejects record_bytes == 0 and inputs that are
+// not a whole number of records.
+StatusOr<std::vector<std::string_view>> split_fixed(std::string_view bytes,
+                                                    std::size_t record_bytes);
+
+// Key of a sorted-keys/aligned line: the prefix up to the LAST tab (keys may
+// themselves contain tabs; values never do). A line without a tab keys as
+// the whole line minus its newline.
+std::string_view line_key(std::string_view line);
+
+// The decimal u64 between the last tab and the trailing newline.
+StatusOr<std::uint64_t> line_value(std::string_view line);
+
+// Orders sorted-keys lines by key only, so equal keys route to the same
+// partition and fold at the owner.
+struct SortedKeyLess {
+  bool operator()(std::string_view a, std::string_view b) const {
+    return line_key(a) < line_key(b);
+  }
+};
+
+// K-way merge of per-sender runs of sorted-keys lines (each run sorted by
+// key, keys unique within a run), folding equal keys across runs by summing
+// their values.
+StatusOr<std::string> merge_sorted_keys(
+    const std::vector<std::vector<std::string_view>>& runs);
+
+// K-way merge of per-sender runs of fixed-width records, each run already in
+// full-record memcmp order. Ties break toward the lower run index; equal
+// records are byte-identical, so the output bytes do not depend on it.
+std::string merge_fixed_records(
+    const std::vector<std::vector<std::string_view>>& runs);
+
+// Element-wise fold of aligned line slices: every non-empty run must have
+// the same line count and identical labels line by line; the output carries
+// the shared labels with the summed values.
+StatusOr<std::string> fold_aligned(
+    const std::vector<std::vector<std::string_view>>& runs);
+
+}  // namespace supmr::cluster

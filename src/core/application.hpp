@@ -56,6 +56,36 @@ inline std::string_view combiner_kind_name(CombinerKind kind) {
   return enum_to_name(kCombinerKindNames, kind);
 }
 
+// How the cluster runtime (src/cluster/) may shard an app's canonical
+// output across simulated worker nodes and reassemble it byte-identically.
+// kNone means the app declares no shuffle protocol and rejects cluster runs.
+enum class ShardKind {
+  kNone,
+  // canonical_output() is "key\tu64\n" lines, sorted lexicographically by
+  // key (the prefix up to the LAST tab), keys unique within one run; equal
+  // keys across runs fold by summing the decimal value.
+  kSortedKeys,
+  // canonical_output() is fixed-width records whose global order is
+  // full-record memcmp (the key is a record prefix and ties are normalized
+  // by full bytes, so equal records are byte-identical).
+  kFixedRecords,
+  // canonical_output() has an input-independent dense line structure
+  // ("label\tu64\n" with identical labels across any input slice); the
+  // global output is the element-wise sum of per-node values.
+  kAligned,
+};
+
+inline constexpr EnumName<ShardKind> kShardKindNames[] = {
+    {ShardKind::kNone, "none"},
+    {ShardKind::kSortedKeys, "sorted-keys"},
+    {ShardKind::kFixedRecords, "fixed-records"},
+    {ShardKind::kAligned, "aligned"},
+};
+
+inline std::string_view shard_kind_name(ShardKind kind) {
+  return enum_to_name(kShardKindNames, kind);
+}
+
 // Fold-effectiveness accounting for a combining run (all zero when the app
 // ran its default container). bytes_emitted is the intermediate volume a
 // non-combining container would have carried into reduce/merge (every emit's
@@ -107,6 +137,11 @@ class Application {
   // The associative combiner this app can fold with at emit time. kNone
   // (the default) means the app only runs its own container.
   virtual CombinerKind combiner_kind() const { return CombinerKind::kNone; }
+
+  // The shuffle protocol the sharded cluster runtime (src/cluster/) uses to
+  // route and reassemble this app's output across worker nodes. kNone (the
+  // default) opts the app out of cluster runs.
+  virtual ShardKind shard_kind() const { return ShardKind::kNone; }
 
   // Selects the intermediate container before init(). Construction sites
   // (CLI, conformance harness, quickstart) call this with

@@ -104,6 +104,20 @@ struct JobConfig {
   // merges exactly fill the machine (docs/merge.md).
   std::size_t num_merge_partitions = 0;
 
+  // Sharded-shuffle cluster runtime (src/cluster/, docs/cluster.md). 0 nodes
+  // = the normal single-process run; >= 1 splits the input across that many
+  // in-process worker nodes, each running its own MapReduceJob with this
+  // config's mode/merge/io/container/thread knobs, then shuffles map output
+  // between them. The bandwidth knobs model the scale-out fabric: per-node
+  // NIC rate, an optional shared uplink every cross-node byte also crosses,
+  // and a per-node ingest-disk rate. node_memory_budget > 0 makes owner
+  // partitions larger than the budget take the ExternalSorter spill path.
+  std::size_t num_nodes = 0;
+  double node_link_bps = 0.0;
+  double uplink_bps = 0.0;
+  double node_disk_bps = 0.0;
+  std::size_t node_memory_budget = 0;
+
   // Spawn-and-join raw threads for every map wave instead of reusing pooled
   // workers — the paper's per-round thread lifecycle, measurable as overhead
   // with small chunks (§VI.C.1).

@@ -84,6 +84,16 @@ std::string ReplaySpec::to_json() const {
   w.kv("handoff", graph_handoff_name(graph_handoff));
   w.kv("budget", graph_budget);
   w.end_object();
+  // Cluster cells only; written for every spec, optional on parse (specs
+  // checked in before the cluster runtime existed omit the whole object).
+  w.key("cluster");
+  w.begin_object();
+  w.kv("nodes", cluster_nodes);
+  w.kv("link_bps", cluster_link_bps);
+  w.kv("uplink_bps", cluster_uplink_bps);
+  w.kv("disk_bps", cluster_disk_bps);
+  w.kv("budget", cluster_budget);
+  w.end_object();
   w.end_object();
   return w.str();
 }
@@ -357,6 +367,16 @@ StatusOr<ReplaySpec> ReplaySpec::from_json(std::string_view text) {
   SUPMR_ASSIGN_OR_RETURN(spec.graph_handoff, graph_handoff_from_name(handoff));
   SUPMR_RETURN_IF_ERROR(
       fields.take_u64_or("graph.budget", spec.graph_budget, 0));
+  SUPMR_RETURN_IF_ERROR(
+      fields.take_u64_or("cluster.nodes", spec.cluster_nodes, 0));
+  SUPMR_RETURN_IF_ERROR(
+      fields.take_u64_or("cluster.link_bps", spec.cluster_link_bps, 0));
+  SUPMR_RETURN_IF_ERROR(
+      fields.take_u64_or("cluster.uplink_bps", spec.cluster_uplink_bps, 0));
+  SUPMR_RETURN_IF_ERROR(
+      fields.take_u64_or("cluster.disk_bps", spec.cluster_disk_bps, 0));
+  SUPMR_RETURN_IF_ERROR(
+      fields.take_u64_or("cluster.budget", spec.cluster_budget, 0));
   SUPMR_RETURN_IF_ERROR(fields.check_empty());
 
   if (spec.app != "wordcount" && spec.app != "xwordcount" &&
@@ -374,6 +394,16 @@ StatusOr<ReplaySpec> ReplaySpec::from_json(std::string_view text) {
   SUPMR_RETURN_IF_ERROR(spec.corpus.parsed_kind().status());
   if (spec.threads == 0) {
     return Status::InvalidArgument("replay spec: threads must be >= 1");
+  }
+  if (spec.is_cluster() && spec.is_graph()) {
+    return Status::InvalidArgument(
+        "replay spec: cluster cells run single-round apps, not graphs");
+  }
+  if (!spec.is_cluster() &&
+      (spec.cluster_link_bps != 0 || spec.cluster_uplink_bps != 0 ||
+       spec.cluster_disk_bps != 0 || spec.cluster_budget != 0)) {
+    return Status::InvalidArgument(
+        "replay spec: cluster bandwidth/budget knobs require cluster.nodes");
   }
   return spec;
 }

@@ -99,10 +99,25 @@ struct ReplaySpec {
   GraphHandoff graph_handoff = GraphHandoff::kMemory;
   std::uint64_t graph_budget = 0;
 
+  // Cluster cells only (optional in the JSON — non-cluster specs omit the
+  // whole object): nodes > 0 routes the cell through the sharded-shuffle
+  // runtime (src/cluster/) with that many simulated worker nodes; the
+  // bandwidth knobs (bytes/second) model per-node NICs, the shared uplink,
+  // and per-node ingest disks, and budget > 0 spills over-budget
+  // fixed-record owner partitions through the ExternalSorter.
+  std::uint64_t cluster_nodes = 0;
+  std::uint64_t cluster_link_bps = 0;
+  std::uint64_t cluster_uplink_bps = 0;
+  std::uint64_t cluster_disk_bps = 0;
+  std::uint64_t cluster_budget = 0;
+
   // True for the chained graph apps (pmi | tfidf | msort).
   bool is_graph() const {
     return app == "pmi" || app == "tfidf" || app == "msort";
   }
+
+  // True when the cell runs through the cluster runtime.
+  bool is_cluster() const { return cluster_nodes > 0; }
 
   std::string to_json() const;
   // Strict parse of a spec produced by to_json (or hand-written in the same

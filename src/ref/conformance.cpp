@@ -11,6 +11,8 @@
 #include <string_view>
 #include <vector>
 
+#include <unistd.h>
+
 #include "apps/chains.hpp"
 #include "apps/doc_term_count.hpp"
 #include "apps/external_word_count.hpp"
@@ -20,6 +22,7 @@
 #include "apps/pair_count.hpp"
 #include "apps/tera_sort.hpp"
 #include "apps/word_count.hpp"
+#include "cluster/cluster_job.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/retrying_device.hpp"
 #include "graph/job_graph.hpp"
@@ -262,10 +265,97 @@ StatusOr<ConformanceOutcome> run_graph_cell(const core::ReplaySpec& spec,
   return outcome;
 }
 
+// Cluster cells: run the spec through the sharded-shuffle runtime
+// (src/cluster/) and byte-compare the reassembled global output against the
+// sequential oracle over the FULL corpus — the strongest form of the
+// scale-out claim: N nodes, a real shuffle, identical bytes. The cluster
+// owns its node runtimes, so `run_sut` does not apply here (run_cell_managed
+// rejects cluster specs up front).
+StatusOr<ConformanceOutcome> run_cluster_cell(
+    const core::ReplaySpec& spec, const std::string* corpus_override) {
+  if (!spec.fault_plan.empty() || spec.degrade) {
+    return Status::InvalidArgument(
+        "conformance: cluster cells do not take fault plans (node slices are "
+        "private in-memory devices)");
+  }
+  if (needs_multi_text(spec) || spec.corpus.kind == "multi-text") {
+    return Status::InvalidArgument(
+        "conformance: cluster cells need a single-device app");
+  }
+
+  core::JobConfig cfg;
+  cfg.mode = spec.mode;
+  cfg.merge_mode = spec.merge_mode;
+  cfg.num_map_threads = spec.threads;
+  cfg.num_reduce_threads = spec.threads;
+  cfg.num_merge_partitions = spec.merge_partitions;
+  cfg.io = spec.io;
+  cfg.container = spec.container;
+  cfg.num_nodes = static_cast<std::size_t>(spec.cluster_nodes);
+  cfg.node_link_bps = static_cast<double>(spec.cluster_link_bps);
+  cfg.uplink_bps = static_cast<double>(spec.cluster_uplink_bps);
+  cfg.node_disk_bps = static_cast<double>(spec.cluster_disk_bps);
+  cfg.node_memory_budget = static_cast<std::size_t>(spec.cluster_budget);
+
+  std::string data;
+  if (corpus_override != nullptr) {
+    data = *corpus_override;
+  } else {
+    SUPMR_ASSIGN_OR_RETURN(data, make_corpus(spec));
+  }
+
+  cluster::ClusterJob job;
+  job.input = std::move(data);
+  job.format = make_format(spec);
+  job.make_app = [&spec]() -> std::unique_ptr<core::Application> {
+    auto app = make_app(spec, /*for_ref=*/false);
+    return app.ok() ? std::move(app).value() : nullptr;
+  };
+  job.config = cfg;
+  job.chunk_bytes = spec.chunk_bytes;
+  if (spec.app == "sort") job.record_bytes = spec.record_bytes;
+  if (cfg.node_memory_budget > 0) {
+    job.spill_dir = "/tmp/supmr_cluster_" + std::to_string(::getpid());
+    ::mkdir(job.spill_dir.c_str(), 0777);  // best effort; the sorter reports
+  }
+
+  SUPMR_ASSIGN_OR_RETURN(cluster::ClusterResult sut, cluster::run_cluster(job));
+
+  SUPMR_ASSIGN_OR_RETURN(auto ref_app, make_app(spec, /*for_ref=*/true));
+  auto ref_dev =
+      std::make_shared<storage::MemDevice>(job.input, "conformance-ref");
+  ingest::SingleDeviceSource ref_source(ref_dev, make_format(spec), 0);
+  SUPMR_ASSIGN_OR_RETURN(RefResult ref, run_ref(*ref_app, ref_source));
+
+  ConformanceOutcome outcome;
+  if (!sut.nodes.empty()) outcome.job = sut.nodes.front().job;
+  outcome.cluster_nodes = sut.nodes.size();
+  outcome.cluster_shuffle_bytes = sut.shuffle_bytes;
+  outcome.cluster_local_bytes = sut.local_bytes;
+  outcome.cluster_map_output_bytes = sut.map_output_bytes;
+  outcome.cluster_recv_min_bytes = ~std::uint64_t{0};
+  for (const cluster::NodeStats& node : sut.nodes) {
+    outcome.cluster_spill_runs += node.spill_runs;
+    const std::uint64_t owned = node.recv_bytes + node.local_bytes;
+    outcome.cluster_recv_max_bytes =
+        std::max(outcome.cluster_recv_max_bytes, owned);
+    outcome.cluster_recv_min_bytes =
+        std::min(outcome.cluster_recv_min_bytes, owned);
+  }
+  outcome.sut_canonical = std::move(sut.output);
+  outcome.ref_canonical = std::move(ref.canonical);
+  outcome.match = outcome.sut_canonical == outcome.ref_canonical;
+  outcome.diff = outcome.match ? "identical"
+                               : diff_summary(outcome.sut_canonical,
+                                              outcome.ref_canonical);
+  return outcome;
+}
+
 StatusOr<ConformanceOutcome> run_cell_impl(const core::ReplaySpec& spec,
                                            const std::string* corpus_override,
                                            const RunSut& run_sut) {
   if (spec.is_graph()) return run_graph_cell(spec, corpus_override, run_sut);
+  if (spec.is_cluster()) return run_cluster_cell(spec, corpus_override);
   const bool multi = spec.corpus.kind == "multi-text";
   if (needs_multi_text(spec) && !multi) {
     return Status::InvalidArgument("conformance: " + spec.app +
@@ -408,6 +498,11 @@ StatusOr<ConformanceOutcome> run_cell(const core::ReplaySpec& spec,
 StatusOr<ConformanceOutcome> run_cell_managed(
     const core::ReplaySpec& spec, runtime::JobManager& manager,
     const ManagedCellOptions& opts, const std::string* corpus_override) {
+  if (spec.is_cluster()) {
+    return Status::InvalidArgument(
+        "conformance: cluster cells run their own node runtimes and cannot "
+        "go through a JobManager");
+  }
   return run_cell_impl(
       spec, corpus_override,
       [&](core::Application& app, const ingest::IngestSource& source,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <iterator>
 
 namespace supmr::storage {
 
@@ -11,8 +12,8 @@ namespace {
 class HdfsFileDevice final : public Device {
  public:
   HdfsFileDevice(const HdfsSimStore* store, const std::string* data,
-                 std::size_t first_node, std::string name)
-      : store_(store), data_(data), first_node_(first_node),
+                 std::string path, std::string name)
+      : store_(store), data_(data), path_(std::move(path)),
         name_(std::move(name)) {}
 
   StatusOr<std::size_t> read_at(std::uint64_t offset,
@@ -29,7 +30,7 @@ class HdfsFileDevice final : public Device {
  private:
   const HdfsSimStore* store_;
   const std::string* data_;
-  std::size_t first_node_;
+  std::string path_;  // placement lookups go through store_->block_node
   std::string name_;
 };
 
@@ -44,8 +45,7 @@ HdfsSimStore::HdfsSimStore(HdfsConfig config) : config_(config) {
 }
 
 void HdfsSimStore::put(const std::string& path, std::string data) {
-  files_[path] = FileEntry{std::move(data), next_first_node_};
-  next_first_node_ = (next_first_node_ + 1) % config_.num_nodes;
+  files_[path] = std::move(data);
 }
 
 bool HdfsSimStore::exists(const std::string& path) const {
@@ -55,7 +55,7 @@ bool HdfsSimStore::exists(const std::string& path) const {
 std::vector<std::string> HdfsSimStore::list() const {
   std::vector<std::string> names;
   names.reserve(files_.size());
-  for (const auto& [name, entry] : files_) names.push_back(name);
+  for (const auto& [name, data] : files_) names.push_back(name);
   return names;
 }
 
@@ -63,7 +63,11 @@ std::size_t HdfsSimStore::block_node(const std::string& path,
                                      std::uint64_t block_index) const {
   auto it = files_.find(path);
   assert(it != files_.end());
-  return (it->second.first_node + block_index) % config_.num_nodes;
+  // Rank in name order, not insertion order: placement depends only on the
+  // stored file set.
+  const std::size_t rank =
+      static_cast<std::size_t>(std::distance(files_.begin(), it));
+  return (rank + static_cast<std::size_t>(block_index)) % config_.num_nodes;
 }
 
 StatusOr<std::unique_ptr<Device>> HdfsSimStore::open(
@@ -73,8 +77,7 @@ StatusOr<std::unique_ptr<Device>> HdfsSimStore::open(
     return Status::NotFound("hdfs: no such file: " + path);
   }
   return std::unique_ptr<Device>(
-      new HdfsFileDevice(this, &it->second.data, it->second.first_node,
-                         "hdfs:" + path));
+      new HdfsFileDevice(this, &it->second, path, "hdfs:" + path));
 }
 
 namespace {
@@ -93,9 +96,7 @@ StatusOr<std::size_t> HdfsFileDevice::read_at(std::uint64_t offset,
     const std::size_t want = static_cast<std::size_t>(std::min<std::uint64_t>(
         {out.size() - total, block_bytes - in_block, data_->size() - pos}));
     // Pay the source node's disk, then the shared link.
-    const std::size_t node =
-        (first_node_ + static_cast<std::size_t>(block)) %
-        store_->config().num_nodes;
+    const std::size_t node = store_->block_node(path_, block);
     store_->node_disk(node).acquire(want);
     store_->link().acquire(want);
     std::memcpy(out.data() + total, data_->data() + pos, want);

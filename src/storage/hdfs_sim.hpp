@@ -38,7 +38,12 @@ class HdfsSimStore {
 
   const HdfsConfig& config() const { return config_; }
 
-  // Stores `data` under `path`, placing blocks round-robin across nodes.
+  // Stores `data` under `path`. Blocks are placed round-robin across nodes
+  // starting at the file's rank in name order, so placement is a pure
+  // function of the stored file SET — two stores holding the same paths
+  // agree on every block's node regardless of put order (real HDFS
+  // placement is stickier than this, but put-order-sensitive placement made
+  // contention tests unreproducible).
   void put(const std::string& path, std::string data);
 
   bool exists(const std::string& path) const;
@@ -59,16 +64,11 @@ class HdfsSimStore {
   RateLimiter& node_disk(std::size_t node) const { return *node_disks_[node]; }
 
  private:
-  struct FileEntry {
-    std::string data;
-    std::size_t first_node;  // round-robin start, varies per file
-  };
-
   HdfsConfig config_;
-  std::map<std::string, FileEntry> files_;
+  // Sorted by name: a file's round-robin start node is its rank here.
+  std::map<std::string, std::string> files_;
   mutable std::unique_ptr<RateLimiter> link_;
   mutable std::vector<std::unique_ptr<RateLimiter>> node_disks_;
-  std::size_t next_first_node_ = 0;
 };
 
 }  // namespace supmr::storage

@@ -147,6 +147,105 @@ TEST(CliValidation, ReplaySpecRejectsCombiningForCombinerlessApp) {
   std::remove(path.c_str());
 }
 
+TEST(CliValidation, ClusterNodesMustBePositive) {
+  // --nodes=0 is a contradiction (a cluster of no nodes), not "disable":
+  // disabling the cluster path is done by omitting the flag entirely.
+  expect_rejected("wordcount whatever --nodes=0", "--nodes must be >= 1");
+}
+
+TEST(CliValidation, ClusterKnobsRequireNodes) {
+  // Every fabric/budget knob is meaningless without a cluster to apply it
+  // to; silently ignoring it would hide a typo'd benchmark invocation.
+  expect_rejected("wordcount whatever --node-link-bps=1MB",
+                  "--node-link-bps requires --nodes");
+  expect_rejected("wordcount whatever --uplink-bps=1MB",
+                  "--uplink-bps requires --nodes");
+  expect_rejected("sort whatever --node-disk-bps=1MB",
+                  "--node-disk-bps requires --nodes");
+  expect_rejected("sort whatever --node-budget=1MB",
+                  "--node-budget requires --nodes");
+}
+
+TEST(CliValidation, ClusterRejectsFaultAndThrottleCombos) {
+  // Node slices are private in-memory devices: a fault plan or a global
+  // throttle on the (nonexistent) shared source device cannot apply.
+  expect_rejected(
+      "wordcount whatever --nodes=2 --fault-plan=permanent=0-10",
+      "--nodes does not combine with --fault-plan/--degrade");
+  expect_rejected("wordcount whatever --nodes=2 --throttle=1MB",
+                  "--nodes does not combine with --throttle");
+}
+
+TEST(CliValidation, ClusterCommandNeedsAClusterSpec) {
+  const std::string path = ::testing::TempDir() + "/nodeless_cluster_spec.json";
+  FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs(
+      "{\"app\": \"wordcount\",\n"
+      " \"corpus\": {\"kind\": \"text\", \"bytes\": 10000, \"seed\": 1,"
+      " \"num_files\": 6},\n"
+      " \"params\": {\"key_bytes\": 10, \"record_bytes\": 100,"
+      " \"app_partitions\": 0, \"hist_lo\": 0, \"hist_hi\": 256,"
+      " \"hist_bins\": 32, \"grep_patterns\": \"th\","
+      " \"memory_budget\": 0},\n"
+      " \"cell\": {\"mode\": \"supmr\", \"merge\": \"pway\", \"threads\": 2,"
+      " \"merge_partitions\": 0, \"chunk_bytes\": 16384, \"files_per_chunk\":"
+      " 3, \"degrade\": false, \"fault_plan\": \"\", \"retry_attempts\": 1}}",
+      f);
+  std::fclose(f);
+  expect_rejected("cluster --spec=" + path,
+                  "cluster needs a spec with cluster.nodes >= 1");
+  std::remove(path.c_str());
+}
+
+TEST(CliValidation, ReplaySpecRejectsUnknownClusterKey) {
+  // The cluster object is strict-keyed like every other spec section: a
+  // typo'd knob ("nodez") must fail the parse, not silently default.
+  const std::string path = ::testing::TempDir() + "/typo_cluster_spec.json";
+  FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs(
+      "{\"app\": \"wordcount\",\n"
+      " \"corpus\": {\"kind\": \"text\", \"bytes\": 10000, \"seed\": 1,"
+      " \"num_files\": 6},\n"
+      " \"params\": {\"key_bytes\": 10, \"record_bytes\": 100,"
+      " \"app_partitions\": 0, \"hist_lo\": 0, \"hist_hi\": 256,"
+      " \"hist_bins\": 32, \"grep_patterns\": \"th\","
+      " \"memory_budget\": 0},\n"
+      " \"cell\": {\"mode\": \"supmr\", \"merge\": \"pway\", \"threads\": 2,"
+      " \"merge_partitions\": 0, \"chunk_bytes\": 16384, \"files_per_chunk\":"
+      " 3, \"degrade\": false, \"fault_plan\": \"\", \"retry_attempts\": 1},\n"
+      " \"cluster\": {\"nodez\": 2}}",
+      f);
+  std::fclose(f);
+  expect_rejected("replay " + path, "replay spec: unknown key");
+  std::remove(path.c_str());
+}
+
+TEST(CliValidation, ReplaySpecClusterKnobsRequireNodes) {
+  const std::string path = ::testing::TempDir() + "/knobs_no_nodes_spec.json";
+  FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs(
+      "{\"app\": \"wordcount\",\n"
+      " \"corpus\": {\"kind\": \"text\", \"bytes\": 10000, \"seed\": 1,"
+      " \"num_files\": 6},\n"
+      " \"params\": {\"key_bytes\": 10, \"record_bytes\": 100,"
+      " \"app_partitions\": 0, \"hist_lo\": 0, \"hist_hi\": 256,"
+      " \"hist_bins\": 32, \"grep_patterns\": \"th\","
+      " \"memory_budget\": 0},\n"
+      " \"cell\": {\"mode\": \"supmr\", \"merge\": \"pway\", \"threads\": 2,"
+      " \"merge_partitions\": 0, \"chunk_bytes\": 16384, \"files_per_chunk\":"
+      " 3, \"degrade\": false, \"fault_plan\": \"\", \"retry_attempts\": 1},\n"
+      " \"cluster\": {\"nodes\": 0, \"link_bps\": 1000000}}",
+      f);
+  std::fclose(f);
+  expect_rejected(
+      "replay " + path,
+      "replay spec: cluster bandwidth/budget knobs require cluster.nodes");
+  std::remove(path.c_str());
+}
+
 TEST(CliValidation, RetryAttemptsMustBePositive) {
   expect_rejected("wordcount whatever --retry-attempts=0",
                   "--retry-attempts must be >= 1");

@@ -1,0 +1,519 @@
+// Property tests for the sharded-shuffle runtime (src/cluster/,
+// docs/cluster.md).
+//
+// The protocol layer (split / key / value / merge / fold) is pure functions
+// over string views, so its grammar and every error path are pinned down
+// directly. The runtime properties are the cluster's contract:
+//   * node-count independence — 1, 2, 4, 7 nodes produce identical bytes;
+//   * conservation — every map-output byte either crossed a node boundary
+//     or stayed local, and senders' ledgers agree with receivers';
+//   * deterministic routing — repeated runs (and different per-node thread
+//     counts) reproduce the exact per-node shuffle ledger, not just the
+//     output bytes;
+//   * bounded skew — splitters cut from the merged sample keep the
+//     heaviest owner within a small factor of the mean on Zipf text;
+//   * budgeted merges spill through the ExternalSorter without changing
+//     a byte.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "apps/histogram.hpp"
+#include "apps/inverted_index.hpp"
+#include "apps/tera_sort.hpp"
+#include "apps/word_count.hpp"
+#include "cluster/cluster_job.hpp"
+#include "cluster/protocol.hpp"
+#include "ingest/record_format.hpp"
+#include "wload/numeric.hpp"
+#include "wload/teragen.hpp"
+#include "wload/text_corpus.hpp"
+
+namespace supmr::cluster {
+namespace {
+
+using SV = std::vector<std::string_view>;
+
+// ------------------------------------------------------------- protocol
+
+TEST(ClusterProtocol, SplitLinesIncludesNewlines) {
+  auto lines = split_lines("a\t1\nbc\t2\n");
+  ASSERT_TRUE(lines.ok());
+  ASSERT_EQ(lines->size(), 2u);
+  EXPECT_EQ((*lines)[0], "a\t1\n");
+  EXPECT_EQ((*lines)[1], "bc\t2\n");
+  EXPECT_TRUE(split_lines("")->empty());
+}
+
+TEST(ClusterProtocol, SplitLinesRejectsUnterminated) {
+  auto lines = split_lines("a\t1\nno-newline");
+  ASSERT_FALSE(lines.ok());
+  EXPECT_EQ(lines.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ClusterProtocol, SplitFixed) {
+  auto recs = split_fixed("aabbcc", 2);
+  ASSERT_TRUE(recs.ok());
+  ASSERT_EQ(recs->size(), 3u);
+  EXPECT_EQ((*recs)[1], "bb");
+  EXPECT_FALSE(split_fixed("abc", 2).ok());  // partial record
+  EXPECT_FALSE(split_fixed("abc", 0).ok());  // zero width
+}
+
+TEST(ClusterProtocol, LineKeyUsesLastTab) {
+  EXPECT_EQ(line_key("word\t42\n"), "word");
+  EXPECT_EQ(line_key("a\tb\t7\n"), "a\tb");  // keys may contain tabs
+  EXPECT_EQ(line_key("noseparator\n"), "noseparator");
+  EXPECT_EQ(line_key("notrailingnewline"), "notrailingnewline");
+}
+
+TEST(ClusterProtocol, LineValueParsesAndRejects) {
+  auto v = line_value("word\t42\n");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42u);
+  EXPECT_FALSE(line_value("no-tab\n").ok());
+  EXPECT_FALSE(line_value("empty\t\n").ok());
+  EXPECT_FALSE(line_value("bad\t4x2\n").ok());
+}
+
+TEST(ClusterProtocol, MergeSortedKeysFoldsAcrossRuns) {
+  SV a = {std::string_view("apple\t2\n"), std::string_view("cherry\t1\n")};
+  SV b = {std::string_view("apple\t3\n"), std::string_view("banana\t5\n")};
+  auto merged = merge_sorted_keys({a, b});
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(*merged, "apple\t5\nbanana\t5\ncherry\t1\n");
+}
+
+TEST(ClusterProtocol, MergeSortedKeysPropagatesBadValues) {
+  SV a = {std::string_view("apple\tnope\n")};
+  SV b = {std::string_view("apple\t3\n")};
+  EXPECT_FALSE(merge_sorted_keys({a, b}).ok());
+}
+
+TEST(ClusterProtocol, MergeFixedRecordsInterleaves) {
+  SV a = {std::string_view("aa"), std::string_view("cc")};
+  SV b = {std::string_view("bb"), std::string_view("cc"),
+          std::string_view("dd")};
+  EXPECT_EQ(merge_fixed_records({a, b}), "aabbccccdd");
+}
+
+TEST(ClusterProtocol, FoldAlignedSumsMatchingLabels) {
+  SV a = {std::string_view("bin0\t1\n"), std::string_view("bin1\t2\n")};
+  SV b = {std::string_view("bin0\t10\n"), std::string_view("bin1\t20\n")};
+  SV empty;
+  auto folded = fold_aligned({a, empty, b});
+  ASSERT_TRUE(folded.ok());
+  EXPECT_EQ(*folded, "bin0\t11\nbin1\t22\n");
+}
+
+TEST(ClusterProtocol, FoldAlignedRejectsStructureMismatch) {
+  SV a = {std::string_view("bin0\t1\n"), std::string_view("bin1\t2\n")};
+  SV shorter = {std::string_view("bin0\t1\n")};
+  EXPECT_FALSE(fold_aligned({a, shorter}).ok());
+  SV relabeled = {std::string_view("bin0\t1\n"), std::string_view("binX\t2\n")};
+  EXPECT_FALSE(fold_aligned({a, relabeled}).ok());
+  SV badvalue = {std::string_view("bin0\t1\n"), std::string_view("bin1\tz\n")};
+  EXPECT_FALSE(fold_aligned({a, badvalue}).ok());
+}
+
+// -------------------------------------------------------------- runtime
+
+ClusterJob wordcount_job(std::string input, std::size_t nodes) {
+  ClusterJob job;
+  job.input = std::move(input);
+  job.format = std::make_shared<ingest::LineFormat>();
+  job.make_app = [] {
+    return std::unique_ptr<core::Application>(new apps::WordCountApp());
+  };
+  job.config.num_nodes = nodes;
+  job.config.num_map_threads = 2;
+  job.config.num_reduce_threads = 2;
+  job.chunk_bytes = 8 * 1024;
+  return job;
+}
+
+std::string zipf_text(std::uint64_t bytes, std::uint64_t seed,
+                      double skew = 1.0) {
+  wload::TextCorpusConfig cfg;
+  cfg.total_bytes = bytes;
+  cfg.seed = seed;
+  cfg.zipf_skew = skew;
+  return wload::generate_text(cfg);
+}
+
+void expect_conservation(const ClusterResult& result) {
+  EXPECT_EQ(result.shuffle_bytes + result.local_bytes,
+            result.map_output_bytes);
+  std::uint64_t sent = 0, recv = 0, local = 0, map_out = 0;
+  for (const NodeStats& node : result.nodes) {
+    sent += node.sent_bytes;
+    recv += node.recv_bytes;
+    local += node.local_bytes;
+    map_out += node.map_output_bytes;
+  }
+  // Senders' and receivers' ledgers must agree: every cross-node byte was
+  // sent exactly once and received exactly once.
+  EXPECT_EQ(sent, result.shuffle_bytes);
+  EXPECT_EQ(recv, result.shuffle_bytes);
+  EXPECT_EQ(local, result.local_bytes);
+  EXPECT_EQ(map_out, result.map_output_bytes);
+}
+
+TEST(ClusterRuntime, NodeCountIndependence) {
+  const std::string corpus = zipf_text(96 * 1024, 101);
+  std::string baseline;
+  for (std::size_t nodes : {1u, 2u, 4u, 7u}) {
+    auto result = run_cluster(wordcount_job(corpus, nodes));
+    ASSERT_TRUE(result.ok()) << "nodes=" << nodes << ": "
+                             << result.status().to_string();
+    expect_conservation(*result);
+    if (nodes == 1) {
+      baseline = result->output;
+      EXPECT_EQ(result->shuffle_bytes, 0u);  // no one to shuffle to
+    } else {
+      EXPECT_EQ(result->output, baseline)
+          << "nodes=" << nodes << " changed the output bytes";
+    }
+  }
+}
+
+TEST(ClusterRuntime, DeterministicShuffleLedger) {
+  const std::string corpus = zipf_text(64 * 1024, 102);
+  auto first = run_cluster(wordcount_job(corpus, 4));
+  ASSERT_TRUE(first.ok()) << first.status().to_string();
+  // Same geometry re-run: the concurrent senders race on the wall clock but
+  // routing is deterministic, so the per-node ledger must reproduce exactly.
+  auto again = run_cluster(wordcount_job(corpus, 4));
+  ASSERT_TRUE(again.ok()) << again.status().to_string();
+  EXPECT_EQ(first->output, again->output);
+  ASSERT_EQ(first->nodes.size(), again->nodes.size());
+  for (std::size_t k = 0; k < first->nodes.size(); ++k) {
+    EXPECT_EQ(first->nodes[k].sent_bytes, again->nodes[k].sent_bytes) << k;
+    EXPECT_EQ(first->nodes[k].recv_bytes, again->nodes[k].recv_bytes) << k;
+    EXPECT_EQ(first->nodes[k].local_bytes, again->nodes[k].local_bytes) << k;
+  }
+  // Different per-node thread counts change the schedule, not the bytes.
+  ClusterJob wide = wordcount_job(corpus, 4);
+  wide.config.num_map_threads = 5;
+  wide.config.num_reduce_threads = 3;
+  auto threaded = run_cluster(wide);
+  ASSERT_TRUE(threaded.ok()) << threaded.status().to_string();
+  EXPECT_EQ(threaded->output, first->output);
+}
+
+TEST(ClusterRuntime, SkewStaysBoundedOnZipfText) {
+  // Zipf word frequencies are maximally skewed by VALUE, but splitters cut
+  // the KEY space from the merged sample, so owner record counts stay
+  // balanced. "owned" = what the node merges (received + kept local).
+  const std::string corpus = zipf_text(128 * 1024, 103, /*skew=*/1.2);
+  auto result = run_cluster(wordcount_job(corpus, 4));
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  std::uint64_t owned_max = 0, owned_sum = 0;
+  for (const NodeStats& node : result->nodes) {
+    const std::uint64_t owned = node.recv_bytes + node.local_bytes;
+    owned_max = std::max(owned_max, owned);
+    owned_sum += owned;
+  }
+  const double mean = double(owned_sum) / double(result->nodes.size());
+  EXPECT_LE(double(owned_max), 3.0 * mean)
+      << "heaviest owner more than 3x the mean";
+}
+
+TEST(ClusterRuntime, ThrottledFabricSameBytes) {
+  const std::string corpus = zipf_text(48 * 1024, 104);
+  auto fast = run_cluster(wordcount_job(corpus, 3));
+  ASSERT_TRUE(fast.ok());
+  ClusterJob slow_job = wordcount_job(corpus, 3);
+  slow_job.config.node_link_bps = 4.0e6;
+  slow_job.config.uplink_bps = 8.0e6;
+  slow_job.config.node_disk_bps = 32.0e6;
+  auto slow = run_cluster(slow_job);
+  ASSERT_TRUE(slow.ok()) << slow.status().to_string();
+  EXPECT_EQ(slow->output, fast->output);
+  EXPECT_EQ(slow->shuffle_bytes, fast->shuffle_bytes);
+}
+
+TEST(ClusterRuntime, BudgetedSortSpillsSameBytes) {
+  wload::TeraGenConfig gen;
+  gen.num_records = 800;
+  gen.seed = 105;
+  std::string data = wload::teragen_to_string(gen);
+  auto sort_job = [&](std::size_t budget) {
+    ClusterJob job;
+    job.input = data;
+    job.format = std::make_shared<ingest::CrlfFormat>();
+    job.make_app = [] {
+      return std::unique_ptr<core::Application>(
+          new apps::TeraSortApp(apps::TeraSortOptions{}));
+    };
+    job.config.num_nodes = 2;
+    job.config.node_memory_budget = budget;
+    job.chunk_bytes = 8 * 1024;
+    job.record_bytes = 100;
+    job.spill_dir = "/tmp";
+    return job;
+  };
+  auto in_memory = run_cluster(sort_job(0));
+  ASSERT_TRUE(in_memory.ok()) << in_memory.status().to_string();
+  auto budgeted = run_cluster(sort_job(4 * 1024));
+  ASSERT_TRUE(budgeted.ok()) << budgeted.status().to_string();
+  EXPECT_EQ(budgeted->output, in_memory->output);
+  std::uint64_t spill_runs = 0;
+  for (const NodeStats& node : budgeted->nodes) spill_runs += node.spill_runs;
+  EXPECT_GT(spill_runs, 0u) << "budgeted merge never spilled";
+  expect_conservation(*budgeted);
+}
+
+TEST(ClusterRuntime, HistogramAlignedFold) {
+  wload::NumericConfig gen;
+  gen.num_values = 20000;
+  gen.lo = 0;
+  gen.hi = 255;
+  gen.seed = 106;
+  const std::string corpus = wload::generate_numeric(gen);
+  auto histogram_job = [&](std::size_t nodes) {
+    ClusterJob job;
+    job.input = corpus;
+    job.format = std::make_shared<ingest::LineFormat>();
+    job.make_app = [] {
+      apps::HistogramOptions opt;
+      opt.lo = 0;
+      opt.hi = 256;
+      opt.bins = 32;
+      return std::unique_ptr<core::Application>(new apps::HistogramApp(opt));
+    };
+    job.config.num_nodes = nodes;
+    job.chunk_bytes = 8 * 1024;
+    return job;
+  };
+  auto one = run_cluster(histogram_job(1));
+  ASSERT_TRUE(one.ok()) << one.status().to_string();
+  auto four = run_cluster(histogram_job(4));
+  ASSERT_TRUE(four.ok()) << four.status().to_string();
+  EXPECT_EQ(four->output, one->output);
+  EXPECT_EQ(four->shard, core::ShardKind::kAligned);
+  expect_conservation(*four);
+}
+
+// ---------------------------------------------------------- error paths
+
+TEST(ClusterRuntime, RejectsBadConfiguration) {
+  auto base = [] { return wordcount_job("hello world\n", 2); };
+  {
+    ClusterJob job = base();
+    job.config.num_nodes = 0;
+    EXPECT_FALSE(run_cluster(job).ok());
+  }
+  {
+    ClusterJob job = base();
+    job.make_app = nullptr;
+    EXPECT_FALSE(run_cluster(job).ok());
+  }
+  {
+    ClusterJob job = base();
+    job.format = nullptr;
+    EXPECT_FALSE(run_cluster(job).ok());
+  }
+  {
+    ClusterJob job = base();
+    job.make_app = [] { return std::unique_ptr<core::Application>(); };
+    EXPECT_FALSE(run_cluster(job).ok());
+  }
+  {
+    // An app without a shard protocol (InvertedIndexApp keeps the kNone
+    // default) cannot run on a cluster.
+    ClusterJob job = base();
+    job.make_app = [] {
+      return std::unique_ptr<core::Application>(new apps::InvertedIndexApp());
+    };
+    auto result = run_cluster(job);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.status().to_string().find("no shard protocol"),
+              std::string::npos);
+  }
+  {
+    // Fixed-record sharding with no record width.
+    ClusterJob job = base();
+    job.make_app = [] {
+      return std::unique_ptr<core::Application>(
+          new apps::TeraSortApp(apps::TeraSortOptions{}));
+    };
+    job.record_bytes = 0;
+    EXPECT_FALSE(run_cluster(job).ok());
+  }
+  {
+    // A merge budget with nowhere to spill.
+    ClusterJob job = base();
+    job.config.node_memory_budget = 1024;
+    job.spill_dir.clear();
+    EXPECT_FALSE(run_cluster(job).ok());
+  }
+}
+
+TEST(ClusterRuntime, MoreNodesThanRecords) {
+  // 7 nodes over a 2-line input: most slices are empty, most owners receive
+  // nothing, and the output still matches the single-node run.
+  const std::string tiny = "alpha beta\nbeta gamma\n";
+  auto one = run_cluster(wordcount_job(tiny, 1));
+  ASSERT_TRUE(one.ok()) << one.status().to_string();
+  auto many = run_cluster(wordcount_job(tiny, 7));
+  ASSERT_TRUE(many.ok()) << many.status().to_string();
+  EXPECT_EQ(many->output, one->output);
+  expect_conservation(*many);
+}
+
+// -------------------------------------------- node/owner failure paths
+//
+// A node that produces garbage (or dies) must fail the WHOLE cluster run
+// with the underlying error, never a partial or silently-wrong output.
+// Real apps can't misbehave like that, so a forwarding wrapper around
+// WordCountApp overrides exactly the two seams the cluster runtime
+// consumes — shard_kind() and canonical_output() — and leaves the
+// MapReduce machinery real.
+class MisbehavingApp : public core::Application {
+ public:
+  using Canon = std::string (*)(const apps::WordCountApp&);
+  MisbehavingApp(core::ShardKind kind, Canon canon)
+      : kind_(kind), canon_(canon) {}
+  void init(std::size_t num_map_threads) override {
+    inner_.init(num_map_threads);
+  }
+  Status prepare_round(const ingest::IngestChunk& chunk) override {
+    return inner_.prepare_round(chunk);
+  }
+  std::size_t round_tasks() const override { return inner_.round_tasks(); }
+  void map_task(std::size_t task, std::size_t thread_id) override {
+    inner_.map_task(task, thread_id);
+  }
+  Status reduce(ThreadPool& pool, std::size_t num_partitions) override {
+    return inner_.reduce(pool, num_partitions);
+  }
+  Status merge(ThreadPool& pool, const core::MergePlan& plan,
+               merge::MergeStats* stats) override {
+    return inner_.merge(pool, plan, stats);
+  }
+  std::uint64_t result_count() const override {
+    return inner_.result_count();
+  }
+  core::ShardKind shard_kind() const override { return kind_; }
+  std::string canonical_output() const override { return canon_(inner_); }
+
+ private:
+  apps::WordCountApp inner_;
+  core::ShardKind kind_;
+  Canon canon_;
+};
+
+ClusterJob misbehaving_job(std::string input, std::size_t nodes,
+                           core::ShardKind kind, MisbehavingApp::Canon canon) {
+  ClusterJob job = wordcount_job(std::move(input), nodes);
+  job.make_app = [kind, canon] {
+    return std::unique_ptr<core::Application>(new MisbehavingApp(kind, canon));
+  };
+  // One line per slice so each node's canonical reflects its own slice
+  // (chunk boundaries round FORWARD to the next record boundary, so the
+  // chunk size must land exactly on the first newline).
+  job.chunk_bytes = 2;
+  return job;
+}
+
+TEST(ClusterRuntime, FactoryGoingNullMidRunFails) {
+  // The factory is probed once up front (for shard_kind), then called once
+  // per node; a factory that dries up after the probe must fail the node,
+  // not crash it.
+  ClusterJob job = wordcount_job("alpha beta\ngamma delta\n", 2);
+  auto calls = std::make_shared<int>(0);
+  job.make_app = [calls]() -> std::unique_ptr<core::Application> {
+    if (++*calls > 1) return nullptr;
+    return std::unique_ptr<core::Application>(new apps::WordCountApp());
+  };
+  auto result = run_cluster(job);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().to_string().find("factory returned null"),
+            std::string::npos)
+      << result.status().to_string();
+}
+
+TEST(ClusterRuntime, ThrowingNodeIsCaughtAsStatus) {
+  auto result = run_cluster(misbehaving_job(
+      "alpha beta\ngamma delta\n", 2, core::ShardKind::kSortedKeys,
+      +[](const apps::WordCountApp&) -> std::string {
+        throw std::runtime_error("canonical exploded");
+      }));
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().to_string().find("cluster node threw"),
+            std::string::npos)
+      << result.status().to_string();
+  EXPECT_NE(result.status().to_string().find("canonical exploded"),
+            std::string::npos);
+}
+
+TEST(ClusterRuntime, MalformedSortedKeyValueFailsOwnerMerge) {
+  // Splitting and routing accept any "key\tvalue\n" line; the owner merge
+  // is where the value must parse, and its error must surface.
+  auto result = run_cluster(misbehaving_job(
+      "alpha beta\ngamma delta\n", 2, core::ShardKind::kSortedKeys,
+      +[](const apps::WordCountApp&) -> std::string {
+        return "alpha\tnot-a-number\n";
+      }));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ClusterRuntime, AlignedLineCountMismatchFails) {
+  // kAligned demands an input-independent line structure; nodes whose
+  // tables disagree on line COUNT are caught before any fold starts.
+  auto result = run_cluster(misbehaving_job(
+      "a\nb c\n", 2, core::ShardKind::kAligned,
+      +[](const apps::WordCountApp& inner) {
+        return inner.canonical_output();  // 1 line vs 2 lines
+      }));
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().to_string().find("disagree on line count"),
+            std::string::npos)
+      << result.status().to_string();
+}
+
+TEST(ClusterRuntime, AlignedLabelMismatchFailsOwnerFold) {
+  // Same line count, different labels: the structural check passes and the
+  // element-wise fold must reject the row mismatch.
+  auto result = run_cluster(misbehaving_job(
+      "a\nb\n", 2, core::ShardKind::kAligned,
+      +[](const apps::WordCountApp& inner) {
+        return inner.canonical_output();  // "a\t1\n" vs "b\t1\n"
+      }));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ClusterRuntime, SpillToMissingDirFailsOwnerMerge) {
+  // node_memory_budget forces the ExternalSorter path; a spill_dir that
+  // does not exist must fail the owner merge with the sorter's I/O error.
+  wload::TeraGenConfig tg;
+  tg.num_records = 100;
+  tg.seed = 9;
+  ClusterJob job;
+  job.input = wload::teragen_to_string(tg);
+  job.format = std::make_shared<ingest::FixedFormat>(100);
+  job.make_app = [] {
+    apps::TeraSortOptions opt;
+    opt.key_bytes = 10;
+    opt.record_bytes = 100;
+    return std::unique_ptr<core::Application>(new apps::TeraSortApp(opt));
+  };
+  job.config.num_nodes = 1;
+  job.config.num_map_threads = 2;
+  job.config.num_reduce_threads = 2;
+  job.config.node_memory_budget = 1;  // clamps to 16 records, still spills
+  job.chunk_bytes = 1000;
+  job.record_bytes = 100;
+  job.spill_dir = "/nonexistent/supmr_cluster_spill";
+  auto result = run_cluster(job);
+  ASSERT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace supmr::cluster

@@ -19,6 +19,7 @@
 
 #include "apps/tera_sort.hpp"
 #include "apps/word_count.hpp"
+#include "cluster/cluster_job.hpp"
 #include "core/job.hpp"
 #include "core/report.hpp"
 #include "ingest/record_format.hpp"
@@ -145,6 +146,65 @@ TEST(EmptyInput, TeraSortPartitionedShuffleSortedEmpty) {
       EXPECT_EQ(app.key_checksum(), 0u);
     }
   }
+}
+
+// Sharded shuffle over nothing: every node's slice is empty, so no map
+// output exists, nothing is routed (locally or on the wire), no owner merge
+// runs, and the reassembled cluster output is the empty string — for every
+// node count, including N larger than the (zero) record count.
+TEST(EmptyInput, ClusterZeroByteInputEveryNodeCount) {
+  for (std::size_t nodes : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    SCOPED_TRACE(nodes);
+    cluster::ClusterJob job;
+    job.input = "";
+    job.format = std::make_shared<ingest::LineFormat>();
+    job.make_app = [] {
+      return std::unique_ptr<core::Application>(new apps::WordCountApp());
+    };
+    job.config = empty_config(MergeMode::kPWay, /*degrade=*/false);
+    job.config.num_nodes = nodes;
+    job.chunk_bytes = 6;
+    auto result = cluster::run_cluster(job);
+    ASSERT_TRUE(result.ok()) << result.status().to_string();
+    EXPECT_TRUE(result->output.empty());
+    EXPECT_EQ(result->map_output_bytes, 0u);
+    EXPECT_EQ(result->shuffle_bytes, 0u);
+    EXPECT_EQ(result->local_bytes, 0u);
+    ASSERT_EQ(result->nodes.size(), nodes);
+    for (const cluster::NodeStats& ns : result->nodes) {
+      EXPECT_EQ(ns.input_bytes, 0u);
+      EXPECT_EQ(ns.map_output_bytes, 0u);
+      EXPECT_EQ(ns.sent_bytes, 0u);
+      EXPECT_EQ(ns.recv_bytes, 0u);
+      EXPECT_EQ(ns.local_bytes, 0u);
+      EXPECT_EQ(ns.spill_runs, 0u);
+      check_empty_result(ns.job, "cluster-node");
+    }
+  }
+}
+
+// Fixed-record sharding over an empty corpus: zero records slice to zero
+// extents everywhere, and the owner-side fixed-record merge (TeraSort path)
+// must hand back empty bytes without sampling a splitter or spilling a run.
+TEST(EmptyInput, ClusterZeroByteFixedRecords) {
+  cluster::ClusterJob job;
+  job.input = "";
+  job.format = std::make_shared<ingest::FixedFormat>(100);
+  job.make_app = [] {
+    apps::TeraSortOptions opt;
+    opt.key_bytes = 10;
+    opt.record_bytes = 100;
+    return std::unique_ptr<core::Application>(new apps::TeraSortApp(opt));
+  };
+  job.config = empty_config(MergeMode::kPWay, /*degrade=*/false);
+  job.config.num_nodes = 3;
+  job.chunk_bytes = 1000;
+  job.record_bytes = 100;
+  auto result = cluster::run_cluster(job);
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  EXPECT_TRUE(result->output.empty());
+  EXPECT_EQ(result->shuffle_bytes + result->local_bytes, 0u);
+  EXPECT_EQ(result->shard, core::ShardKind::kFixedRecords);
 }
 
 // The flat (non-partitioned) TeraSort container through the kPartitioned

@@ -38,6 +38,12 @@
 #               the checked-in combining replay spec) under
 #               ThreadSanitizer, then that spec through the instrumented
 #               CLI — must report "conformance: PASS"
+#   cluster-smoke — the sharded-shuffle suites (ctest -L cluster: the
+#               shuffle protocol/property suite and the node-count ×
+#               mode × merge differential lattice) under ThreadSanitizer
+#               (N worker nodes run concurrently on private pools), then
+#               the checked-in cluster spec through the instrumented
+#               `supmr cluster` CLI — must report "conformance: PASS"
 #
 # Usage:
 #   tools/check.sh            # all stages
@@ -55,12 +61,13 @@ SUPP="${ROOT}/tools/sanitizers"
 STAGES=("$@")
 [ ${#STAGES[@]} -eq 0 ] &&
   STAGES=(plain tsan asan obs-smoke fault-smoke coverage harness harness-asan
-    jobmix-smoke graph-smoke combining-smoke)
+    jobmix-smoke graph-smoke combining-smoke cluster-smoke)
 
 # Branch-point line-coverage floors for the merge-critical layers (the
 # coverage stage fails if a change lets these regress).
 COVERAGE_FLOOR_MERGE="${COVERAGE_FLOOR_MERGE:-97.5}"
 COVERAGE_FLOOR_CONTAINERS="${COVERAGE_FLOOR_CONTAINERS:-97.5}"
+COVERAGE_FLOOR_CLUSTER="${COVERAGE_FLOOR_CLUSTER:-97.5}"
 
 # Validate that a file exists, is non-empty, and parses as JSON. Uses
 # python3's parser when present; otherwise falls back to a shape check so
@@ -125,7 +132,20 @@ mutation_smoke() {
   grep -q 'conformance: FAIL' <<<"${out}" ||
     { echo "harness: partition-routing mutation was NOT detected" >&2
       return 1; }
-  echo "harness: mutation smoke OK (2 specs x clean+mutated, 1 mmap cell, 1 combining cell)"
+  # Sharded-shuffle cell: the cluster spec must replay clean, and a rotated
+  # partition route (cluster routing goes through merge::partition_of) must
+  # scramble the owner concat order into a detected divergence.
+  "${cli}" cluster "--spec=${specs}/replay_cluster_smoke.json" |
+    grep -q 'conformance: PASS' ||
+    { echo "harness: cluster smoke spec does not replay clean" >&2
+      return 1; }
+  out="$(SUPMR_TEST_MUTATION=partition-routing \
+    "${cli}" cluster "--spec=${specs}/replay_cluster_smoke.json" \
+    2>/dev/null || true)"
+  grep -q 'conformance: FAIL' <<<"${out}" ||
+    { echo "harness: cluster partition-routing mutation was NOT detected" >&2
+      return 1; }
+  echo "harness: mutation smoke OK (3 specs x clean+mutated, 1 mmap cell, 1 combining cell)"
 }
 
 run_stage() {
@@ -215,6 +235,9 @@ run_stage() {
         gcovr --root "${ROOT}" --object-directory "${ROOT}/build-check-coverage" \
           --filter 'src/containers/.*' \
           --fail-under-line "${COVERAGE_FLOOR_CONTAINERS}"
+        gcovr --root "${ROOT}" --object-directory "${ROOT}/build-check-coverage" \
+          --filter 'src/cluster/.*' \
+          --fail-under-line "${COVERAGE_FLOOR_CLUSTER}"
       else
         python3 "${ROOT}/tools/coverage_summary.py" \
           "${ROOT}/build-check-coverage" --filter src/merge \
@@ -222,6 +245,9 @@ run_stage() {
         python3 "${ROOT}/tools/coverage_summary.py" \
           "${ROOT}/build-check-coverage" --filter src/containers \
           --fail-under "${COVERAGE_FLOOR_CONTAINERS}"
+        python3 "${ROOT}/tools/coverage_summary.py" \
+          "${ROOT}/build-check-coverage" --filter src/cluster \
+          --fail-under "${COVERAGE_FLOOR_CLUSTER}"
       fi
       ;;
     harness)
@@ -291,8 +317,29 @@ run_stage() {
         { echo "combining-smoke: checked-in combining spec is not conformant" >&2
           return 1; }
       ;;
+    cluster-smoke)
+      # Sharded shuffle under TSan: N worker nodes run whole MapReduceJobs
+      # concurrently on private leased pools, then shuffle senders and owner
+      # merges race across the fabric RateLimiters — all of it must be
+      # race-free and byte-identical to the sequential oracle. Reuses the
+      # tsan build tree; `cluster` selects the protocol/property suite and
+      # the node-count lattice, then the checked-in spec runs through the
+      # instrumented `supmr cluster` CLI (docs/cluster.md).
+      configure_and_build "${ROOT}/build-check-tsan" \
+        -DSUPMR_SANITIZE=thread -DSUPMR_BUILD_BENCH=OFF \
+        -DSUPMR_BUILD_EXAMPLES=OFF
+      (cd "${ROOT}/build-check-tsan" &&
+        TSAN_OPTIONS="suppressions=${SUPP}/tsan.supp halt_on_error=1 second_deadlock_stack=1" \
+        ctest -L cluster --output-on-failure -j "${JOBS}")
+      TSAN_OPTIONS="suppressions=${SUPP}/tsan.supp halt_on_error=1 second_deadlock_stack=1" \
+        "${ROOT}/build-check-tsan/tools/supmr" cluster \
+        "--spec=${ROOT}/tests/harness/replay_cluster_smoke.json" |
+        grep -q 'conformance: PASS' ||
+        { echo "cluster-smoke: checked-in cluster spec is not conformant" >&2
+          return 1; }
+      ;;
     *)
-      echo "unknown stage '${stage}' (want plain, tsan, asan, obs-smoke, fault-smoke, coverage, harness, harness-asan, jobmix-smoke, graph-smoke, or combining-smoke)" >&2
+      echo "unknown stage '${stage}' (want plain, tsan, asan, obs-smoke, fault-smoke, coverage, harness, harness-asan, jobmix-smoke, graph-smoke, combining-smoke, or cluster-smoke)" >&2
       return 2
       ;;
   esac

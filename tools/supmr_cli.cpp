@@ -27,6 +27,16 @@
 //                                 ref::run_graph. `supmr replay` accepts
 //                                 the same specs; this spelling prints the
 //                                 stage/handoff breakdown
+//   supmr cluster --spec=<spec.json>  run a sharded-shuffle cell (spec with
+//                                 "cluster":{"nodes":N,...}; docs/cluster.md):
+//                                 N simulated worker nodes each map a slice,
+//                                 hash-partition their output across the
+//                                 cluster over rate-limited links, merge
+//                                 their owned partitions, and the reassembled
+//                                 output is byte-checked against the
+//                                 sequential oracle. `supmr replay` accepts
+//                                 the same specs; this spelling prints the
+//                                 shuffle breakdown
 //
 // Common flags:
 //   --mode=supmr|original|adaptive   runtime (default supmr)
@@ -64,6 +74,20 @@
 //                                    'seed=7;transient=0.05' (quote the ';')
 //   --degrade                        skip poisoned chunks (with accounting)
 //                                    instead of failing the job
+//
+// Cluster topology (docs/cluster.md; wordcount/sort/grep/histogram):
+//   --nodes=N                        run through the sharded-shuffle runtime
+//                                    with N simulated worker nodes
+//   --node-link-bps=RATE             per-node NIC rate, e.g. 125MB (0 = fast)
+//   --uplink-bps=RATE                shared uplink every cross-node byte
+//                                    also pays (0 = none)
+//   --node-disk-bps=RATE             per-node ingest disk rate (0 = fast)
+//   --node-budget=SIZE               per-partition merge memory budget;
+//                                    over-budget fixed-record partitions
+//                                    spill through the ExternalSorter
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -77,6 +101,7 @@
 #include "apps/inverted_index.hpp"
 #include "apps/tera_sort.hpp"
 #include "apps/word_count.hpp"
+#include "cluster/cluster_job.hpp"
 #include "common/logging.hpp"
 #include "core/job.hpp"
 #include "core/proc_sampler.hpp"
@@ -112,13 +137,14 @@ const std::set<std::string> kCommonFlags = {
     "verbose", "json",    "budget",  "clusters",   "dim",
     "iters",  "metrics-json", "trace-out",
     "retry-attempts", "retry-backoff", "retry-backoff-max",
-    "retry-deadline", "retry-seed", "fault-plan", "degrade", "jobs", "spec"};
+    "retry-deadline", "retry-seed", "fault-plan", "degrade", "jobs", "spec",
+    "nodes", "node-link-bps", "uplink-bps", "node-disk-bps", "node-budget"};
 
 void usage() {
   std::fprintf(stderr,
                "usage: supmr <command> [args] [flags]\n"
                "commands: wordcount sort grep histogram index kmeans generate"
-               " replay serve graph\n"
+               " replay serve graph cluster\n"
                "see tools/supmr_cli.cpp header for the full flag list\n");
 }
 
@@ -218,6 +244,35 @@ StatusOr<CommonConfig> common_config(const Flags& flags) {
         "chunks, and without an injection plan there is nothing to degrade "
         "around (a real deployment's faults come from the device itself)");
   }
+
+  // Cluster topology: --nodes routes the job through the sharded-shuffle
+  // runtime (src/cluster/, docs/cluster.md). The bandwidth/budget knobs are
+  // meaningless without a node count, so they hard-reject rather than
+  // silently doing nothing.
+  if (flags.get("nodes")) {
+    SUPMR_ASSIGN_OR_RETURN(std::uint64_t nodes, flags.get_int("nodes", 0));
+    if (nodes == 0) return Status::InvalidArgument("--nodes must be >= 1");
+    cfg.job.num_nodes = static_cast<std::size_t>(nodes);
+  }
+  for (const char* knob :
+       {"node-link-bps", "uplink-bps", "node-disk-bps", "node-budget"}) {
+    if (flags.get(knob) && cfg.job.num_nodes == 0) {
+      return Status::InvalidArgument(std::string("--") + knob +
+                                     " requires --nodes");
+    }
+  }
+  SUPMR_ASSIGN_OR_RETURN(std::uint64_t link_bps,
+                         flags.get_size("node-link-bps", 0));
+  cfg.job.node_link_bps = static_cast<double>(link_bps);
+  SUPMR_ASSIGN_OR_RETURN(std::uint64_t uplink_bps,
+                         flags.get_size("uplink-bps", 0));
+  cfg.job.uplink_bps = static_cast<double>(uplink_bps);
+  SUPMR_ASSIGN_OR_RETURN(std::uint64_t disk_bps,
+                         flags.get_size("node-disk-bps", 0));
+  cfg.job.node_disk_bps = static_cast<double>(disk_bps);
+  SUPMR_ASSIGN_OR_RETURN(std::uint64_t node_budget,
+                         flags.get_size("node-budget", 0));
+  cfg.job.node_memory_budget = static_cast<std::size_t>(node_budget);
   return cfg;
 }
 
@@ -310,6 +365,76 @@ StatusOr<core::JobResult> run_app(core::Application& app,
   return result;
 }
 
+// Reads a whole file into a string (spec files, cluster inputs).
+StatusOr<std::string> slurp(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return text;
+}
+
+// Cluster execution path for the single-device app subcommands: --nodes=N
+// slurps the input and runs it through the sharded-shuffle runtime
+// (docs/cluster.md) instead of one MapReduceJob, then prints the shuffle
+// accounting. The product is the reassembled global output (identical to
+// the single-node run byte for byte), so app-specific result printing does
+// not apply here.
+StatusOr<cluster::ClusterResult> run_cluster_cli(
+    const std::string& path,
+    std::shared_ptr<const ingest::RecordFormat> format,
+    cluster::AppFactory make_app, const CommonConfig& cfg,
+    std::size_t record_bytes) {
+  if (cfg.fault_plan || cfg.job.recovery.degrade) {
+    return Status::InvalidArgument(
+        "--nodes does not combine with --fault-plan/--degrade (node slices "
+        "are private in-memory devices)");
+  }
+  if (cfg.throttle_bps) {
+    return Status::InvalidArgument(
+        "--nodes does not combine with --throttle: model per-node ingest "
+        "disks with --node-disk-bps instead");
+  }
+  cluster::ClusterJob job;
+  SUPMR_ASSIGN_OR_RETURN(job.input, slurp(path));
+  job.format = std::move(format);
+  job.make_app = std::move(make_app);
+  job.config = cfg.job;
+  job.chunk_bytes = cfg.chunk_bytes;
+  job.record_bytes = record_bytes;
+  if (cfg.job.node_memory_budget > 0) {
+    job.spill_dir = "/tmp/supmr_cluster_" + std::to_string(::getpid());
+    ::mkdir(job.spill_dir.c_str(), 0777);  // best effort; the sorter reports
+  }
+  SUPMR_ASSIGN_OR_RETURN(cluster::ClusterResult result,
+                         cluster::run_cluster(job));
+  std::printf("cluster: %zu node(s), map output %s, shuffled %s "
+              "cross-node, %s stayed local\n",
+              result.nodes.size(),
+              format_bytes(result.map_output_bytes).c_str(),
+              format_bytes(result.shuffle_bytes).c_str(),
+              format_bytes(result.local_bytes).c_str());
+  for (std::size_t i = 0; i < result.nodes.size(); ++i) {
+    const cluster::NodeStats& node = result.nodes[i];
+    std::printf("  node %zu: in %s, map-out %s, sent %s, recv %s"
+                "%s%s\n",
+                i, format_bytes(node.input_bytes).c_str(),
+                format_bytes(node.map_output_bytes).c_str(),
+                format_bytes(node.sent_bytes).c_str(),
+                format_bytes(node.recv_bytes).c_str(),
+                node.spill_runs > 0 ? ", spill runs " : "",
+                node.spill_runs > 0
+                    ? std::to_string(node.spill_runs).c_str()
+                    : "");
+  }
+  std::printf("cluster: %s output in %.3fs\n",
+              format_bytes(result.output.size()).c_str(), result.elapsed_s);
+  return result;
+}
+
 // ----------------------------------------------------------- subcommands
 
 Status cmd_wordcount(const Flags& flags) {
@@ -317,13 +442,27 @@ Status cmd_wordcount(const Flags& flags) {
     return Status::InvalidArgument("wordcount needs an input file");
   }
   SUPMR_ASSIGN_OR_RETURN(CommonConfig cfg, common_config(flags));
+  // --budget=SIZE switches to external aggregation (spill-and-merge) so the
+  // intermediate set never exceeds the budget.
+  SUPMR_ASSIGN_OR_RETURN(std::uint64_t budget, flags.get_size("budget", 0));
+  if (cfg.job.num_nodes > 0) {
+    return run_cluster_cli(
+               flags.positional()[0], std::make_shared<ingest::LineFormat>(),
+               [budget]() -> std::unique_ptr<core::Application> {
+                 if (budget > 0) {
+                   containers::SpillingHashContainer::Options opt;
+                   opt.memory_budget_bytes = budget;
+                   return std::make_unique<apps::ExternalWordCountApp>(opt);
+                 }
+                 return std::make_unique<apps::WordCountApp>();
+               },
+               cfg, 0)
+        .status();
+  }
   SUPMR_ASSIGN_OR_RETURN(auto dev, open_input(flags.positional()[0], cfg));
   auto format = std::make_shared<ingest::LineFormat>();
   ingest::SingleDeviceSource source(dev, format, cfg.chunk_bytes,
                                     cfg.job.io);
-  // --budget=SIZE switches to external aggregation (spill-and-merge) so the
-  // intermediate set never exceeds the budget.
-  SUPMR_ASSIGN_OR_RETURN(std::uint64_t budget, flags.get_size("budget", 0));
   std::vector<std::pair<std::string, std::uint64_t>> words;
   if (budget > 0) {
     containers::SpillingHashContainer::Options opt;
@@ -360,7 +499,6 @@ Status cmd_sort(const Flags& flags) {
     return Status::InvalidArgument("sort needs an input file");
   }
   SUPMR_ASSIGN_OR_RETURN(CommonConfig cfg, common_config(flags));
-  SUPMR_ASSIGN_OR_RETURN(auto dev, open_input(flags.positional()[0], cfg));
   SUPMR_ASSIGN_OR_RETURN(std::uint64_t key_bytes,
                          flags.get_int("key-bytes", 10));
   SUPMR_ASSIGN_OR_RETURN(std::uint64_t record_bytes,
@@ -373,6 +511,28 @@ Status cmd_sort(const Flags& flags) {
     // they are mapped, so the merge phase is P independent merges.
     opt.partitions = cfg.job.merge_partitions();
   }
+  if (cfg.job.num_nodes > 0) {
+    SUPMR_ASSIGN_OR_RETURN(
+        cluster::ClusterResult result,
+        run_cluster_cli(flags.positional()[0],
+                        std::make_shared<ingest::CrlfFormat>(),
+                        [opt] { return std::make_unique<apps::TeraSortApp>(
+                                    opt); },
+                        cfg, static_cast<std::size_t>(record_bytes)));
+    if (auto out = flags.get("out")) {
+      std::FILE* f = std::fopen(out->c_str(), "wb");
+      if (f == nullptr) return Status::IoError("cannot create " + *out);
+      const bool ok = std::fwrite(result.output.data(), 1,
+                                  result.output.size(),
+                                  f) == result.output.size();
+      std::fclose(f);
+      if (!ok) return Status::IoError("short write to " + *out);
+      std::printf("sorted output (%s) -> %s\n",
+                  format_bytes(result.output.size()).c_str(), out->c_str());
+    }
+    return Status::Ok();
+  }
+  SUPMR_ASSIGN_OR_RETURN(auto dev, open_input(flags.positional()[0], cfg));
   auto format = std::make_shared<ingest::CrlfFormat>();
   ingest::SingleDeviceSource source(dev, format, cfg.chunk_bytes,
                                     cfg.job.io);
@@ -413,6 +573,15 @@ Status cmd_grep(const Flags& flags) {
     if (comma == std::string::npos) break;
     pos = comma + 1;
   }
+  if (cfg.job.num_nodes > 0) {
+    return run_cluster_cli(
+               flags.positional()[1], std::make_shared<ingest::LineFormat>(),
+               [patterns] {
+                 return std::make_unique<apps::GrepApp>(patterns);
+               },
+               cfg, 0)
+        .status();
+  }
   SUPMR_ASSIGN_OR_RETURN(auto dev, open_input(flags.positional()[1], cfg));
   auto format = std::make_shared<ingest::LineFormat>();
   ingest::SingleDeviceSource source(dev, format, cfg.chunk_bytes,
@@ -433,7 +602,6 @@ Status cmd_histogram(const Flags& flags) {
     return Status::InvalidArgument("histogram needs an input file");
   }
   SUPMR_ASSIGN_OR_RETURN(CommonConfig cfg, common_config(flags));
-  SUPMR_ASSIGN_OR_RETURN(auto dev, open_input(flags.positional()[0], cfg));
   apps::HistogramOptions opt;
   SUPMR_ASSIGN_OR_RETURN(std::uint64_t lo, flags.get_int("lo", 0));
   SUPMR_ASSIGN_OR_RETURN(std::uint64_t hi, flags.get_int("hi", 256));
@@ -441,6 +609,14 @@ Status cmd_histogram(const Flags& flags) {
   opt.lo = static_cast<std::int64_t>(lo);
   opt.hi = static_cast<std::int64_t>(hi);
   opt.bins = bins;
+  if (cfg.job.num_nodes > 0) {
+    return run_cluster_cli(
+               flags.positional()[0], std::make_shared<ingest::LineFormat>(),
+               [opt] { return std::make_unique<apps::HistogramApp>(opt); },
+               cfg, 0)
+        .status();
+  }
+  SUPMR_ASSIGN_OR_RETURN(auto dev, open_input(flags.positional()[0], cfg));
   auto format = std::make_shared<ingest::LineFormat>();
   ingest::SingleDeviceSource source(dev, format, cfg.chunk_bytes,
                                     cfg.job.io);
@@ -676,6 +852,63 @@ Status cmd_graph(const Flags& flags) {
   return Status::Internal("graph cell diverges from the reference");
 }
 
+// Runs a sharded-shuffle conformance cell from a spec file (docs/cluster.md):
+// executes the spec through the cluster runtime, byte-checks the
+// reassembled output against the sequential oracle, and prints the shuffle
+// accounting. Non-zero exit iff the cell diverges or fails.
+Status cmd_cluster(const Flags& flags) {
+  std::string path = flags.get_or("spec", "");
+  if (path.empty() && !flags.positional().empty()) {
+    path = flags.positional()[0];
+  }
+  if (path.empty()) {
+    return Status::InvalidArgument("cluster needs --spec=<spec.json>");
+  }
+  SUPMR_ASSIGN_OR_RETURN(std::string text, slurp(path));
+  SUPMR_ASSIGN_OR_RETURN(core::ReplaySpec spec,
+                         core::ReplaySpec::from_json(text));
+  if (!spec.is_cluster()) {
+    return Status::InvalidArgument(
+        "cluster needs a spec with cluster.nodes >= 1 (app " + spec.app +
+        ", nodes=0)");
+  }
+  std::printf("cluster: app=%s corpus=%s/%llu seed=%llu mode=%s merge=%s "
+              "io=%s threads=%llu chunk=%llu nodes=%llu link=%llu "
+              "uplink=%llu disk=%llu budget=%llu\n",
+              spec.app.c_str(), spec.corpus.kind.c_str(),
+              (unsigned long long)spec.corpus.bytes,
+              (unsigned long long)spec.corpus.seed,
+              std::string(core::exec_mode_name(spec.mode)).c_str(),
+              std::string(core::merge_mode_name(spec.merge_mode)).c_str(),
+              std::string(core::io_mode_name(spec.io)).c_str(),
+              (unsigned long long)spec.threads,
+              (unsigned long long)spec.chunk_bytes,
+              (unsigned long long)spec.cluster_nodes,
+              (unsigned long long)spec.cluster_link_bps,
+              (unsigned long long)spec.cluster_uplink_bps,
+              (unsigned long long)spec.cluster_disk_bps,
+              (unsigned long long)spec.cluster_budget);
+  SUPMR_ASSIGN_OR_RETURN(ref::ConformanceOutcome outcome,
+                         ref::run_cell(spec));
+  std::printf("cluster: %llu node(s), map output %llu bytes, %llu shuffled "
+              "cross-node, %llu local, %llu spill run(s), owned max/min "
+              "%llu/%llu bytes\n",
+              (unsigned long long)outcome.cluster_nodes,
+              (unsigned long long)outcome.cluster_map_output_bytes,
+              (unsigned long long)outcome.cluster_shuffle_bytes,
+              (unsigned long long)outcome.cluster_local_bytes,
+              (unsigned long long)outcome.cluster_spill_runs,
+              (unsigned long long)outcome.cluster_recv_max_bytes,
+              (unsigned long long)outcome.cluster_recv_min_bytes);
+  if (outcome.match) {
+    std::printf("conformance: PASS (%llu output bytes)\n",
+                (unsigned long long)outcome.sut_canonical.size());
+    return Status::Ok();
+  }
+  std::printf("conformance: FAIL\n%s\n", outcome.diff.c_str());
+  return Status::Internal("cluster cell diverges from the reference");
+}
+
 // Multi-tenant mode (docs/runtime.md): one JobManager, many concurrent
 // jobs. Every entry in the --jobs spec is a conformance cell: a client
 // thread submits it through the manager (honoring priority / lease
@@ -830,6 +1063,7 @@ int run_main(int argc, char** argv) {
   }
   else if (command == "serve") st = cmd_serve(flags);
   else if (command == "graph") st = cmd_graph(flags);
+  else if (command == "cluster") st = cmd_cluster(flags);
   else usage();
 
   if (!st.ok()) {
